@@ -1,0 +1,81 @@
+"""Ablation — reward shift α sweep (Eq. 9; paper uses α ∈ [0.5, 1]).
+
+The paper's Sec. III-E claim is that training converges faster when the
+average reward sits *slightly above zero*.  This bench trains the same
+agent under α ∈ {−0.75, 0, 0.5, 0.75, 1.0, 3.0} and reports early-phase
+improvement per α.  Expected shape: the paper's band [0.5, 1] performs at
+least as well as the extremes (strongly negative or far-positive shifts).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.agent import (
+    ActorCriticTrainer,
+    NetworkConfig,
+    NormalizedReward,
+    PolicyValueNet,
+    calibrate_reward,
+)
+from repro.coarsen import coarsen_design
+from repro.env import MacroGroupPlacementEnv
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.grid.plan import GridPlan
+from repro.netlist.suites import make_iccad04_circuit
+
+ALPHAS = (-0.75, 0.0, 0.5, 0.75, 1.0, 3.0)
+
+
+def test_ablation_alpha(benchmark, budget):
+    entry = make_iccad04_circuit(
+        "ibm06", scale=budget.iccad04_scale, macro_scale=budget.iccad04_macro_scale
+    )
+    design = entry.design
+    MixedSizePlacer(n_iterations=3).place(design)
+    coarse = coarsen_design(design, GridPlan(design.region, zeta=8))
+
+    env = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=2)
+    base, _ = calibrate_reward(
+        lambda g: env.play_random_episode(g).wirelength,
+        n_episodes=budget.calibration_episodes, rng=1,
+    )
+    episodes = max(budget.fig_episodes // 2, 20)
+
+    def train_alpha(alpha: float) -> float:
+        reward_fn = NormalizedReward(
+            w_max=base.w_max, w_min=base.w_min, w_avg=base.w_avg, alpha=alpha
+        )
+        e = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=2)
+        net = PolicyValueNet(
+            NetworkConfig(zeta=8, channels=16, res_blocks=2, seed=0)
+        )
+        trainer = ActorCriticTrainer(
+            e, net, reward_fn, lr=2e-3, update_every=10,
+            epochs_per_update=3, entropy_coef=0.01, rng=0,
+        )
+        ws = trainer.train(episodes).wirelengths
+        head = float(np.mean(ws[: max(episodes // 4, 5)]))
+        tail = float(np.mean(ws[-max(episodes // 4, 5):]))
+        return head - tail  # improvement (positive = converging)
+
+    def run():
+        return {a: train_alpha(a) for a in ALPHAS}
+
+    out = run_once(benchmark, run)
+    print("\nAblation: reward shift alpha sweep (paper: alpha in [0.5, 1])")
+    for a, gain in out.items():
+        marker = "  <- paper band" if 0.5 <= a <= 1.0 else ""
+        print(f"  alpha={a:6.2f}  improvement={gain:8.0f}{marker}")
+    benchmark.extra_info["sweep"] = {str(k): v for k, v in out.items()}
+
+    band_best = max(out[a] for a in (0.5, 0.75, 1.0))
+    assert band_best > 0, "the paper's alpha band must show convergence"
+    if budget.name != "smoke":
+        extremes_best = max(out[-0.75], out[3.0])
+        assert band_best >= extremes_best - abs(band_best) * 0.5, (
+            "the paper band should be competitive with extreme shifts"
+        )

@@ -1,0 +1,91 @@
+"""Ablation — macro grouping vs per-macro allocation (Sec. I-C / II-A).
+
+The paper motivates coarsening by complexity: grouping shrinks both the
+episode length (RL) and the branching-times-depth of the MCTS tree.  This
+bench trains the same agent budget with and without grouping and reports
+episode length, wall-clock per episode, and the resulting quality.
+
+Expected shape: grouping gives shorter episodes and at-least-comparable
+wirelength at equal episode budget.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+
+from benchmarks.conftest import run_once
+from repro.agent import (
+    ActorCriticTrainer,
+    NetworkConfig,
+    PolicyValueNet,
+    calibrate_reward,
+)
+from repro.baselines.ct_placer import singleton_macro_coarsening
+from repro.coarsen import coarsen_design
+from repro.env import MacroGroupPlacementEnv
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.grid.plan import GridPlan
+from repro.netlist.suites import make_iccad04_circuit
+
+
+def _train_eval(coarse, episodes: int, calibration: int) -> dict:
+    env = MacroGroupPlacementEnv(coarse, cell_place_iters=2)
+    reward_fn, _ = calibrate_reward(
+        lambda g: env.play_random_episode(g).wirelength,
+        n_episodes=calibration, rng=1,
+    )
+    net = PolicyValueNet(NetworkConfig(zeta=8, channels=16, res_blocks=2, seed=0))
+    trainer = ActorCriticTrainer(
+        env, net, reward_fn, lr=2e-3, update_every=10,
+        epochs_per_update=3, entropy_coef=0.01, rng=0,
+    )
+    t0 = time.perf_counter()
+    history = trainer.train(episodes)
+    train_seconds = time.perf_counter() - t0
+
+    def policy(state):
+        probs, _ = net.evaluate(state.s_p, state.s_a, state.t, state.total_steps)
+        return probs
+
+    record = env.play_greedy_episode(policy)
+    return {
+        "episode_length": env.n_steps,
+        "train_seconds": train_seconds,
+        "best_wl": min(history.wirelengths),
+        "greedy_wl": record.wirelength,
+    }
+
+
+def test_ablation_grouping(benchmark, budget):
+    entry = make_iccad04_circuit(
+        "ibm01", scale=budget.iccad04_scale, macro_scale=budget.iccad04_macro_scale
+    )
+    design = entry.design
+    MixedSizePlacer(n_iterations=3).place(design)
+    plan = GridPlan(design.region, zeta=8)
+    episodes = max(budget.episodes // 2, 20)
+
+    def run():
+        grouped = coarsen_design(copy.deepcopy(design), plan)
+        ungrouped = singleton_macro_coarsening(copy.deepcopy(design), plan)
+        return {
+            "grouped": _train_eval(grouped, episodes, budget.calibration_episodes),
+            "ungrouped": _train_eval(
+                ungrouped, episodes, budget.calibration_episodes
+            ),
+        }
+
+    out = run_once(benchmark, run)
+    print("\nAblation: macro grouping vs per-macro allocation")
+    for k, v in out.items():
+        print(f"  {k:10s} episode_len={v['episode_length']:3d} "
+              f"train={v['train_seconds']:6.1f}s best_wl={v['best_wl']:8.0f} "
+              f"greedy_wl={v['greedy_wl']:8.0f}")
+    benchmark.extra_info.update(out)
+
+    # Grouping must shrink the decision sequence — the complexity claim.
+    assert out["grouped"]["episode_length"] <= out["ungrouped"]["episode_length"]
+    if budget.name != "smoke":
+        # And quality should not regress at equal episode budget.
+        assert out["grouped"]["best_wl"] <= out["ungrouped"]["best_wl"] * 1.1

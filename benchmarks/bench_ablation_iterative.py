@@ -1,0 +1,111 @@
+"""Ablation — single post-training MCTS (the paper) vs the AlphaZero-style
+iterative loop (Sec. I-B, the design the paper argues against).
+
+The paper's core efficiency argument: "the total runtime will increase
+significantly as more MCTS processes are executed" when MCTS generates RL
+samples, because every sample needs cell placements.  This bench measures
+both schemes at *equal wall-clock-ish budgets*:
+
+- **paper scheme** — A2C pre-training (cheap: 1 terminal eval/episode)
+  followed by one MCTS pass;
+- **iterative scheme** — rounds of MCTS sample generation + network
+  training (expensive: a full MCTS placement per round).
+
+Reported: final wirelength, total terminal evaluations, wall-clock.
+Expected shape: the paper scheme reaches comparable (or better) quality
+with far fewer terminal evaluations per unit of improvement.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+
+from benchmarks.conftest import run_once
+from repro.agent import (
+    ActorCriticTrainer,
+    NetworkConfig,
+    PolicyValueNet,
+    calibrate_reward,
+)
+from repro.coarsen import coarsen_design
+from repro.env import MacroGroupPlacementEnv
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.grid.plan import GridPlan
+from repro.mcts.iterative import IterativeMCTSTrainer
+from repro.mcts.search import MCTSConfig, MCTSPlacer
+from repro.netlist.suites import make_iccad04_circuit
+
+
+def test_ablation_single_vs_iterative(benchmark, budget):
+    entry = make_iccad04_circuit(
+        "ibm01", scale=budget.iccad04_scale, macro_scale=budget.iccad04_macro_scale
+    )
+    design = entry.design
+    MixedSizePlacer(n_iterations=3).place(design)
+    coarse = coarsen_design(design, GridPlan(design.region, zeta=8))
+
+    env0 = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=2)
+    reward_fn, _ = calibrate_reward(
+        lambda g: env0.play_random_episode(g).wirelength,
+        n_episodes=budget.calibration_episodes, rng=1,
+    )
+    episodes = max(budget.episodes // 2, 10)
+    gamma = max(budget.explorations // 2, 8)
+    rounds = max(episodes // 30, 2)
+
+    def run():
+        out = {}
+
+        # Paper scheme: A2C pre-training + one MCTS.
+        env = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=2)
+        net = PolicyValueNet(NetworkConfig(zeta=8, channels=16, res_blocks=2, seed=0))
+        t0 = time.perf_counter()
+        trainer = ActorCriticTrainer(
+            env, net, reward_fn, lr=2e-3, update_every=10,
+            epochs_per_update=3, entropy_coef=0.01, rng=0,
+        )
+        trainer.train(episodes)
+        result = MCTSPlacer(
+            env, net, reward_fn, MCTSConfig(explorations=gamma, seed=0)
+        ).run()
+        out["paper_single_pass"] = {
+            "seconds": time.perf_counter() - t0,
+            "terminal_evals": episodes + result.n_terminal_evaluations,
+            "wirelength": min(result.wirelength, result.best_terminal_wirelength),
+        }
+
+        # Iterative scheme: MCTS generates every training sample.
+        env = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=2)
+        net = PolicyValueNet(NetworkConfig(zeta=8, channels=16, res_blocks=2, seed=0))
+        t0 = time.perf_counter()
+        it = IterativeMCTSTrainer(
+            env, net, reward_fn,
+            MCTSConfig(explorations=gamma), lr=2e-3, train_epochs=4,
+        )
+        history = it.train(rounds)
+        out["iterative_alphazero"] = {
+            "seconds": time.perf_counter() - t0,
+            "terminal_evals": sum(history.terminal_evaluations),
+            "wirelength": history.best_wirelength(),
+            "rounds": rounds,
+        }
+        return out
+
+    out = run_once(benchmark, run)
+    print("\nAblation: single post-training MCTS vs iterative MCTS-RL loop")
+    for k, v in out.items():
+        print(f"  {k:22s} t={v['seconds']:7.1f}s "
+              f"terminal_evals={v['terminal_evals']:5d} "
+              f"wl={v['wirelength']:8.0f}")
+    benchmark.extra_info.update(out)
+
+    paper = out["paper_single_pass"]
+    iterative = out["iterative_alphazero"]
+    # The cost structure the paper predicts: per round, the iterative loop
+    # pays a whole MCTS placement; the paper scheme's evaluations are flat
+    # per episode.  Quality at equal-ish budget should not favor iterating.
+    if budget.name != "smoke":
+        assert paper["wirelength"] <= iterative["wirelength"] * 1.15, (
+            "single-pass should be competitive with the iterative loop"
+        )

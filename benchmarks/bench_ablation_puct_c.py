@@ -1,0 +1,71 @@
+"""Ablation — PUCT exploration constant c (Eq. 11; paper uses c = 1.05).
+
+Sweeps c over a range spanning pure exploitation (c → 0) to heavy
+exploration and reports the committed wirelength for each.  Expected
+shape: extreme settings do not dominate the paper's moderate choice — the
+c = 1.05 result is within a few percent of the best sweep point.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from benchmarks.conftest import run_once
+from repro.agent import (
+    ActorCriticTrainer,
+    NetworkConfig,
+    PolicyValueNet,
+    calibrate_reward,
+)
+from repro.coarsen import coarsen_design
+from repro.env import MacroGroupPlacementEnv
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.grid.plan import GridPlan
+from repro.mcts.search import MCTSConfig, MCTSPlacer
+from repro.netlist.suites import make_iccad04_circuit
+
+C_VALUES = (0.05, 0.5, 1.05, 2.5, 8.0)
+
+
+def test_ablation_puct_c(benchmark, budget):
+    entry = make_iccad04_circuit(
+        "ibm01", scale=budget.iccad04_scale, macro_scale=budget.iccad04_macro_scale
+    )
+    design = entry.design
+    MixedSizePlacer(n_iterations=3).place(design)
+    coarse = coarsen_design(design, GridPlan(design.region, zeta=8))
+    env = MacroGroupPlacementEnv(coarse, cell_place_iters=2)
+    reward_fn, _ = calibrate_reward(
+        lambda g: env.play_random_episode(g).wirelength,
+        n_episodes=budget.calibration_episodes, rng=1,
+    )
+    net = PolicyValueNet(NetworkConfig(zeta=8, channels=16, res_blocks=2, seed=0))
+    trainer = ActorCriticTrainer(
+        env, net, reward_fn, lr=2e-3, update_every=10,
+        epochs_per_update=3, entropy_coef=0.01, rng=0,
+    )
+    trainer.train(max(budget.episodes // 2, 20))
+    gamma = max(budget.explorations // 2, 8)
+
+    def run():
+        out = {}
+        for c in C_VALUES:
+            e = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=2)
+            result = MCTSPlacer(
+                e, net, reward_fn,
+                MCTSConfig(c_puct=c, explorations=gamma, seed=0),
+            ).run()
+            out[c] = min(result.wirelength, result.best_terminal_wirelength)
+        return out
+
+    out = run_once(benchmark, run)
+    print("\nAblation: PUCT constant c sweep (paper: c = 1.05)")
+    for c, wl in out.items():
+        marker = "  <- paper" if c == 1.05 else ""
+        print(f"  c={c:5.2f}  wl={wl:8.0f}{marker}")
+    benchmark.extra_info["sweep"] = {str(k): v for k, v in out.items()}
+
+    best = min(out.values())
+    assert out[1.05] <= best * 1.1, (
+        "the paper's c=1.05 should be within 10% of the sweep optimum"
+    )

@@ -1,0 +1,99 @@
+"""Fig. 4 — RL convergence speed under different reward functions.
+
+Paper setup: ibm10, three rewards — Eq. 9 (slightly above zero), Eq. 9
+without α (centered at zero), and the intuitive −W.  Paper finding: the
+α-shifted curve rises most rapidly; −W never converges ("the agent may
+perceive all actions as inadequate if it consistently receives negative
+rewards").
+
+This bench trains all three at reduced scale and asserts the shape:
+early-phase improvement ordered with-α ≥ without-α, and −W showing no
+meaningful improvement.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.agent import (
+    ActorCriticTrainer,
+    NegativeWirelength,
+    NetworkConfig,
+    NormalizedReward,
+    PolicyValueNet,
+    calibrate_reward,
+)
+from repro.coarsen import coarsen_design
+from repro.env import MacroGroupPlacementEnv
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.grid.plan import GridPlan
+from repro.netlist.suites import make_iccad04_circuit
+
+
+def _train(reward_fn, coarse, episodes: int) -> list[float]:
+    env = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=2)
+    net = PolicyValueNet(NetworkConfig(zeta=8, channels=16, res_blocks=2, seed=0))
+    trainer = ActorCriticTrainer(
+        env, net, reward_fn, lr=2e-3, update_every=10,
+        epochs_per_update=3, entropy_coef=0.01, rng=0,
+    )
+    return trainer.train(episodes).wirelengths
+
+
+def test_fig4_reward_convergence(benchmark, budget):
+    entry = make_iccad04_circuit(
+        "ibm10", scale=budget.iccad04_scale * 0.4,
+        macro_scale=budget.iccad04_macro_scale * 0.5,
+    )
+    design = entry.design
+    MixedSizePlacer(n_iterations=3).place(design)
+    coarse = coarsen_design(design, GridPlan(design.region, zeta=8))
+
+    env = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=2)
+    calibrated, _ = calibrate_reward(
+        lambda g: env.play_random_episode(g).wirelength, alpha=0.75,
+        n_episodes=budget.calibration_episodes, rng=1,
+    )
+    no_alpha = NormalizedReward(
+        w_max=calibrated.w_max, w_min=calibrated.w_min,
+        w_avg=calibrated.w_avg, alpha=0.0,
+    )
+    episodes = budget.fig_episodes
+
+    def run():
+        return {
+            "with_alpha": _train(calibrated, coarse, episodes),
+            "no_alpha": _train(no_alpha, coarse, episodes),
+            "neg_w": _train(NegativeWirelength(), coarse, episodes),
+        }
+
+    curves = run_once(benchmark, run)
+    phase = max(episodes // 6, 5)
+
+    def phases(ws):
+        return [float(np.mean(ws[i : i + phase])) for i in range(0, episodes, phase)]
+
+    table = {k: phases(v) for k, v in curves.items()}
+    print("\nFig. 4 (miniature): phase-mean wirelength per reward function")
+    for k, row in table.items():
+        print(f"  {k:12s} " + "  ".join(f"{p:8.0f}" for p in row))
+    benchmark.extra_info["phases"] = table
+
+    # Shape assertions (generous: miniature-scale training is noisy).  At
+    # smoke budget only structural sanity is checked — a 40-episode run
+    # carries no convergence signal.
+    improv = {k: row[0] - row[-1] for k, row in table.items()}
+    print(f"  improvement: {improv}")
+    assert all(np.isfinite(v) for row in table.values() for v in row)
+    if budget.name != "smoke":
+        assert improv["with_alpha"] > 0, "Eq.9-with-alpha must improve"
+        # −W must improve by clearly less than the normalized rewards.
+        assert improv["neg_w"] < 0.5 * max(
+            improv["with_alpha"], improv["no_alpha"]
+        )
+        # Early-phase speed: with-alpha at least as fast as the −W baseline.
+        early = {k: row[0] - row[min(2, len(row) - 1)] for k, row in table.items()}
+        assert early["with_alpha"] >= early["neg_w"]

@@ -1,0 +1,105 @@
+"""Fig. 5 — MCTS rewards at successive RL training stages (ibm01, ibm06).
+
+Paper setup: checkpoint the agent every 35 iterations, run MCTS from each
+checkpoint, compare against the raw RL reward at the same stage.  Paper
+findings: (1) MCTS ≥ RL at every stage; (2) early-stage MCTS approaches
+final-stage RL.
+
+This bench reproduces both circuits at reduced scale and asserts both
+properties (majority-of-stages form, since miniature training is noisy).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.agent import (
+    ActorCriticTrainer,
+    NetworkConfig,
+    PolicyValueNet,
+    calibrate_reward,
+)
+from repro.coarsen import coarsen_design
+from repro.env import MacroGroupPlacementEnv
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.grid.plan import GridPlan
+from repro.mcts.search import MCTSConfig, MCTSPlacer
+from repro.netlist.suites import make_iccad04_circuit
+
+
+def _stage_table(circuit: str, budget) -> list[dict]:
+    entry = make_iccad04_circuit(
+        circuit, scale=budget.iccad04_scale, macro_scale=budget.iccad04_macro_scale
+    )
+    design = entry.design
+    MixedSizePlacer(n_iterations=3).place(design)
+    coarse = coarsen_design(design, GridPlan(design.region, zeta=8))
+    env = MacroGroupPlacementEnv(coarse, cell_place_iters=2)
+    reward_fn, _ = calibrate_reward(
+        lambda g: env.play_random_episode(g).wirelength,
+        n_episodes=budget.calibration_episodes, rng=1,
+    )
+    net = PolicyValueNet(NetworkConfig(zeta=8, channels=16, res_blocks=2, seed=0))
+    trainer = ActorCriticTrainer(
+        env, net, reward_fn, lr=2e-3, update_every=10,
+        epochs_per_update=3, entropy_coef=0.01, rng=0,
+    )
+    history = trainer.train(
+        budget.fig_episodes, checkpoint_every=budget.checkpoint_every
+    )
+
+    rows = []
+    for snap in history.snapshots:
+        stage_net = trainer.network_at(snap)
+        stage_env = MacroGroupPlacementEnv(
+            copy.deepcopy(coarse), cell_place_iters=2
+        )
+        result = MCTSPlacer(
+            stage_env, stage_net, reward_fn,
+            MCTSConfig(explorations=max(budget.explorations // 2, 8), seed=0),
+        ).run()
+        recent = history.rewards[max(0, snap.episode - 30) : snap.episode]
+        rows.append(
+            {
+                "episode": snap.episode,
+                "rl_reward": float(np.mean(recent)),
+                "mcts_reward": max(
+                    result.reward,
+                    float(reward_fn(result.best_terminal_wirelength)),
+                ),
+                "mcts_wl": result.wirelength,
+            }
+        )
+    return rows
+
+
+def test_fig5_mcts_vs_rl_stages(benchmark, budget):
+    circuits = ("ibm01", "ibm06") if budget.name != "smoke" else ("ibm01",)
+
+    def run():
+        return {c: _stage_table(c, budget) for c in circuits}
+
+    tables = run_once(benchmark, run)
+    benchmark.extra_info["stages"] = tables
+
+    for circuit, rows in tables.items():
+        print(f"\nFig. 5 (miniature) — {circuit}:")
+        print(f"  {'episode':>8} {'RL':>8} {'MCTS':>8} {'MCTS WL':>9}")
+        for r in rows:
+            print(f"  {r['episode']:>8} {r['rl_reward']:>8.3f} "
+                  f"{r['mcts_reward']:>8.3f} {r['mcts_wl']:>9.0f}")
+
+        wins = sum(1 for r in rows if r["mcts_reward"] >= r["rl_reward"])
+        assert wins >= max(1, int(0.7 * len(rows))), (
+            f"{circuit}: MCTS should beat RL at (most) stages, won {wins}/{len(rows)}"
+        )
+        # Early-stage MCTS approaches final-stage RL.
+        final_rl = rows[-1]["rl_reward"]
+        early_mcts = rows[0]["mcts_reward"]
+        assert early_mcts >= final_rl - 0.35, (
+            f"{circuit}: early MCTS ({early_mcts:.3f}) should approach final "
+            f"RL ({final_rl:.3f})"
+        )

@@ -1,0 +1,78 @@
+"""Scaling study — flow runtime and quality vs design size.
+
+The paper's title claims effectiveness "for very large scale designs";
+its mechanism is that grouping keeps the decision problem near-constant
+(≤ ~ζ² groups) while design size grows.  This bench sweeps the synthetic
+ibm01-alike over increasing macro/cell counts and reports:
+
+- macro groups (should grow sub-linearly in macros — the coarsening
+  absorbs scale);
+- per-episode cost (dominated by the terminal legalize-and-place, which
+  grows with cells);
+- final quality vs the analytical baseline.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from benchmarks.conftest import placer_config, run_once
+from repro.core import MCTSGuidedPlacer
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.netlist.suites import make_iccad04_circuit
+
+
+def test_scaling_with_design_size(benchmark, budget):
+    if budget.name == "smoke":
+        factors = (0.5, 1.0)
+    else:
+        factors = (0.5, 1.0, 2.0)
+    base_scale = budget.iccad04_scale
+    base_macro = budget.iccad04_macro_scale
+    from dataclasses import replace
+
+    config = replace(placer_config(budget), episodes=max(budget.episodes // 3, 10))
+
+    def run():
+        rows = []
+        for f in factors:
+            entry = make_iccad04_circuit(
+                "ibm01", scale=base_scale * f, macro_scale=base_macro * f
+            )
+            analytical = copy.deepcopy(entry.design)
+            ref = MixedSizePlacer(n_iterations=5).place(analytical).hpwl
+
+            result = MCTSGuidedPlacer(config).place(entry.design)
+            ours = min(result.hpwl, result.search.best_terminal_wirelength)
+            stats = entry.design.netlist.stats()
+            rows.append(
+                {
+                    "factor": f,
+                    "macros": stats["movable_macros"],
+                    "cells": stats["cells"],
+                    "groups": result.n_macro_groups,
+                    "total_seconds": result.stopwatch.overall(),
+                    "ours": ours,
+                    "analytical": ref,
+                    "ratio": ours / ref,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\nScaling study: flow vs design size (ibm01-alike)")
+    print(f"  {'factor':>6} {'macros':>7} {'cells':>6} {'groups':>7} "
+          f"{'time (s)':>9} {'ours/GP':>8}")
+    for r in rows:
+        print(f"  {r['factor']:>6.1f} {r['macros']:>7} {r['cells']:>6} "
+              f"{r['groups']:>7} {r['total_seconds']:>9.1f} {r['ratio']:>8.2f}")
+    benchmark.extra_info["rows"] = rows
+
+    # Grouping absorbs scale: groups grow slower than macros.
+    if len(rows) >= 2:
+        g_growth = rows[-1]["groups"] / max(rows[0]["groups"], 1)
+        m_growth = rows[-1]["macros"] / max(rows[0]["macros"], 1)
+        assert g_growth <= m_growth + 1e-9
+    # Quality stays in the analytical baseline's neighbourhood at any size.
+    if budget.name != "smoke":
+        assert all(r["ratio"] < 1.6 for r in rows)

@@ -1,0 +1,78 @@
+"""Table IV — MCTS-stage runtime per benchmark.
+
+Paper finding: "the runtime of MCTS correlates with the number of macros
+in the benchmarks" — ibm10 (most macros) slowest, ibm06 (fewest) fastest.
+
+This bench runs the flow on a circuit set spanning the macro-count range,
+reports the MCTS stage's wall-clock (the Table IV quantity) and asserts a
+positive rank correlation between macro-group count and MCTS runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from benchmarks.conftest import placer_config, run_once
+from repro.core import MCTSGuidedPlacer
+from repro.netlist.suites import make_iccad04_circuit
+
+
+def test_table4_mcts_runtime(benchmark, budget):
+    from dataclasses import replace
+
+    circuits = budget.iccad04_circuits
+    if budget.name == "default":
+        # Spread the macro-count range: ibm06 (min) ... ibm10 (max).
+        circuits = ("ibm06", "ibm01", "ibm12", "ibm10")
+
+    # The Table IV claim is about MCTS-stage *runtime* scaling, which is
+    # insensitive to agent quality — train with a third of the episode
+    # budget to keep this bench affordable on large-macro circuits.
+    config = replace(placer_config(budget), episodes=max(budget.episodes // 3, 10))
+
+    def run():
+        rows = []
+        for name in circuits:
+            entry = make_iccad04_circuit(
+                name, scale=budget.iccad04_scale,
+                macro_scale=budget.iccad04_macro_scale,
+            )
+            result = MCTSGuidedPlacer(config).place(entry.design)
+            rows.append(
+                {
+                    "circuit": name,
+                    "macros": len(entry.design.netlist.movable_macros),
+                    "macro_groups": result.n_macro_groups,
+                    "mcts_seconds": result.mcts_runtime,
+                    "total_seconds": result.stopwatch.overall(),
+                    "hpwl": result.hpwl,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\nTable IV (miniature): MCTS runtime per benchmark")
+    print(f"  {'circuit':>8} {'macros':>7} {'groups':>7} "
+          f"{'MCTS (s)':>9} {'total (s)':>10}")
+    for r in rows:
+        print(f"  {r['circuit']:>8} {r['macros']:>7} {r['macro_groups']:>7} "
+              f"{r['mcts_seconds']:>9.2f} {r['total_seconds']:>10.1f}")
+    benchmark.extra_info["rows"] = rows
+
+    if len(rows) >= 3:
+        groups = [r["macro_groups"] for r in rows]
+        seconds = [r["mcts_seconds"] for r in rows]
+        if len(set(groups)) > 1:
+            rho = stats.spearmanr(groups, seconds).statistic
+            print(f"  Spearman(groups, MCTS seconds) = {rho:.2f}")
+            benchmark.extra_info["spearman"] = float(rho)
+            assert rho > 0, (
+                "MCTS runtime should grow with the number of macro groups"
+            )
+    # The paper's extrema: ibm10 slower than ibm06 whenever both present.
+    by_name = {r["circuit"]: r for r in rows}
+    if "ibm10" in by_name and "ibm06" in by_name:
+        assert (
+            by_name["ibm10"]["mcts_seconds"] >= by_name["ibm06"]["mcts_seconds"]
+        )

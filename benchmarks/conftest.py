@@ -1,0 +1,121 @@
+"""Shared benchmark infrastructure.
+
+Every bench regenerates one of the paper's tables/figures at a reduced,
+CPU-friendly scale.  The scale is selected by the ``REPRO_BENCH_BUDGET``
+environment variable:
+
+- ``smoke``   — seconds per bench; sanity only (CI).
+- ``default`` — minutes per bench; enough budget for the paper's
+  qualitative shapes (who wins, rough factors) to emerge.
+- ``full``    — the full circuit lists and the largest CPU budget; expect
+  roughly an hour for the whole suite.
+
+Each bench prints the paper-style table to stdout (run with ``-s``) and
+stores the same numbers in ``benchmark.extra_info`` so they survive in the
+pytest-benchmark JSON output.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+
+@dataclass(frozen=True)
+class BenchBudget:
+    """Knobs every bench derives its workload from."""
+
+    name: str
+    episodes: int
+    explorations: int
+    calibration_episodes: int
+    iccad04_circuits: tuple[str, ...]
+    industrial_circuits: tuple[str, ...]
+    iccad04_scale: float
+    iccad04_macro_scale: float
+    industrial_scale: float
+    industrial_macro_scale: float
+    fig_episodes: int
+    checkpoint_every: int
+
+
+_BUDGETS = {
+    "smoke": BenchBudget(
+        name="smoke",
+        episodes=30,
+        explorations=12,
+        calibration_episodes=6,
+        iccad04_circuits=("ibm01",),
+        industrial_circuits=("Cir1",),
+        iccad04_scale=0.005,
+        iccad04_macro_scale=0.04,
+        industrial_scale=0.0008,
+        industrial_macro_scale=0.3,
+        fig_episodes=40,
+        checkpoint_every=10,
+    ),
+    "default": BenchBudget(
+        name="default",
+        episodes=300,
+        explorations=120,
+        calibration_episodes=20,
+        iccad04_circuits=("ibm01", "ibm06", "ibm10"),
+        industrial_circuits=("Cir1", "Cir3", "Cir6"),
+        iccad04_scale=0.01,
+        iccad04_macro_scale=0.08,
+        industrial_scale=0.001,
+        industrial_macro_scale=0.4,
+        fig_episodes=240,
+        checkpoint_every=60,
+    ),
+    "full": BenchBudget(
+        name="full",
+        episodes=600,
+        explorations=300,
+        calibration_episodes=30,
+        iccad04_circuits=(
+            "ibm01", "ibm02", "ibm03", "ibm04", "ibm06", "ibm07", "ibm08",
+            "ibm09", "ibm10", "ibm11", "ibm12", "ibm13", "ibm14", "ibm15",
+            "ibm16", "ibm17", "ibm18",
+        ),
+        industrial_circuits=("Cir1", "Cir2", "Cir3", "Cir4", "Cir5", "Cir6"),
+        iccad04_scale=0.01,
+        iccad04_macro_scale=0.08,
+        industrial_scale=0.002,
+        industrial_macro_scale=0.5,
+        fig_episodes=400,
+        checkpoint_every=80,
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def budget() -> BenchBudget:
+    name = os.environ.get("REPRO_BENCH_BUDGET", "default").lower()
+    if name not in _BUDGETS:
+        raise ValueError(
+            f"REPRO_BENCH_BUDGET={name!r}; expected one of {sorted(_BUDGETS)}"
+        )
+    return _BUDGETS[name]
+
+
+def placer_config(budget: BenchBudget, seed: int = 0):
+    """The flow configuration every bench uses for 'Ours'."""
+    from dataclasses import replace
+
+    from repro.core.config import PlacerConfig
+    from repro.mcts.search import MCTSConfig
+
+    return replace(
+        PlacerConfig.benchmark(seed=seed),
+        episodes=budget.episodes,
+        calibration_episodes=budget.calibration_episodes,
+        mcts=MCTSConfig(c_puct=1.05, explorations=budget.explorations, seed=seed),
+    )
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,88 @@
+"""The iterative MCTS↔RL loop the paper argues against (Sec. I-B).
+
+Runs both training schemes on the same circuit at a matched budget and
+prints the cost structure: the iterative loop pays a whole MCTS placement
+(with its terminal legalize-and-place calls) per round, while the paper's
+A2C pre-training pays exactly one terminal evaluation per episode.
+
+    python examples/alphazero_loop.py
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+
+from repro.agent import (
+    ActorCriticTrainer,
+    NetworkConfig,
+    PolicyValueNet,
+    calibrate_reward,
+)
+from repro.coarsen import coarsen_design
+from repro.env import MacroGroupPlacementEnv
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.grid.plan import GridPlan
+from repro.mcts.iterative import IterativeMCTSTrainer
+from repro.mcts.search import MCTSConfig, MCTSPlacer
+from repro.netlist.suites import make_iccad04_circuit
+
+EPISODES = 150
+ROUNDS = 6
+GAMMA = 60
+
+
+def main() -> None:
+    entry = make_iccad04_circuit("ibm01", scale=0.01, macro_scale=0.08)
+    design = entry.design
+    print(f"circuit: ibm01-alike  {design.netlist.stats()}")
+    MixedSizePlacer(n_iterations=3).place(design)
+    coarse = coarsen_design(design, GridPlan(design.region, zeta=8))
+
+    env = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=2)
+    reward_fn, _ = calibrate_reward(
+        lambda g: env.play_random_episode(g).wirelength, n_episodes=20, rng=1
+    )
+
+    # --- the paper's scheme: A2C pre-training + one MCTS pass -------------
+    env_a = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=2)
+    net_a = PolicyValueNet(NetworkConfig(zeta=8, channels=16, res_blocks=2, seed=0))
+    t0 = time.time()
+    trainer = ActorCriticTrainer(
+        env_a, net_a, reward_fn, lr=2e-3, update_every=10,
+        epochs_per_update=3, entropy_coef=0.01, rng=0,
+    )
+    trainer.train(EPISODES)
+    result = MCTSPlacer(
+        env_a, net_a, reward_fn, MCTSConfig(explorations=GAMMA, seed=0)
+    ).run()
+    t_paper = time.time() - t0
+    wl_paper = min(result.wirelength, result.best_terminal_wirelength)
+    evals_paper = EPISODES + result.n_terminal_evaluations
+
+    # --- the avoided scheme: AlphaZero-style iteration --------------------
+    env_b = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=2)
+    net_b = PolicyValueNet(NetworkConfig(zeta=8, channels=16, res_blocks=2, seed=0))
+    t0 = time.time()
+    it = IterativeMCTSTrainer(
+        env_b, net_b, reward_fn, MCTSConfig(explorations=GAMMA), lr=2e-3,
+        train_epochs=4,
+    )
+    history = it.train(ROUNDS)
+    t_iter = time.time() - t0
+
+    print(f"\n{'scheme':28s} {'time':>8} {'terminal evals':>15} {'best WL':>9}")
+    print(f"{'paper (A2C + one MCTS)':28s} {t_paper:7.1f}s {evals_paper:>15d} "
+          f"{wl_paper:>9.0f}")
+    print(f"{'iterative (AlphaZero-style)':28s} {t_iter:7.1f}s "
+          f"{sum(history.terminal_evaluations):>15d} "
+          f"{history.best_wirelength():>9.0f}")
+    print(f"\niterative per-round wirelengths: "
+          f"{[round(w) for w in history.wirelengths]}")
+    print("expected: the paper scheme reaches comparable quality; the "
+          "iterative loop's cost per improvement is dominated by MCTS "
+          "terminal evaluations — the paper's Sec. I-B scalability argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Render a placement as SVG and ASCII, before and after the flow.
+
+    python examples/visualize_placement.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import MCTSGuidedPlacer, PlacerConfig
+from repro.eval.visualize import placement_ascii, save_placement_svg
+from repro.grid.plan import GridPlan
+from repro.legalize.cells import legalize_cells
+from repro.netlist.suites import make_iccad04_circuit
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    entry = make_iccad04_circuit("ibm01", scale=0.01, macro_scale=0.08)
+    design = entry.design
+    plan = GridPlan(design.region, zeta=8)
+
+    save_placement_svg(design, f"{out_dir}/ibm01_initial.svg", plan=plan)
+    print("initial placement:")
+    print(placement_ascii(design))
+
+    result = MCTSGuidedPlacer(PlacerConfig.fast(seed=0)).place(design)
+    legalize_cells(design)
+    save_placement_svg(design, f"{out_dir}/ibm01_placed.svg", plan=plan)
+    print(f"\nafter the flow (HPWL {result.hpwl:.1f}, cells legalized):")
+    print(placement_ascii(design))
+    print(f"\nwrote {out_dir}/ibm01_initial.svg and {out_dir}/ibm01_placed.svg")
+
+
+if __name__ == "__main__":
+    main()

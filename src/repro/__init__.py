@@ -1,0 +1,33 @@
+"""repro — MCTS-guided macro placement with a pre-trained RL agent.
+
+Reproduction of "Effective Macro Placement for Very Large Scale Designs
+Using MCTS Guided by Pre-trained RL" (Lin, Lee, Lin — DATE 2025).
+
+Quickstart::
+
+    from repro import MCTSGuidedPlacer, PlacerConfig
+    from repro.netlist.suites import make_iccad04_circuit
+
+    entry = make_iccad04_circuit("ibm01")
+    result = MCTSGuidedPlacer(PlacerConfig.fast()).place(entry.design)
+    print(result.hpwl)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import FlowResult, MCTSGuidedPlacer, PlacerConfig
+from repro.netlist import Design, Netlist, PlacementRegion, hpwl
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Design",
+    "FlowResult",
+    "MCTSGuidedPlacer",
+    "Netlist",
+    "PlacementRegion",
+    "PlacerConfig",
+    "hpwl",
+    "__version__",
+]

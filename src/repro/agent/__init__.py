@@ -1,0 +1,24 @@
+"""The RL agent: state encoding, policy/value network, reward, A2C trainer."""
+
+from repro.agent.state import StateBuilder, group_utilization
+from repro.agent.network import NetworkConfig, PolicyValueNet
+from repro.agent.reward import (
+    NegativeWirelength,
+    NormalizedReward,
+    RewardFunction,
+    calibrate_reward,
+)
+from repro.agent.actorcritic import ActorCriticTrainer, TrainingHistory
+
+__all__ = [
+    "ActorCriticTrainer",
+    "NegativeWirelength",
+    "NetworkConfig",
+    "NormalizedReward",
+    "PolicyValueNet",
+    "RewardFunction",
+    "StateBuilder",
+    "TrainingHistory",
+    "calibrate_reward",
+    "group_utilization",
+]

@@ -1,0 +1,167 @@
+"""State representation s_t = ⟨s_p, s_a, t⟩ (Sec. III-B).
+
+- **s_p** — per-grid utilization of the macro groups allocated so far, with
+  every group aligned to the lower-left corner of its anchor grid and the
+  value capped at 1.
+- **s_m** — the next group's own footprint matrix over the grids it spans.
+- **s_a** — availability of each anchor grid for the next group, Eq. 4:
+  the geometric mean of ``(1 − s_m(g_i)) · (1 − s_p(g_i))`` over the *n*
+  grids the group would cover when anchored at *g* (0 where the span would
+  leave the die).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coarsen.coarse import CoarseNetlist
+from repro.grid.plan import GridPlan
+
+
+def group_utilization(
+    plan: GridPlan, width: float, height: float
+) -> np.ndarray:
+    """The s_m matrix: per-grid utilization of a w×h rectangle.
+
+    The rectangle is aligned to the lower-left corner of its span; entry
+    ``[dr, dc]`` is the fraction of grid (dr, dc) it covers, capped at 1.
+    """
+    rows, cols = plan.span(width, height)
+    gw, gh = plan.cell_width, plan.cell_height
+    util = np.zeros((rows, cols))
+    for dr in range(rows):
+        for dc in range(cols):
+            w = min(width, (dc + 1) * gw) - dc * gw
+            h = min(height, (dr + 1) * gh) - dr * gh
+            if w > 0 and h > 0:
+                util[dr, dc] = min((w * h) / plan.cell_area, 1.0)
+    return util
+
+
+@dataclass(frozen=True)
+class EnvState:
+    """One observation handed to the agent.
+
+    ``s_p`` and ``s_a`` are ζ×ζ float arrays; ``t`` is the index of the
+    macro group about to be placed; ``total_steps`` the episode length
+    (used to normalize the position embedding).  ``mask`` flags anchors
+    with strictly positive availability — the policy is restricted to it
+    unless it is empty, in which case ``fallback_mask`` (anchors whose span
+    fits the die) applies.
+    """
+
+    s_p: np.ndarray
+    s_a: np.ndarray
+    t: int
+    total_steps: int
+    mask: np.ndarray
+    fallback_mask: np.ndarray
+
+    @property
+    def action_mask(self) -> np.ndarray:
+        """Flat ζ²-length mask the policy should sample under."""
+        m = self.mask.ravel()
+        if m.any():
+            return m.astype(float)
+        return self.fallback_mask.ravel().astype(float)
+
+
+class StateBuilder:
+    """Incrementally maintains s_p and derives s_a for each step.
+
+    One builder serves one episode: :meth:`reset`, then alternately
+    :meth:`observe` (state for the next group) and :meth:`apply` (commit an
+    anchor choice).  The coarse netlist supplies group shapes; preplaced
+    macros are rasterized into the initial occupancy so the agent sees them
+    as blocked area.
+    """
+
+    def __init__(self, coarse: CoarseNetlist) -> None:
+        self.coarse = coarse
+        self.plan = coarse.plan
+        self._shapes = [g.shape() for g in coarse.macro_groups]
+        self._footprints = [
+            group_utilization(self.plan, w, h) for (w, h) in self._shapes
+        ]
+        blockers = list(coarse.design.netlist.preplaced_macros)
+        self._base_occupancy = (
+            self.plan.occupancy(blockers) if blockers else np.zeros((self.plan.zeta,) * 2)
+        )
+        self.occupancy = self._base_occupancy.copy()
+        self.t = 0
+
+    @property
+    def n_steps(self) -> int:
+        return len(self._footprints)
+
+    def reset(self) -> None:
+        self.occupancy = self._base_occupancy.copy()
+        self.t = 0
+
+    def footprint(self, index: int) -> np.ndarray:
+        """The s_m matrix of macro group *index*."""
+        return self._footprints[index]
+
+    # -- s_p / s_a -----------------------------------------------------------
+    def s_p(self) -> np.ndarray:
+        """Current placement condition (utilization capped at 1)."""
+        return np.minimum(self.occupancy, 1.0)
+
+    def availability(self, index: int) -> np.ndarray:
+        """s_a for macro group *index* over all ζ×ζ anchors (Eq. 4)."""
+        zeta = self.plan.zeta
+        s_p = self.s_p()
+        s_m = self._footprints[index]
+        rows, cols = s_m.shape
+        n = rows * cols
+        one_minus_m = np.clip(1.0 - s_m, 0.0, None)
+        s_a = np.zeros((zeta, zeta))
+        one_minus_p = np.clip(1.0 - s_p, 0.0, None)
+        for r in range(zeta - rows + 1):
+            for c in range(zeta - cols + 1):
+                window = one_minus_p[r : r + rows, c : c + cols]
+                prod = float(np.prod(window * one_minus_m))
+                if prod <= 0.0:
+                    continue
+                s_a[r, c] = prod ** (1.0 / n)
+        return s_a
+
+    def fallback_mask(self, index: int) -> np.ndarray:
+        """Anchors whose span stays inside the die, availability ignored."""
+        zeta = self.plan.zeta
+        rows, cols = self._footprints[index].shape
+        mask = np.zeros((zeta, zeta), dtype=bool)
+        mask[: zeta - rows + 1, : zeta - cols + 1] = True
+        return mask
+
+    def observe(self) -> EnvState:
+        """State for the group about to be placed (``self.t``)."""
+        if self.t >= self.n_steps:
+            raise IndexError("episode already complete")
+        s_a = self.availability(self.t)
+        return EnvState(
+            s_p=self.s_p(),
+            s_a=s_a,
+            t=self.t,
+            total_steps=self.n_steps,
+            mask=s_a > 0.0,
+            fallback_mask=self.fallback_mask(self.t),
+        )
+
+    def apply(self, action: int) -> None:
+        """Commit the current group to flat anchor *action* and advance t."""
+        if self.t >= self.n_steps:
+            raise IndexError("episode already complete")
+        zeta = self.plan.zeta
+        r, c = self.plan.row_col(action)
+        s_m = self._footprints[self.t]
+        rows, cols = s_m.shape
+        r = min(r, zeta - rows)
+        c = min(c, zeta - cols)
+        self.occupancy[r : r + rows, c : c + cols] += s_m
+        self.t += 1
+
+    def done(self) -> bool:
+        return self.t >= self.n_steps

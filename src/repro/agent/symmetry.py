@@ -1,0 +1,106 @@
+"""Dihedral symmetry augmentation for training data (AlphaZero-style).
+
+The grid-allocation MDP is (approximately) symmetric under reflections of
+the die, so each transition can be replayed mirrored — a standard
+sample-efficiency trick the paper does not use (exposed as the trainer's
+``augment_symmetry`` option).
+
+Only the shape-preserving operations are offered — horizontal flip,
+vertical flip, and the 180° rotation — because a 90° rotation transposes a
+rows×cols footprint and would change the s_m/s_a tensors themselves.
+Anchors are lower-left-corner indices, so mapping an action under a flip
+needs the group's span: a flip sends anchor column c to ζ − cols − c (and
+rows likewise), keeping the transformed footprint over exactly the mirrored
+cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: supported operations
+OPS = ("identity", "flip_h", "flip_v", "rot180")
+
+
+def transform_planes(planes: np.ndarray, op: str) -> np.ndarray:
+    """Apply *op* to a (C, ζ, ζ) plane stack (rows = y, cols = x)."""
+    if op == "identity":
+        return planes
+    if op == "flip_h":
+        return planes[:, :, ::-1].copy()
+    if op == "flip_v":
+        return planes[:, ::-1, :].copy()
+    if op == "rot180":
+        return planes[:, ::-1, ::-1].copy()
+    raise ValueError(f"unknown op {op!r}; expected one of {OPS}")
+
+
+def transform_anchor_array(
+    values: np.ndarray, span: tuple[int, int], op: str
+) -> np.ndarray:
+    """Transform a flat ζ²-length anchor-indexed array under *op*.
+
+    Entry (r, c) of the result is taken from the source anchor whose
+    rows×cols footprint mirrors onto the footprint anchored at (r, c).
+    Anchors whose mirrored source would fall outside the die read 0 (those
+    are exactly the anchors that were invalid in the source too).
+    """
+    zeta = int(np.sqrt(len(values)))
+    if zeta * zeta != len(values):
+        raise ValueError("values length must be a perfect square (ζ²)")
+    rows, cols = span
+    grid = values.reshape(zeta, zeta)
+    out = np.zeros_like(grid)
+    flip_v = op in ("flip_v", "rot180")
+    flip_h = op in ("flip_h", "rot180")
+    if op == "identity":
+        return values.copy()
+    if op not in OPS:
+        raise ValueError(f"unknown op {op!r}; expected one of {OPS}")
+    for r in range(zeta):
+        for c in range(zeta):
+            src_r = zeta - rows - r if flip_v else r
+            src_c = zeta - cols - c if flip_h else c
+            if 0 <= src_r < zeta and 0 <= src_c < zeta:
+                out[r, c] = grid[src_r, src_c]
+    return out.ravel()
+
+
+def transform_action(
+    action: int, span: tuple[int, int], op: str, zeta: int
+) -> int:
+    """Map a flat anchor *action* under *op* (same convention as above)."""
+    rows, cols = span
+    r, c = divmod(action, zeta)
+    if op in ("flip_v", "rot180"):
+        r = zeta - rows - r
+    if op in ("flip_h", "rot180"):
+        c = zeta - cols - c
+    r = min(max(r, 0), zeta - 1)
+    c = min(max(c, 0), zeta - 1)
+    return r * zeta + c
+
+
+def augment_transition(
+    planes: np.ndarray,
+    mask: np.ndarray,
+    action: int,
+    span: tuple[int, int],
+    op: str,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """One transformed (planes, mask, action) triple.
+
+    The plane stack is ⟨s_p, s_a, t⟩: s_p is a per-grid *image* and flips
+    as one; s_a is *anchor-indexed* (its value at (r, c) describes the
+    whole footprint anchored there) and must move with the anchor mapping,
+    exactly like the mask and the action.
+    """
+    zeta = planes.shape[-1]
+    s_p = transform_planes(planes[0:1], op)[0]
+    s_a = transform_anchor_array(planes[1].ravel(), span, op).reshape(zeta, zeta)
+    t_plane = planes[2]
+    return (
+        np.stack([s_p, s_a, t_plane]),
+        transform_anchor_array(mask, span, op),
+        transform_action(action, span, op, zeta),
+    )

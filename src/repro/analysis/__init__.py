@@ -1,0 +1,24 @@
+"""Experiment analysis: smoothing, bootstrap intervals, convergence tests.
+
+The paper reports single-run curves and normalized means; this package
+provides the statistics the benchmark harness and examples use to make
+the miniature-scale reproductions honest — confidence intervals on the
+normalized ratios, convergence detection on reward curves, and rank
+correlation for the Table IV runtime claim.
+"""
+
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    converged_at,
+    moving_average,
+    normalized_ratios,
+    rank_correlation,
+)
+
+__all__ = [
+    "bootstrap_mean_ci",
+    "converged_at",
+    "moving_average",
+    "normalized_ratios",
+    "rank_correlation",
+]

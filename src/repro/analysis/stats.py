@@ -1,0 +1,115 @@
+"""Statistics helpers for experiment curves and comparison tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sstats
+
+from repro.utils.rng import ensure_rng
+
+
+def moving_average(values: list[float] | np.ndarray, window: int) -> np.ndarray:
+    """Centered-start moving average (first ``window-1`` entries use the
+    partial prefix, so the output has the same length as the input)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        return values
+    cumsum = np.cumsum(values)
+    out = np.empty_like(values)
+    for i in range(len(values)):
+        lo = max(0, i - window + 1)
+        total = cumsum[i] - (cumsum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A mean estimate with a percentile bootstrap interval."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_mean_ci(
+    values: list[float] | np.ndarray,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: int | np.random.Generator | None = 0,
+) -> BootstrapCI:
+    """Percentile bootstrap CI of the mean of *values*."""
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    g = ensure_rng(rng)
+    idx = g.integers(0, len(values), size=(n_resamples, len(values)))
+    means = values[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        mean=float(values.mean()),
+        low=float(np.quantile(means, alpha)),
+        high=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def converged_at(
+    rewards: list[float] | np.ndarray,
+    window: int = 20,
+    tolerance: float = 0.05,
+) -> int | None:
+    """First episode index after which the smoothed reward stays within
+    ``tolerance`` (relative) of its final smoothed value.
+
+    Returns ``None`` when the curve never settles — the Fig. 4 "does not
+    converge" verdict, made precise.
+    """
+    rewards = np.asarray(rewards, dtype=float)
+    if len(rewards) < 2 * window:
+        return None
+    smooth = moving_average(rewards, window)
+    final = smooth[-1]
+    band = max(abs(final) * tolerance, 1e-12)
+    inside = np.abs(smooth - final) <= band
+    # Last index where we were OUTSIDE the band; convergence right after.
+    outside = np.flatnonzero(~inside)
+    if len(outside) == 0:
+        return 0
+    start = int(outside[-1]) + 1
+    return start if start < len(rewards) else None
+
+
+def normalized_ratios(
+    values: dict[str, dict[str, float]], reference: str
+) -> dict[str, list[float]]:
+    """Per-circuit ratio lists against *reference* (the Nor. row's samples).
+
+    ``values`` maps circuit -> method -> metric.  Circuits missing either
+    the method or the reference are skipped for that method.
+    """
+    out: dict[str, list[float]] = {}
+    for _circuit, methods in values.items():
+        ref = methods.get(reference)
+        if ref is None or ref <= 0:
+            continue
+        for method, v in methods.items():
+            out.setdefault(method, []).append(v / ref)
+    return out
+
+
+def rank_correlation(x: list[float], y: list[float]) -> float:
+    """Spearman rank correlation (the Table IV macros-vs-runtime claim)."""
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same length")
+    if len(x) < 2:
+        raise ValueError("need at least two points")
+    return float(sstats.spearmanr(x, y).statistic)

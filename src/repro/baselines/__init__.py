@@ -1,0 +1,49 @@
+"""Comparator placers (the other columns of Tables II and III).
+
+Every baseline implements ``place(design) -> BaselineResult``, mutating the
+design's node positions and reporting the final measured HPWL via the same
+cell-placement pipeline the main flow uses — so comparisons differ only in
+*macro placement policy*, exactly as in the paper's tables.
+
+| Module            | Stands in for | Mechanism |
+|-------------------|---------------|-----------|
+| ``se_placer``     | SE-based Macro Placer [26] | simulated evolution (ripup badly-placed macros, reallocate), hierarchy-aware goodness |
+| ``sa_placer``     | classic annealing placers [6–9, 20, 36] | SA over macro positions |
+| ``ct_placer``     | CT [27] | per-macro RL, no grouping, intuitive −W reward, no MCTS |
+| ``maskplace``     | MaskPlace [19] | wiremask incremental-HPWL estimate; greedy and multi-rollout modes |
+| ``replace_like``  | RePlAce [10] | analytical GP + SA macro refinement |
+| ``random_placer`` | floor reference | uniformly random legal assignment |
+"""
+
+from repro.baselines.common import BaselineResult, MacroEvalModel, finalize_design
+from repro.baselines.random_placer import RandomPlacer
+from repro.baselines.sa_placer import SAPlacer
+from repro.baselines.se_placer import SEPlacer
+from repro.baselines.maskplace import WiremaskPlacer
+from repro.baselines.ct_placer import CTStylePlacer
+from repro.baselines.replace_like import RePlAceLikePlacer
+
+
+def __getattr__(name: str):
+    # Imported lazily: repro.floorplan.annealer itself depends on
+    # repro.baselines.common, so an eager import here would be circular
+    # when repro.floorplan is imported first.
+    if name == "BTreeFloorplanPlacer":
+        from repro.floorplan.annealer import BTreeFloorplanPlacer
+
+        return BTreeFloorplanPlacer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "BTreeFloorplanPlacer",
+    "BaselineResult",
+    "CTStylePlacer",
+    "MacroEvalModel",
+    "RandomPlacer",
+    "RePlAceLikePlacer",
+    "SAPlacer",
+    "SEPlacer",
+    "WiremaskPlacer",
+    "finalize_design",
+]

@@ -1,0 +1,125 @@
+"""Shared machinery for the baseline placers.
+
+:class:`MacroEvalModel` is the fast inner-loop objective every search-based
+baseline (SE, SA, wiremask) optimizes: original nets evaluated with cells
+*frozen at their prototype positions*, so only macro moves change the
+score.  This mirrors how those placers operate in practice — macro
+placement happens before detailed cell placement, against a cell
+prototype.
+
+:func:`finalize_design` is the common exit: greedy-legalize macros, run the
+real cell placement, measure HPWL.  All baselines and the main flow report
+through the same pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gp.mixed_size import (
+    MixedSizePlacer,
+    legalize_macros_greedy,
+    place_cells_with_fixed_macros,
+)
+from repro.netlist.hpwl import FlatNetlist
+from repro.netlist.model import Design, NodeKind
+
+
+@dataclass
+class BaselineResult:
+    """What every baseline reports."""
+
+    name: str
+    hpwl: float
+    runtime: float
+    iterations: int = 0
+
+
+class MacroEvalModel:
+    """Macro-move HPWL objective over the frozen cell prototype.
+
+    Construction captures current node positions; :meth:`hpwl` evaluates a
+    candidate macro-center matrix without touching the design.  Indices are
+    over ``design.netlist.movable_macros`` order.
+    """
+
+    def __init__(self, design: Design) -> None:
+        self.design = design
+        self.flat = FlatNetlist(design.netlist)
+        self.macro_idx = np.array(
+            [
+                i
+                for i, n in enumerate(design.netlist)
+                if n.kind is NodeKind.MACRO and not n.fixed
+            ],
+            dtype=np.int64,
+        )
+        self.widths = self.flat.width[self.macro_idx]
+        self.heights = self.flat.height[self.macro_idx]
+
+    @property
+    def n_macros(self) -> int:
+        return len(self.macro_idx)
+
+    def current_centers(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.flat.cx[self.macro_idx].copy(), self.flat.cy[self.macro_idx].copy()
+
+    def hpwl(self, cx: np.ndarray, cy: np.ndarray) -> float:
+        """Total HPWL with movable macro centers at (cx, cy)."""
+        self.flat.cx[self.macro_idx] = cx
+        self.flat.cy[self.macro_idx] = cy
+        return self.flat.total_hpwl()
+
+    def overlap_penalty(self, cx: np.ndarray, cy: np.ndarray) -> float:
+        """Pairwise overlap area between macros (incl. preplaced) — the soft
+        constraint search-based baselines add to the objective."""
+        xs = list(cx - self.widths / 2.0)
+        ys = list(cy - self.heights / 2.0)
+        ws = list(self.widths)
+        hs = list(self.heights)
+        for m in self.design.netlist.preplaced_macros:
+            xs.append(m.x)
+            ys.append(m.y)
+            ws.append(m.width)
+            hs.append(m.height)
+        total = 0.0
+        n = len(xs)
+        for i in range(n):
+            for j in range(i + 1, n):
+                w = min(xs[i] + ws[i], xs[j] + ws[j]) - max(xs[i], xs[j])
+                h = min(ys[i] + hs[i], ys[j] + hs[j]) - max(ys[i], ys[j])
+                if w > 0 and h > 0:
+                    total += w * h
+        return total
+
+    def write_centers(self, cx: np.ndarray, cy: np.ndarray) -> None:
+        """Push macro centers into the design's object model."""
+        for k, idx in enumerate(self.macro_idx):
+            node = self.design.netlist[self.flat.names[idx]]
+            node.move_center_to(float(cx[k]), float(cy[k]))
+
+
+def prototype_place(design: Design, iterations: int = 3) -> None:
+    """Analytical prototype placement (cells + macros) shared by baselines."""
+    MixedSizePlacer(n_iterations=iterations).place(design)
+
+
+def finalize_design(design: Design, cell_place_iters: int = 3) -> float:
+    """Legalize macros, place cells, return measured HPWL."""
+    legalize_macros_greedy(design)
+    return place_cells_with_fixed_macros(design, n_iterations=cell_place_iters)
+
+
+class timer:
+    """Tiny context manager exposing elapsed seconds as ``.seconds``."""
+
+    def __enter__(self) -> "timer":
+        self._t0 = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._t0

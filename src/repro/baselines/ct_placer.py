@@ -1,0 +1,122 @@
+"""CT-style placer — the CT [27] (circuit-training) column.
+
+Captures the two structural differences the paper highlights between CT
+and its own approach:
+
+1. the agent places **individual macros**, not macro groups — episodes are
+   long and the search space large (Sec. I-B's complexity argument);
+2. it relies **solely on RL** — the result is the trained policy's greedy
+   episode, no MCTS post-optimization;
+3. the reward is the **intuitive −W** (scaled by the mean random
+   wirelength so gradients stay numerically sane) — the variant the
+   paper's Fig. 4 shows converging poorly.
+
+Everything else (grid, state encoding, legalize-and-measure terminal)
+reuses the shared substrate so the comparison isolates exactly those
+policy-level differences, as the paper's Table III discussion does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agent.actorcritic import ActorCriticTrainer
+from repro.agent.network import NetworkConfig, PolicyValueNet
+from repro.agent.reward import NegativeWirelength
+from repro.baselines.common import BaselineResult, prototype_place, timer
+from repro.coarsen.cluster import cluster_cells, singleton_groups
+from repro.coarsen.coarse import CoarseNetlist, _project_nets
+from repro.coarsen.groups import GroupKind
+from repro.coarsen.scores import PhiParams
+from repro.env.placement_env import MacroGroupPlacementEnv
+from repro.grid.plan import GridPlan
+from repro.netlist.model import Design
+
+
+def singleton_macro_coarsening(
+    design: Design, plan: GridPlan, phi: PhiParams = PhiParams()
+) -> CoarseNetlist:
+    """A coarse netlist whose "macro groups" are individual macros.
+
+    Cells are still clustered (CT clusters standard cells too); only the
+    macro side skips grouping, which is the property under comparison.
+    """
+    nl = design.netlist
+    macro_groups = singleton_groups(nl.movable_macros, GroupKind.MACRO)
+    macro_groups.sort(key=lambda g: -g.area)
+    cell_groups = cluster_cells(nl, plan.cell_area, phi)
+    fixed_groups = singleton_groups(
+        list(nl.preplaced_macros) + list(nl.pads), GroupKind.FIXED
+    )
+    coarse = CoarseNetlist(
+        design=design,
+        plan=plan,
+        macro_groups=macro_groups,
+        cell_groups=cell_groups,
+        fixed_groups=fixed_groups,
+    )
+    index_of_node: dict[str, int] = {}
+    for i, g in enumerate(coarse.all_groups):
+        for name in g.members:
+            index_of_node[name] = i
+    coarse.coarse_nets = _project_nets(nl.nets, index_of_node)
+    return coarse
+
+
+class CTStylePlacer:
+    """Per-macro RL placement with the intuitive −W reward, no MCTS."""
+
+    def __init__(
+        self,
+        zeta: int = 8,
+        network: NetworkConfig | None = None,
+        episodes: int = 120,
+        update_every: int = 30,
+        learning_rate: float = 1e-3,
+        cell_place_iters: int = 3,
+        skip_prototype: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.zeta = zeta
+        self.network_config = network or NetworkConfig(zeta=zeta)
+        self.episodes = episodes
+        self.update_every = update_every
+        self.learning_rate = learning_rate
+        self.cell_place_iters = cell_place_iters
+        self.skip_prototype = skip_prototype
+        self.seed = seed
+
+    def place(self, design: Design) -> BaselineResult:
+        with timer() as t:
+            if not self.skip_prototype:
+                prototype_place(design)
+            plan = GridPlan(design.region, zeta=self.zeta)
+            coarse = singleton_macro_coarsening(design, plan)
+            env = MacroGroupPlacementEnv(
+                coarse, cell_place_iters=self.cell_place_iters
+            )
+            # Scale −W so one unit of reward ≈ the random-play wirelength;
+            # without this the raw magnitudes blow up the value head.
+            probe = [
+                env.play_random_episode(self.seed + i).wirelength for i in range(3)
+            ]
+            reward_fn = NegativeWirelength(scale=1.0 / max(np.mean(probe), 1e-9))
+            network = PolicyValueNet(self.network_config)
+            trainer = ActorCriticTrainer(
+                env,
+                network,
+                reward_fn,
+                lr=self.learning_rate,
+                update_every=self.update_every,
+                rng=self.seed,
+            )
+            trainer.train(self.episodes)
+
+            def policy(state):
+                probs, _ = network.evaluate(
+                    state.s_p, state.s_a, state.t, state.total_steps
+                )
+                return probs
+
+            record = env.play_greedy_episode(policy)
+        return BaselineResult("ct", record.wirelength, t.seconds, self.episodes)

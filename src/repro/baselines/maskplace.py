@@ -1,0 +1,206 @@
+"""Wiremask placer — the MaskPlace [19] column.
+
+MaskPlace's core contribution is the *wiremask*: before placing each macro,
+compute for every candidate grid position the exact increase in HPWL that
+position would cause, given the bounding boxes of all already-placed pins.
+Macros are placed sequentially (largest first) on that estimate, with a
+position mask vetoing overlaps.
+
+Two modes reproduce its behaviour envelope:
+
+- ``rollouts=1`` — pure greedy wiremask descent;
+- ``rollouts>1`` — stochastic rollouts sampling among the best candidates
+  (softmax over −Δ at temperature τ), keeping the best rollout by the
+  macro-level evaluation model.  This stands in for MaskPlace's RL policy,
+  whose learned behaviour is precisely "sample low-wiremask positions and
+  keep what pans out" (see DESIGN.md §2 for the substitution argument).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import (
+    BaselineResult,
+    MacroEvalModel,
+    finalize_design,
+    prototype_place,
+    timer,
+)
+from repro.netlist.model import Design
+from repro.utils.rng import ensure_rng
+
+
+class WiremaskPlacer:
+    """Sequential wiremask-guided macro placement."""
+
+    def __init__(
+        self,
+        bins: int = 16,
+        rollouts: int = 8,
+        temperature: float = 0.02,
+        cell_place_iters: int = 3,
+        skip_prototype: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.bins = bins
+        self.rollouts = rollouts
+        self.temperature = temperature
+        self.cell_place_iters = cell_place_iters
+        self.skip_prototype = skip_prototype
+        self.seed = seed
+
+    # -- wiremask ------------------------------------------------------------
+    def _net_tables(self, model: MacroEvalModel) -> tuple[list[list[int]], dict]:
+        """Per-macro net lists and per-net initial bbox over fixed pins."""
+        flat = model.flat
+        macro_of_node = {int(i): k for k, i in enumerate(model.macro_idx)}
+        nets_of_macro: list[list[int]] = [[] for _ in range(model.n_macros)]
+        bbox: dict[int, list[float]] = {}
+        for net_idx in range(flat.n_nets):
+            lo, hi = int(flat.net_ptr[net_idx]), int(flat.net_ptr[net_idx + 1])
+            nodes = flat.pin_node[lo:hi]
+            box = None
+            touched: set[int] = set()
+            for p in range(lo, hi):
+                v = int(flat.pin_node[p])
+                if v in macro_of_node:
+                    touched.add(macro_of_node[v])
+                    continue
+                px = float(flat.cx[v] + flat.pin_dx[p])
+                py = float(flat.cy[v] + flat.pin_dy[p])
+                if box is None:
+                    box = [px, py, px, py]
+                else:
+                    box[0] = min(box[0], px)
+                    box[1] = min(box[1], py)
+                    box[2] = max(box[2], px)
+                    box[3] = max(box[3], py)
+            del nodes
+            if touched and box is not None:
+                bbox[net_idx] = box
+                for k in touched:
+                    nets_of_macro[k].append(net_idx)
+            elif touched:
+                # Net among unplaced macros only: bbox forms as they place.
+                bbox[net_idx] = []  # sentinel: empty until first placement
+                for k in touched:
+                    nets_of_macro[k].append(net_idx)
+        return nets_of_macro, bbox
+
+    @staticmethod
+    def _delta(box: list[float], px: float, py: float) -> float:
+        """HPWL increase of extending *box* to include pin (px, py)."""
+        if not box:
+            return 0.0
+        dx = max(0.0, box[0] - px) + max(0.0, px - box[2])
+        dy = max(0.0, box[1] - py) + max(0.0, py - box[3])
+        return dx + dy
+
+    @staticmethod
+    def _extend(box: list[float], px: float, py: float) -> None:
+        if not box:
+            box.extend([px, py, px, py])
+            return
+        box[0] = min(box[0], px)
+        box[1] = min(box[1], py)
+        box[2] = max(box[2], px)
+        box[3] = max(box[3], py)
+
+    # -- one rollout ------------------------------------------------------------
+    def _rollout(
+        self,
+        model: MacroEvalModel,
+        order: list[int],
+        greedy: bool,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        region = model.design.region
+        nets_of_macro, init_bbox = self._net_tables(model)
+        bbox = {k: list(v) for k, v in init_bbox.items()}
+        nb = self.bins
+        gx = np.linspace(region.x, region.x_max, nb + 2)[1:-1]
+        gy = np.linspace(region.y, region.y_max, nb + 2)[1:-1]
+        cx, cy = model.current_centers()
+        placed_rects: list[tuple[float, float, float, float]] = [
+            (m.x, m.y, m.width, m.height)
+            for m in model.design.netlist.preplaced_macros
+        ]
+        for k in order:
+            half_w, half_h = model.widths[k] / 2.0, model.heights[k] / 2.0
+            deltas = np.full((nb, nb), np.inf)
+            for ix, px in enumerate(gx):
+                qx = min(max(px, region.x + half_w), region.x_max - half_w)
+                for iy, py in enumerate(gy):
+                    qy = min(max(py, region.y + half_h), region.y_max - half_h)
+                    x0, y0 = qx - half_w, qy - half_h
+                    collide = False
+                    for rx, ry, rw, rh in placed_rects:
+                        if (
+                            x0 < rx + rw
+                            and rx < x0 + 2 * half_w
+                            and y0 < ry + rh
+                            and ry < y0 + 2 * half_h
+                        ):
+                            collide = True
+                            break
+                    if collide:
+                        continue
+                    d = 0.0
+                    for net_idx in nets_of_macro[k]:
+                        d += self._delta(bbox[net_idx], qx, qy)
+                    deltas[ix, iy] = d
+            flat_d = deltas.ravel()
+            finite = np.isfinite(flat_d)
+            if not finite.any():
+                # Nowhere conflict-free: keep the prototype position.
+                choice_x, choice_y = cx[k], cy[k]
+            else:
+                if greedy:
+                    best = int(np.flatnonzero(finite)[np.argmin(flat_d[finite])])
+                else:
+                    d = flat_d[finite]
+                    z = -(d - d.min()) / max(
+                        self.temperature * (d.max() - d.min() + 1e-12), 1e-12
+                    )
+                    p = np.exp(z)
+                    p /= p.sum()
+                    best = int(rng.choice(np.flatnonzero(finite), p=p))
+                ix, iy = divmod(best, nb)
+                choice_x = min(max(gx[ix], region.x + half_w), region.x_max - half_w)
+                choice_y = min(max(gy[iy], region.y + half_h), region.y_max - half_h)
+            cx[k], cy[k] = choice_x, choice_y
+            placed_rects.append(
+                (choice_x - half_w, choice_y - half_h, 2 * half_w, 2 * half_h)
+            )
+            for net_idx in nets_of_macro[k]:
+                self._extend(bbox[net_idx], choice_x, choice_y)
+        return cx, cy
+
+    # -- entry point ------------------------------------------------------------
+    def place(self, design: Design) -> BaselineResult:
+        rng = ensure_rng(self.seed)
+        with timer() as t:
+            if not self.skip_prototype:
+                prototype_place(design)
+            model = MacroEvalModel(design)
+            if model.n_macros == 0:
+                return BaselineResult(
+                    "maskplace",
+                    finalize_design(design, self.cell_place_iters),
+                    t.seconds,
+                    0,
+                )
+            order = sorted(
+                range(model.n_macros),
+                key=lambda k: -(model.widths[k] * model.heights[k]),
+            )
+            best = None
+            for r in range(max(self.rollouts, 1)):
+                cx, cy = self._rollout(model, order, greedy=(r == 0), rng=rng)
+                wl = model.hpwl(cx, cy)
+                if best is None or wl < best[0]:
+                    best = (wl, cx.copy(), cy.copy())
+            model.write_centers(best[1], best[2])
+            hpwl = finalize_design(design, self.cell_place_iters)
+        return BaselineResult("maskplace", hpwl, t.seconds, self.rollouts)

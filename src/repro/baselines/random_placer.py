@@ -1,0 +1,44 @@
+"""Random macro placement — the floor every serious placer must beat."""
+
+from __future__ import annotations
+
+from repro.baselines.common import (
+    BaselineResult,
+    MacroEvalModel,
+    finalize_design,
+    prototype_place,
+    timer,
+)
+from repro.netlist.model import Design
+from repro.utils.rng import ensure_rng
+
+
+class RandomPlacer:
+    """Uniformly random macro centers inside the region, then the common
+    legalize + cell-place exit (which repairs any overlap)."""
+
+    def __init__(
+        self,
+        cell_place_iters: int = 3,
+        skip_prototype: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.cell_place_iters = cell_place_iters
+        self.skip_prototype = skip_prototype
+        self.seed = seed
+
+    def place(self, design: Design) -> BaselineResult:
+        rng = ensure_rng(self.seed)
+        with timer() as t:
+            if not self.skip_prototype:
+                prototype_place(design)  # cells still need a prototype
+            model = MacroEvalModel(design)
+            region = design.region
+            if model.n_macros:
+                half_w = model.widths / 2.0
+                half_h = model.heights / 2.0
+                cx = rng.uniform(region.x + half_w, region.x_max - half_w)
+                cy = rng.uniform(region.y + half_h, region.y_max - half_h)
+                model.write_centers(cx, cy)
+            hpwl = finalize_design(design, self.cell_place_iters)
+        return BaselineResult("random", hpwl, t.seconds, 1)

@@ -1,0 +1,59 @@
+"""RePlAce-like analytical placer — the RePlAce [10] column.
+
+RePlAce is a density-driven analytical global placer that, per the paper's
+related-work discussion, "employs the SA algorithm to refine macro
+positions".  The stand-in composes the same two phases from this repo's
+substrates:
+
+1. a strong analytical mixed-size global placement (more spreading rounds
+   and finer bins than the DREAMPlace stand-in's defaults), then
+2. a short low-temperature SA refinement of macro positions, then
+3. the common legalize + cell-place exit.
+
+It is hierarchy-blind by construction — the property Table II's discussion
+attributes RePlAce/DREAMPlace's losses to.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import BaselineResult, timer
+from repro.baselines.sa_placer import SAPlacer
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.netlist.model import Design
+
+
+class RePlAceLikePlacer:
+    """Analytical GP + SA macro refinement."""
+
+    def __init__(
+        self,
+        gp_iterations: int = 8,
+        refine_moves: int = 800,
+        cell_place_iters: int = 3,
+        electrostatic: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.gp_iterations = gp_iterations
+        self.refine_moves = refine_moves
+        self.cell_place_iters = cell_place_iters
+        self.electrostatic = electrostatic
+        self.seed = seed
+
+    def place(self, design: Design) -> BaselineResult:
+        with timer() as t:
+            MixedSizePlacer(
+                n_iterations=self.gp_iterations,
+                spreader="electrostatic" if self.electrostatic else "shift",
+            ).place(design)
+            refiner = SAPlacer(
+                n_moves=self.refine_moves,
+                t0_frac=0.01,  # low temperature: refinement, not search
+                swap_prob=0.15,
+                cell_place_iters=self.cell_place_iters,
+                skip_prototype=True,
+                seed=self.seed,
+            )
+            result = refiner.place(design)
+        return BaselineResult(
+            "replace", result.hpwl, t.seconds, self.refine_moves
+        )

@@ -1,0 +1,180 @@
+"""Simulated-annealing macro placer (the paper's first related-work
+category [6–9, 20, 36], and the refinement engine RePlAce-like reuses).
+
+Anneals movable macro centers against the :class:`MacroEvalModel`
+objective ``HPWL + λ·overlap``.  Moves: random displacement (radius cools
+with temperature), pairwise swap, or — with ``allow_rotation`` — a 90°
+rotation (width/height exchange; an extension beyond the paper, which
+keeps macro orientations fixed).  Geometric cooling; best-so-far tracking;
+greedy legalization + real cell placement at the end.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.common import (
+    BaselineResult,
+    MacroEvalModel,
+    finalize_design,
+    prototype_place,
+    timer,
+)
+from repro.netlist.model import Design
+from repro.utils.rng import ensure_rng
+
+
+class SAPlacer:
+    """Classic simulated annealing over macro positions.
+
+    Args:
+        n_moves: total proposed moves.
+        overlap_weight: λ — overlap area penalty relative to HPWL units.
+        t0_frac / t_final_frac: initial/final temperature as a fraction of
+            the initial cost (standard self-scaling schedule).
+        swap_prob: probability a proposal is a swap instead of a displace.
+        skip_prototype: reuse the design's current placement instead of
+            running the analytical prototype first.
+    """
+
+    def __init__(
+        self,
+        n_moves: int = 2000,
+        overlap_weight: float = 4.0,
+        t0_frac: float = 0.05,
+        t_final_frac: float = 1e-4,
+        swap_prob: float = 0.25,
+        rotate_prob: float = 0.15,
+        allow_rotation: bool = False,
+        cell_place_iters: int = 3,
+        skip_prototype: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.n_moves = n_moves
+        self.overlap_weight = overlap_weight
+        self.t0_frac = t0_frac
+        self.t_final_frac = t_final_frac
+        self.swap_prob = swap_prob
+        self.rotate_prob = rotate_prob
+        self.allow_rotation = allow_rotation
+        self.cell_place_iters = cell_place_iters
+        self.skip_prototype = skip_prototype
+        self.seed = seed
+
+    def _cost(self, model: MacroEvalModel, cx: np.ndarray, cy: np.ndarray) -> float:
+        """HPWL inflated multiplicatively by the relative macro overlap.
+
+        Normalizing overlap by total macro area keeps the penalty
+        scale-free across designs.
+        """
+        wl = model.hpwl(cx, cy)
+        ov = model.overlap_penalty(cx, cy)
+        macro_area = float((model.widths * model.heights).sum()) or 1.0
+        return wl * (1.0 + self.overlap_weight * ov / macro_area)
+
+    def place(self, design: Design) -> BaselineResult:
+        rng = ensure_rng(self.seed)
+        with timer() as t:
+            if not self.skip_prototype:
+                prototype_place(design)
+            model = MacroEvalModel(design)
+            n = model.n_macros
+            if n == 0:
+                hpwl = finalize_design(design, self.cell_place_iters)
+                return BaselineResult("sa", hpwl, t.seconds, 0)
+
+            region = design.region
+            cx, cy = model.current_centers()
+            rotated = np.zeros(n, dtype=bool)
+            cost = self._cost(model, cx, cy)
+            best_cx, best_cy, best_cost = cx.copy(), cy.copy(), cost
+            best_rot = rotated.copy()
+
+            t0 = max(self.t0_frac * cost, 1e-9)
+            t_final = max(self.t_final_frac * cost, 1e-12)
+            alpha = (t_final / t0) ** (1.0 / max(self.n_moves, 1))
+            temp = t0
+            max_radius = 0.5 * min(region.width, region.height)
+
+            half_w = model.widths / 2.0
+            half_h = model.heights / 2.0
+            lo_x, hi_x = region.x + half_w, region.x_max - half_w
+            lo_y, hi_y = region.y + half_h, region.y_max - half_h
+
+            for _ in range(self.n_moves):
+                i = int(rng.integers(0, n))
+                old = (cx[i], cy[i])
+                swapped = None
+                rotated_move = False
+                if self.allow_rotation and rng.random() < self.rotate_prob:
+                    rotated_move = True
+                    model.widths[i], model.heights[i] = (
+                        model.heights[i],
+                        model.widths[i],
+                    )
+                    rotated[i] = ~rotated[i]
+                    # Rotation changes the clamping bounds for this macro.
+                    half_w[i], half_h[i] = half_h[i], half_w[i]
+                    lo_x[i], hi_x[i] = region.x + half_w[i], region.x_max - half_w[i]
+                    lo_y[i], hi_y[i] = region.y + half_h[i], region.y_max - half_h[i]
+                elif n >= 2 and rng.random() < self.swap_prob:
+                    j = int(rng.integers(0, n - 1))
+                    if j >= i:
+                        j += 1
+                    swapped = (j, cx[j], cy[j])
+                    cx[i], cx[j] = cx[j], cx[i]
+                    cy[i], cy[j] = cy[j], cy[i]
+                else:
+                    radius = max_radius * temp / t0 + 0.02 * max_radius
+                    cx[i] = cx[i] + rng.normal(0.0, radius)
+                    cy[i] = cy[i] + rng.normal(0.0, radius)
+                cx[i] = min(max(cx[i], lo_x[i]), max(lo_x[i], hi_x[i]))
+                cy[i] = min(max(cy[i], lo_y[i]), max(lo_y[i], hi_y[i]))
+                if swapped is not None:
+                    j = swapped[0]
+                    cx[j] = min(max(cx[j], lo_x[j]), max(lo_x[j], hi_x[j]))
+                    cy[j] = min(max(cy[j], lo_y[j]), max(lo_y[j], hi_y[j]))
+
+                new_cost = self._cost(model, cx, cy)
+                accept = new_cost <= cost or rng.random() < math.exp(
+                    -(new_cost - cost) / max(temp, 1e-12)
+                )
+                if accept:
+                    cost = new_cost
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_cx, best_cy = cx.copy(), cy.copy()
+                        best_rot = rotated.copy()
+                else:
+                    cx[i], cy[i] = old
+                    if swapped is not None:
+                        j, ox, oy = swapped
+                        cx[j], cy[j] = ox, oy
+                    if rotated_move:
+                        model.widths[i], model.heights[i] = (
+                            model.heights[i],
+                            model.widths[i],
+                        )
+                        rotated[i] = ~rotated[i]
+                        half_w[i], half_h[i] = half_h[i], half_w[i]
+                        lo_x[i], hi_x[i] = (
+                            region.x + half_w[i],
+                            region.x_max - half_w[i],
+                        )
+                        lo_y[i], hi_y[i] = (
+                            region.y + half_h[i],
+                            region.y_max - half_h[i],
+                        )
+                temp *= alpha
+
+            if self.allow_rotation:
+                # Commit the best rotation state to the design's macros.
+                for k in np.flatnonzero(best_rot):
+                    name = model.flat.names[int(model.macro_idx[k])]
+                    node = design.netlist[name]
+                    node.width, node.height = node.height, node.width
+            model.write_centers(best_cx, best_cy)
+            hpwl = finalize_design(design, self.cell_place_iters)
+        return BaselineResult("sa", hpwl, t.seconds, self.n_moves)

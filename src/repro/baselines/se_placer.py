@@ -1,0 +1,193 @@
+"""Simulated-evolution macro placer — the SE-based Macro Placer [26] column.
+
+Simulated evolution alternates three phases over generations:
+
+1. **Evaluation** — each macro gets a *goodness* in [0, 1]: how close it
+   sits to its connectivity-optimal spot.  We use the ratio between the
+   macro's best achievable star-wirelength (sitting at the median of its
+   connected pins) and its current star-wirelength, blended with a
+   hierarchy affinity term (distance to the centroid of same-hierarchy
+   macros) — [26] is dataflow/hierarchy aware, which is exactly why the
+   paper's Table II pits it against hierarchy-blind DREAMPlace.
+2. **Selection** — macros with goodness below a random threshold are
+   ripped up (probabilistic, so good macros occasionally move too).
+3. **Allocation** — ripped macros reinsert greedily, largest first, each
+   scanning a candidate lattice for the position minimizing the eval-model
+   HPWL with an overlap veto against the currently standing macros.
+
+Generations repeat; the best-seen configuration wins and goes through the
+common legalize + cell-place exit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import (
+    BaselineResult,
+    MacroEvalModel,
+    finalize_design,
+    prototype_place,
+    timer,
+)
+from repro.netlist.model import Design
+from repro.utils.rng import ensure_rng
+
+
+class SEPlacer:
+    """Simulated evolution over macro positions."""
+
+    def __init__(
+        self,
+        generations: int = 12,
+        lattice: int = 12,
+        hierarchy_weight: float = 0.3,
+        selection_bias: float = 0.15,
+        cell_place_iters: int = 3,
+        skip_prototype: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.generations = generations
+        self.lattice = lattice
+        self.hierarchy_weight = hierarchy_weight
+        self.selection_bias = selection_bias
+        self.cell_place_iters = cell_place_iters
+        self.skip_prototype = skip_prototype
+        self.seed = seed
+
+    # -- evaluation -------------------------------------------------------------
+    def _star_targets(self, model: MacroEvalModel) -> tuple[np.ndarray, np.ndarray]:
+        """Connectivity-optimal center per macro: median of connected pins."""
+        flat = model.flat
+        tx = np.empty(model.n_macros)
+        ty = np.empty(model.n_macros)
+        macro_set = {int(i): k for k, i in enumerate(model.macro_idx)}
+        neighbor_x: list[list[float]] = [[] for _ in range(model.n_macros)]
+        neighbor_y: list[list[float]] = [[] for _ in range(model.n_macros)]
+        for net_idx in range(flat.n_nets):
+            lo, hi = int(flat.net_ptr[net_idx]), int(flat.net_ptr[net_idx + 1])
+            nodes = flat.pin_node[lo:hi]
+            members = [macro_set[int(v)] for v in nodes if int(v) in macro_set]
+            if not members:
+                continue
+            others_x = [float(flat.cx[int(v)]) for v in nodes if int(v) not in macro_set]
+            others_y = [float(flat.cy[int(v)]) for v in nodes if int(v) not in macro_set]
+            for k in members:
+                neighbor_x[k].extend(others_x)
+                neighbor_y[k].extend(others_y)
+        cx, cy = model.current_centers()
+        for k in range(model.n_macros):
+            tx[k] = float(np.median(neighbor_x[k])) if neighbor_x[k] else cx[k]
+            ty[k] = float(np.median(neighbor_y[k])) if neighbor_y[k] else cy[k]
+        return tx, ty
+
+    def _hierarchy_centroids(
+        self, design: Design, model: MacroEvalModel, cx: np.ndarray, cy: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Centroid of each macro's same-hierarchy-parent peer set."""
+        macros = design.netlist.movable_macros
+        groups: dict[str, list[int]] = {}
+        for k, m in enumerate(macros):
+            groups.setdefault(m.hierarchy, []).append(k)
+        hx = cx.copy()
+        hy = cy.copy()
+        for members in groups.values():
+            if len(members) >= 2:
+                mx = float(np.mean(cx[members]))
+                my = float(np.mean(cy[members]))
+                for k in members:
+                    hx[k], hy[k] = mx, my
+        return hx, hy
+
+    def _goodness(
+        self,
+        design: Design,
+        model: MacroEvalModel,
+        cx: np.ndarray,
+        cy: np.ndarray,
+        tx: np.ndarray,
+        ty: np.ndarray,
+    ) -> np.ndarray:
+        diag = float(np.hypot(design.region.width, design.region.height))
+        d_conn = np.hypot(cx - tx, cy - ty) / diag
+        hx, hy = self._hierarchy_centroids(design, model, cx, cy)
+        d_hier = np.hypot(cx - hx, cy - hy) / diag
+        w = self.hierarchy_weight
+        return np.clip(1.0 - ((1 - w) * d_conn + w * d_hier) * 2.0, 0.0, 1.0)
+
+    # -- allocation --------------------------------------------------------------
+    def _reallocate(
+        self,
+        model: MacroEvalModel,
+        ripped: list[int],
+        cx: np.ndarray,
+        cy: np.ndarray,
+    ) -> None:
+        region = model.design.region
+        order = sorted(ripped, key=lambda k: -(model.widths[k] * model.heights[k]))
+        xs = np.linspace(0.08, 0.92, self.lattice)
+        standing = [k for k in range(model.n_macros) if k not in set(ripped)]
+        placed = list(standing)
+        for k in order:
+            best = None
+            half_w, half_h = model.widths[k] / 2.0, model.heights[k] / 2.0
+            for fx in xs:
+                for fy in xs:
+                    px = region.x + fx * region.width
+                    py = region.y + fy * region.height
+                    px = min(max(px, region.x + half_w), region.x_max - half_w)
+                    py = min(max(py, region.y + half_h), region.y_max - half_h)
+                    # Overlap veto against standing macros.
+                    collide = False
+                    for j in placed:
+                        if (
+                            abs(px - cx[j]) < half_w + model.widths[j] / 2.0
+                            and abs(py - cy[j]) < half_h + model.heights[j] / 2.0
+                        ):
+                            collide = True
+                            break
+                    if collide:
+                        continue
+                    old = (cx[k], cy[k])
+                    cx[k], cy[k] = px, py
+                    wl = model.hpwl(cx, cy)
+                    cx[k], cy[k] = old
+                    if best is None or wl < best[0]:
+                        best = (wl, px, py)
+            if best is not None:
+                cx[k], cy[k] = best[1], best[2]
+            placed.append(k)
+
+    # -- main loop -----------------------------------------------------------------
+    def place(self, design: Design) -> BaselineResult:
+        rng = ensure_rng(self.seed)
+        with timer() as t:
+            if not self.skip_prototype:
+                prototype_place(design)
+            model = MacroEvalModel(design)
+            if model.n_macros == 0:
+                return BaselineResult(
+                    "se", finalize_design(design, self.cell_place_iters), t.seconds, 0
+                )
+            cx, cy = model.current_centers()
+            tx, ty = self._star_targets(model)
+            best_cx, best_cy = cx.copy(), cy.copy()
+            best_wl = model.hpwl(cx, cy)
+
+            for _ in range(self.generations):
+                goodness = self._goodness(design, model, cx, cy, tx, ty)
+                thresholds = rng.random(model.n_macros) - self.selection_bias
+                ripped = [
+                    k for k in range(model.n_macros) if goodness[k] < thresholds[k]
+                ]
+                if not ripped:
+                    continue
+                self._reallocate(model, ripped, cx, cy)
+                wl = model.hpwl(cx, cy)
+                if wl < best_wl:
+                    best_wl = wl
+                    best_cx, best_cy = cx.copy(), cy.copy()
+
+            model.write_centers(best_cx, best_cy)
+            hpwl = finalize_design(design, self.cell_place_iters)
+        return BaselineResult("se", hpwl, t.seconds, self.generations)

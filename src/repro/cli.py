@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+    python -m repro place   --circuit ibm01 --preset fast --svg out.svg
+    python -m repro compare --circuit ibm06 --preset fast
+    python -m repro suites
+    python -m repro bookshelf --circuit ibm03 --out /tmp/ibm03
+
+Subcommands:
+
+- ``place``     — run the full MCTS-guided flow on a suite circuit (or a
+  Bookshelf ``.aux``) and print the result; optionally write an SVG.
+- ``compare``   — run the flow plus the baseline placers and print a
+  paper-style comparison table.
+- ``suites``    — list the available synthetic benchmark circuits.
+- ``bookshelf`` — export a synthetic circuit as a Bookshelf bundle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import sys
+
+from repro.core import MCTSGuidedPlacer, PlacerConfig
+
+
+def _load_design(args) -> tuple[str, "object"]:
+    from repro.netlist.bookshelf import read_aux
+    from repro.netlist.suites import (
+        ICCAD04_STATS,
+        INDUSTRIAL_STATS,
+        make_iccad04_circuit,
+        make_industrial_circuit,
+    )
+
+    if args.aux:
+        design = read_aux(args.aux)
+        return design.name, design
+    name = args.circuit
+    if name in ICCAD04_STATS:
+        return name, make_iccad04_circuit(
+            name, scale=args.scale, macro_scale=args.macro_scale
+        ).design
+    if name in INDUSTRIAL_STATS:
+        return name, make_industrial_circuit(
+            name, scale=args.scale / 5.0, macro_scale=max(args.macro_scale * 5, 0.3)
+        ).design
+    raise SystemExit(f"unknown circuit {name!r}; see 'python -m repro suites'")
+
+
+def _preset(name: str, seed: int) -> PlacerConfig:
+    presets = {
+        "fast": PlacerConfig.fast,
+        "benchmark": PlacerConfig.benchmark,
+        "paper": lambda seed=0: PlacerConfig.paper(),
+    }
+    if name not in presets:
+        raise SystemExit(f"unknown preset {name!r}; choose from {sorted(presets)}")
+    return presets[name](seed=seed) if name != "paper" else PlacerConfig.paper()
+
+
+def cmd_place(args) -> int:
+    """Run the full MCTS-guided flow on one circuit; print the results."""
+    from dataclasses import replace
+
+    name, design = _load_design(args)
+    config = _preset(args.preset, args.seed)
+    if getattr(args, "legal_cells", False):
+        config = replace(config, legalize_cells=True)
+    print(f"placing {name}: {design.netlist.stats()}")
+    result = MCTSGuidedPlacer(config).place(design)
+    best = min(result.hpwl, result.search.best_terminal_wirelength)
+    print(f"HPWL            : {result.hpwl:.1f} (best terminal {best:.1f})")
+    if result.legal_hpwl is not None:
+        stats = result.cell_legalization
+        print(f"legalized cells : HPWL {result.legal_hpwl:.1f} "
+              f"({stats.placed} placed, {stats.failed} failed)")
+    print(f"macro groups    : {result.n_macro_groups}")
+    print(f"MCTS stage      : {result.mcts_runtime:.1f}s "
+          f"(total {result.stopwatch.overall():.1f}s)")
+    if args.svg:
+        from repro.eval.visualize import save_placement_svg
+        from repro.grid.plan import GridPlan
+
+        plan = GridPlan(design.region, zeta=config.zeta)
+        save_placement_svg(design, args.svg, plan=plan)
+        print(f"wrote {args.svg}")
+    if args.ascii:
+        from repro.eval.visualize import placement_ascii
+
+        print(placement_ascii(design))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Place one circuit with every baseline and the flow; print the table."""
+    from repro.baselines import (
+        BTreeFloorplanPlacer,
+        RandomPlacer,
+        RePlAceLikePlacer,
+        SAPlacer,
+        SEPlacer,
+        WiremaskPlacer,
+    )
+    from repro.eval.report import ComparisonTable
+
+    name, design = _load_design(args)
+    print(f"comparing on {name}: {design.netlist.stats()}")
+    methods = ["random", "sa", "btree", "se", "maskplace", "replace", "ours"]
+    table = ComparisonTable(methods=methods, reference="ours")
+
+    baselines = {
+        "random": RandomPlacer(seed=args.seed),
+        "sa": SAPlacer(n_moves=1500, seed=args.seed),
+        "btree": BTreeFloorplanPlacer(n_moves=1500, seed=args.seed),
+        "se": SEPlacer(generations=12, seed=args.seed),
+        "maskplace": WiremaskPlacer(bins=16, rollouts=8, seed=args.seed),
+        "replace": RePlAceLikePlacer(seed=args.seed),
+    }
+    for key, placer in baselines.items():
+        d = copy.deepcopy(design)
+        result = placer.place(d)
+        table.add(name, key, result.hpwl)
+        print(f"  {key:10s} {result.hpwl:12.1f}  ({result.runtime:.1f}s)")
+
+    config = _preset(args.preset, args.seed)
+    result = MCTSGuidedPlacer(config).place(copy.deepcopy(design))
+    ours = min(result.hpwl, result.search.best_terminal_wirelength)
+    table.add(name, "ours", ours)
+    print(f"  {'ours':10s} {ours:12.1f}  "
+          f"({result.stopwatch.overall():.1f}s)")
+    print()
+    print(table.render())
+    return 0
+
+
+def cmd_suites(_args) -> int:
+    """List the synthetic benchmark circuits and their paper statistics."""
+    from repro.netlist.suites import ICCAD04_STATS, INDUSTRIAL_STATS
+
+    print("ICCAD04-alike (Table III) — macros / cells / nets at scale=1:")
+    for name, (m, c, n) in ICCAD04_STATS.items():
+        print(f"  {name:6s} {m:5d} {c:9,d} {n:9,d}")
+    print("industrial-alike (Table II) — mov/pre macros, pads, cells, nets:")
+    for name, (mv, pre, pads, c, n) in INDUSTRIAL_STATS.items():
+        print(f"  {name:6s} {mv:4d} {pre:4d} {pads:5d} {c:11,d} {n:11,d}")
+    return 0
+
+
+def cmd_bookshelf(args) -> int:
+    """Export a circuit as a Bookshelf bundle."""
+    from repro.netlist.bookshelf import write_design
+
+    name, design = _load_design(args)
+    aux = write_design(design, args.out)
+    print(f"wrote {aux}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MCTS-guided macro placement (DATE 2025 repro)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        """Arguments shared by the circuit-consuming subcommands."""
+        p.add_argument("--circuit", default="ibm01",
+                       help="suite circuit name (ibm01..ibm18, Cir1..Cir6)")
+        p.add_argument("--aux", default=None,
+                       help="path to a Bookshelf .aux file (overrides --circuit)")
+        p.add_argument("--scale", type=float, default=0.01,
+                       help="cell/net count scale factor for synthetic circuits")
+        p.add_argument("--macro-scale", type=float, default=0.08,
+                       dest="macro_scale", help="macro count scale factor")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_place = sub.add_parser("place", help="run the full flow on one circuit")
+    common(p_place)
+    p_place.add_argument("--preset", default="fast",
+                         choices=["fast", "benchmark", "paper"])
+    p_place.add_argument("--svg", default=None, help="write placement SVG here")
+    p_place.add_argument("--ascii", action="store_true",
+                         help="print an ASCII placement sketch")
+    p_place.add_argument("--legal-cells", action="store_true",
+                         dest="legal_cells",
+                         help="snap cells onto rows after the final placement")
+    p_place.set_defaults(func=cmd_place)
+
+    p_cmp = sub.add_parser("compare", help="flow vs all baselines on one circuit")
+    common(p_cmp)
+    p_cmp.add_argument("--preset", default="fast",
+                       choices=["fast", "benchmark", "paper"])
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_suites = sub.add_parser("suites", help="list available circuits")
+    p_suites.set_defaults(func=cmd_suites)
+
+    p_bk = sub.add_parser("bookshelf", help="export a circuit as Bookshelf")
+    common(p_bk)
+    p_bk.add_argument("--out", required=True, help="output directory")
+    p_bk.set_defaults(func=cmd_bookshelf)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Netlist coarsening (Sec. II-A): macro groups and cell groups.
+
+The paper reduces both RL and MCTS complexity by transforming macro
+*placement* into macro-group *allocation*: macros are clustered with the
+score Γ (Eq. 1) and cells with φ (Eq. 2), both greedy highest-score-pair
+merges that stop when a group would exceed one grid cell or the best score
+falls below the threshold ν.
+"""
+
+from repro.coarsen.groups import Group, GroupKind
+from repro.coarsen.scores import GammaParams, PhiParams, gamma_score, phi_score
+from repro.coarsen.cluster import cluster_macros, cluster_cells
+from repro.coarsen.coarse import CoarseNetlist, CoarseNet, coarsen_design
+
+__all__ = [
+    "CoarseNet",
+    "CoarseNetlist",
+    "GammaParams",
+    "Group",
+    "GroupKind",
+    "PhiParams",
+    "cluster_cells",
+    "cluster_macros",
+    "coarsen_design",
+    "gamma_score",
+    "phi_score",
+]

@@ -1,0 +1,98 @@
+"""Group bookkeeping shared by macro and cell clustering."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.netlist.hierarchy import common_prefix
+from repro.netlist.model import Node
+
+
+class GroupKind(enum.Enum):
+    MACRO = "macro"
+    CELL = "cell"
+    FIXED = "fixed"  # preplaced macros and I/O pads — never merged
+
+
+@dataclass
+class Group:
+    """A cluster of netlist nodes treated as one allocation unit.
+
+    ``cx``/``cy`` is the area-weighted centroid in the *initial* (prototype)
+    placement — the ΔD term of both scores measures distances between these
+    centroids.  ``hierarchy`` is the common hierarchy prefix of all members,
+    which is what H(g_i, g_j) compares after merges.
+    """
+
+    gid: int
+    kind: GroupKind
+    members: list[str] = field(default_factory=list)
+    area: float = 0.0
+    cx: float = 0.0
+    cy: float = 0.0
+    hierarchy: str = ""
+    #: bounding box of member rectangles in the initial placement,
+    #: (x_min, y_min, x_max, y_max); used to derive the group's shape.
+    bbox: tuple[float, float, float, float] | None = None
+
+    @classmethod
+    def of_node(cls, gid: int, node: Node, kind: GroupKind) -> "Group":
+        return cls(
+            gid=gid,
+            kind=kind,
+            members=[node.name],
+            area=node.area,
+            cx=node.cx,
+            cy=node.cy,
+            hierarchy=node.hierarchy,
+            bbox=(node.x, node.y, node.x + node.width, node.y + node.height),
+        )
+
+    def merged_with(self, other: "Group", gid: int) -> "Group":
+        """A new group combining *self* and *other* (inputs untouched)."""
+        area = self.area + other.area
+        if area > 0:
+            cx = (self.cx * self.area + other.cx * other.area) / area
+            cy = (self.cy * self.area + other.cy * other.area) / area
+        else:
+            cx, cy = self.cx, self.cy
+        boxes = [b for b in (self.bbox, other.bbox) if b is not None]
+        bbox = None
+        if boxes:
+            bbox = (
+                min(b[0] for b in boxes),
+                min(b[1] for b in boxes),
+                max(b[2] for b in boxes),
+                max(b[3] for b in boxes),
+            )
+        return Group(
+            gid=gid,
+            kind=self.kind,
+            members=self.members + other.members,
+            area=area,
+            cx=cx,
+            cy=cy,
+            hierarchy=common_prefix(self.hierarchy, other.hierarchy),
+            bbox=bbox,
+        )
+
+    def shape(self, max_aspect: float = 2.0) -> tuple[float, float]:
+        """(width, height) of the group's representative rectangle.
+
+        The rectangle has the group's total area; its aspect ratio follows
+        the members' bounding box in the prototype placement, clamped to
+        ``[1/max_aspect, max_aspect]``.  This is the shape the RL state's
+        s_m matrix and the legalizer use for multi-grid groups.
+        """
+        if self.area <= 0:
+            return 0.0, 0.0
+        aspect = 1.0
+        if self.bbox is not None:
+            bw = self.bbox[2] - self.bbox[0]
+            bh = self.bbox[3] - self.bbox[1]
+            if bw > 0 and bh > 0:
+                aspect = bw / bh
+        aspect = min(max(aspect, 1.0 / max_aspect), max_aspect)
+        h = (self.area / aspect) ** 0.5
+        return aspect * h, h

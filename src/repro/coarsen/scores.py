@@ -1,0 +1,70 @@
+"""Clustering score functions Γ (Eq. 1) and φ (Eq. 2).
+
+Γ(g_i, g_j) = 1/ΔD + δ·H + ε·w + κ/(ΔA + 1)   — macro groups
+φ(g_i, g_j) = 1/ΔD + ϱ·w/(A_i + A_j)           — cell groups
+
+where ΔD is the centroid distance in the initial placement, H the common
+hierarchy-prefix depth, w the total weight of nets spanning both groups,
+and ΔA the area difference.  Default parameters are the paper's:
+δ=0.001, ε=0.0003, κ=1, ϱ=1, threshold ν=0.001.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.coarsen.groups import Group
+from repro.netlist.hierarchy import common_prefix_depth
+
+#: Guards 1/ΔD when two groups share a centroid in the prototype placement.
+MIN_DISTANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class GammaParams:
+    """User parameters of Eq. 1 (paper defaults)."""
+
+    delta: float = 0.001
+    epsilon: float = 0.0003
+    kappa: float = 1.0
+    threshold: float = 0.001  # ν
+
+
+@dataclass(frozen=True)
+class PhiParams:
+    """User parameters of Eq. 2 (paper defaults)."""
+
+    rho: float = 1.0
+    threshold: float = 0.001  # ν (same stop rule as macro grouping)
+
+
+def centroid_distance(gi: Group, gj: Group) -> float:
+    """ΔD: Euclidean centroid distance, floored to avoid division by zero."""
+    d = math.hypot(gi.cx - gj.cx, gi.cy - gj.cy)
+    return max(d, MIN_DISTANCE)
+
+
+def gamma_score(
+    gi: Group, gj: Group, connectivity: float, params: GammaParams = GammaParams()
+) -> float:
+    """Γ(g_i, g_j) of Eq. 1.  *connectivity* is w(g_i, g_j)."""
+    delta_d = centroid_distance(gi, gj)
+    h = common_prefix_depth(gi.hierarchy, gj.hierarchy)
+    delta_a = abs(gi.area - gj.area)
+    return (
+        1.0 / delta_d
+        + params.delta * h
+        + params.epsilon * connectivity
+        + params.kappa / (delta_a + 1.0)
+    )
+
+
+def phi_score(
+    gi: Group, gj: Group, connectivity: float, params: PhiParams = PhiParams()
+) -> float:
+    """φ(g_i, g_j) of Eq. 2.  *connectivity* is w(g_i, g_j)."""
+    delta_d = centroid_distance(gi, gj)
+    denom = gi.area + gj.area
+    conn_term = params.rho * connectivity / denom if denom > 0 else 0.0
+    return 1.0 / delta_d + conn_term

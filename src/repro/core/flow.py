@@ -1,0 +1,158 @@
+"""Algorithm 1 — the complete placement flow.
+
+Stages (each timed on the result's :class:`~repro.utils.timer.Stopwatch`,
+which is how the Table IV runtime benchmark isolates the MCTS stage):
+
+1. ``prototype``     — analytical mixed-size prototype placement ([23]).
+2. ``preprocess``    — grid partition + netlist coarsening (Sec. II-A).
+3. ``calibration``   — 50 (configurable) random episodes fitting Eq. 9.
+4. ``rl_training``   — Actor-Critic pre-training (Sec. III).
+5. ``mcts``          — agent-guided search (Sec. IV).
+6. ``final``         — legalization + cell placement of the committed
+   assignment (already part of the MCTS terminal evaluation; re-run so the
+   design object carries the final coordinates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agent.actorcritic import ActorCriticTrainer, TrainingHistory
+from repro.agent.network import PolicyValueNet
+from repro.agent.reward import NormalizedReward, calibrate_reward
+from repro.coarsen.coarse import CoarseNetlist, coarsen_design
+from repro.core.config import PlacerConfig
+from repro.env.placement_env import MacroGroupPlacementEnv
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.grid.plan import GridPlan
+from repro.mcts.search import MCTSPlacer, SearchResult
+from repro.netlist.model import Design
+from repro.utils.rng import ensure_rng
+from repro.utils.timer import Stopwatch
+
+
+@dataclass
+class FlowResult:
+    """Everything a flow run produced."""
+
+    hpwl: float
+    assignment: list[int]
+    history: TrainingHistory
+    search: SearchResult
+    reward_fn: NormalizedReward
+    coarse: CoarseNetlist
+    stopwatch: Stopwatch = field(default_factory=Stopwatch)
+    #: HPWL after row-based cell legalization (None unless
+    #: ``PlacerConfig.legalize_cells``); ``cell_legalization`` carries the
+    #: pass statistics.
+    legal_hpwl: float | None = None
+    cell_legalization: object | None = None
+
+    @property
+    def mcts_runtime(self) -> float:
+        """Seconds spent in the MCTS stage (the Table IV quantity)."""
+        return self.stopwatch.total("mcts")
+
+    @property
+    def n_macro_groups(self) -> int:
+        return self.coarse.n_macro_groups
+
+
+class MCTSGuidedPlacer:
+    """The paper's placer: RL pre-training followed by one MCTS pass."""
+
+    def __init__(self, config: PlacerConfig = PlacerConfig()) -> None:
+        self.config = config
+
+    # -- stages ----------------------------------------------------------------
+    def preprocess(self, design: Design, stopwatch: Stopwatch) -> CoarseNetlist:
+        """Prototype placement + grid partition + coarsening."""
+        cfg = self.config
+        with stopwatch.measure("prototype"):
+            MixedSizePlacer(n_iterations=cfg.prototype_iterations).place(design)
+        with stopwatch.measure("preprocess"):
+            plan = GridPlan(design.region, zeta=cfg.zeta)
+            coarse = coarsen_design(
+                design, plan, gamma=cfg.gamma_params, phi=cfg.phi_params
+            )
+        return coarse
+
+    def build_environment(self, coarse: CoarseNetlist) -> MacroGroupPlacementEnv:
+        return MacroGroupPlacementEnv(
+            coarse, cell_place_iters=self.config.cell_place_iterations
+        )
+
+    def pretrain(
+        self,
+        env: MacroGroupPlacementEnv,
+        stopwatch: Stopwatch,
+    ) -> tuple[PolicyValueNet, NormalizedReward, TrainingHistory, ActorCriticTrainer]:
+        """Calibrate Eq. 9 and run Actor-Critic training."""
+        cfg = self.config
+        rng = ensure_rng(cfg.seed)
+        with stopwatch.measure("calibration"):
+            reward_fn, _samples = calibrate_reward(
+                lambda g: env.play_random_episode(g).wirelength,
+                alpha=cfg.alpha,
+                n_episodes=cfg.calibration_episodes,
+                rng=rng,
+            )
+        network = PolicyValueNet(cfg.network)
+        trainer = ActorCriticTrainer(
+            env,
+            network,
+            reward_fn,
+            lr=cfg.learning_rate,
+            update_every=cfg.update_every,
+            entropy_coef=cfg.entropy_coef,
+            epochs_per_update=cfg.epochs_per_update,
+            rng=rng,
+        )
+        with stopwatch.measure("rl_training"):
+            history = trainer.train(
+                cfg.episodes, checkpoint_every=cfg.checkpoint_every
+            )
+        return network, reward_fn, history, trainer
+
+    def optimize(
+        self,
+        env: MacroGroupPlacementEnv,
+        network: PolicyValueNet,
+        reward_fn: NormalizedReward,
+        stopwatch: Stopwatch,
+    ) -> SearchResult:
+        """The single post-training MCTS pass."""
+        placer = MCTSPlacer(env, network, reward_fn, self.config.mcts)
+        with stopwatch.measure("mcts"):
+            return placer.run()
+
+    # -- entry point ---------------------------------------------------------------
+    def place(self, design: Design) -> FlowResult:
+        """Run the full flow on *design* (mutates its node positions)."""
+        stopwatch = Stopwatch()
+        coarse = self.preprocess(design, stopwatch)
+        env = self.build_environment(coarse)
+        network, reward_fn, history, _trainer = self.pretrain(env, stopwatch)
+        search = self.optimize(env, network, reward_fn, stopwatch)
+        with stopwatch.measure("final"):
+            hpwl = env.evaluate_assignment(search.assignment)
+        legal_hpwl = None
+        cell_result = None
+        if self.config.legalize_cells:
+            from repro.legalize.cells import legalize_cells
+            from repro.netlist.hpwl import FlatNetlist
+
+            with stopwatch.measure("cell_legalization"):
+                cell_result = legalize_cells(design)
+                legal_hpwl = FlatNetlist(design.netlist).total_hpwl()
+        return FlowResult(
+            hpwl=hpwl,
+            assignment=search.assignment,
+            history=history,
+            search=search,
+            reward_fn=reward_fn,
+            coarse=coarse,
+            stopwatch=stopwatch,
+            legal_hpwl=legal_hpwl,
+            cell_legalization=cell_result,
+        )

@@ -1,0 +1,5 @@
+"""The macro-group allocation environment (the paper's MDP, Sec. III-A)."""
+
+from repro.env.placement_env import EpisodeRecord, MacroGroupPlacementEnv
+
+__all__ = ["EpisodeRecord", "MacroGroupPlacementEnv"]

@@ -1,0 +1,21 @@
+"""Placement-quality metrics and the paper-style comparison tables."""
+
+from repro.eval.metrics import (
+    density_map,
+    macro_overlap_area,
+    out_of_region_area,
+    placement_summary,
+)
+from repro.eval.congestion import CongestionReport, congestion_report, rudy_map
+from repro.eval.report import ComparisonTable
+
+__all__ = [
+    "ComparisonTable",
+    "CongestionReport",
+    "congestion_report",
+    "density_map",
+    "macro_overlap_area",
+    "out_of_region_area",
+    "placement_summary",
+    "rudy_map",
+]

@@ -1,0 +1,74 @@
+"""Placement-quality metrics beyond HPWL.
+
+Legality metrics (overlap, out-of-region area) are what the legalization
+tests assert on; the density map is a congestion proxy used by examples
+and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.hpwl import FlatNetlist
+from repro.netlist.model import Design, Node
+
+
+def macro_overlap_area(design: Design, include_preplaced: bool = True) -> float:
+    """Total pairwise intersection area among macros (0 ⇔ legal)."""
+    macros: list[Node] = list(design.netlist.movable_macros)
+    if include_preplaced:
+        macros += list(design.netlist.preplaced_macros)
+    total = 0.0
+    for i in range(len(macros)):
+        for j in range(i + 1, len(macros)):
+            total += macros[i].overlap_area(macros[j])
+    return total
+
+
+def out_of_region_area(design: Design) -> float:
+    """Total macro area lying outside the placement region."""
+    region = design.region
+    total = 0.0
+    for m in design.netlist.macros:
+        w_in = min(m.x + m.width, region.x_max) - max(m.x, region.x)
+        h_in = min(m.y + m.height, region.y_max) - max(m.y, region.y)
+        inside = max(w_in, 0.0) * max(h_in, 0.0)
+        total += m.area - inside
+    return total
+
+
+def density_map(design: Design, bins: int = 16) -> np.ndarray:
+    """(bins, bins) occupied-area-fraction image over all non-pad nodes."""
+    from repro.grid.plan import GridPlan
+    from repro.netlist.model import NodeKind
+
+    plan = GridPlan(design.region, zeta=bins)
+    nodes = [n for n in design.netlist if n.kind is not NodeKind.PAD]
+    return plan.occupancy(nodes)
+
+
+@dataclass(frozen=True)
+class PlacementSummary:
+    """One-line quality record for a placement."""
+
+    hpwl: float
+    macro_overlap: float
+    out_of_region: float
+    peak_density: float
+
+    @property
+    def legal(self) -> bool:
+        return self.macro_overlap < 1e-6 and self.out_of_region < 1e-6
+
+
+def placement_summary(design: Design, bins: int = 16) -> PlacementSummary:
+    """Compute the standard quality record for *design* as currently placed."""
+    flat = FlatNetlist(design.netlist)
+    return PlacementSummary(
+        hpwl=flat.total_hpwl(),
+        macro_overlap=macro_overlap_area(design),
+        out_of_region=out_of_region_area(design),
+        peak_density=float(density_map(design, bins).max()),
+    )

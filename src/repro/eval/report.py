@@ -1,0 +1,81 @@
+"""Paper-style comparison tables.
+
+The paper's Tables II and III report per-circuit wirelength per method plus
+a final "Nor." row: each method's mean wirelength ratio against the
+proposed method.  :class:`ComparisonTable` renders the same layout from
+benchmark results and computes the normalized row the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ComparisonTable:
+    """Rows = circuits, columns = methods; values = wirelength (or runtime).
+
+    ``reference`` names the method the "Nor." row normalizes against
+    (the paper normalizes to "Ours").
+    """
+
+    methods: list[str]
+    reference: str
+    title: str = ""
+    rows: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def add(self, circuit: str, method: str, value: float) -> None:
+        if method not in self.methods:
+            raise KeyError(f"unknown method {method!r} (have {self.methods})")
+        self.rows.setdefault(circuit, {})[method] = value
+
+    def normalized(self) -> dict[str, float]:
+        """Mean per-circuit ratio of each method against the reference.
+
+        Circuits missing either value are skipped (the paper likewise drops
+        circuits a tool failed on, e.g. DREAMPlace on Cir7–8).
+        """
+        sums: dict[str, float] = {m: 0.0 for m in self.methods}
+        counts: dict[str, int] = {m: 0 for m in self.methods}
+        for values in self.rows.values():
+            ref = values.get(self.reference)
+            if ref is None or ref <= 0:
+                continue
+            for m in self.methods:
+                v = values.get(m)
+                if v is None:
+                    continue
+                sums[m] += v / ref
+                counts[m] += 1
+        return {
+            m: (sums[m] / counts[m]) if counts[m] else float("nan")
+            for m in self.methods
+        }
+
+    def render(self, value_format: str = "{:.1f}") -> str:
+        """Monospace rendering with the trailing normalized row."""
+        name_w = max([len("Circuit")] + [len(c) for c in self.rows])
+        col_w = max([10] + [len(m) + 2 for m in self.methods])
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "Circuit".ljust(name_w) + "".join(
+            m.rjust(col_w) for m in self.methods
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for circuit, values in self.rows.items():
+            cells = []
+            for m in self.methods:
+                v = values.get(m)
+                cells.append(
+                    (value_format.format(v) if v is not None else "-").rjust(col_w)
+                )
+            lines.append(circuit.ljust(name_w) + "".join(cells))
+        lines.append("-" * len(header))
+        nor = self.normalized()
+        lines.append(
+            "Nor.".ljust(name_w)
+            + "".join("{:.2f}".format(nor[m]).rjust(col_w) for m in self.methods)
+        )
+        return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Placement visualization (SVG and terminal ASCII).
+
+No plotting dependencies are available offline, so the SVG is emitted
+directly: macros as filled rectangles (preplaced hatched darker), cells as
+light dots, die outline, optional grid overlay — enough to eyeball a
+placement or embed one in a report.
+"""
+
+from __future__ import annotations
+
+from repro.grid.plan import GridPlan
+from repro.netlist.model import Design
+
+_SVG_HEADER = (
+    '<svg xmlns="http://www.w3.org/2000/svg" viewBox="{vb}" '
+    'width="{w}" height="{h}">'
+)
+
+
+def placement_svg(
+    design: Design,
+    plan: GridPlan | None = None,
+    width: int = 640,
+    show_cells: bool = True,
+) -> str:
+    """Render the current placement as an SVG string.
+
+    The y axis is flipped so the geometric origin (lower-left) appears at
+    the bottom, as in placement plots.
+    """
+    region = design.region
+    scale = width / region.width
+    height = int(region.height * scale)
+
+    def sx(x: float) -> float:
+        return (x - region.x) * scale
+
+    def sy(y: float) -> float:
+        return height - (y - region.y) * scale  # flip
+
+    parts: list[str] = [
+        _SVG_HEADER.format(vb=f"0 0 {width} {height}", w=width, h=height),
+        f'<rect x="0" y="0" width="{width}" height="{height}" '
+        f'fill="#fafafa" stroke="#333" stroke-width="1.5"/>',
+    ]
+
+    if plan is not None:
+        for i in range(1, plan.zeta):
+            gx = sx(region.x + i * plan.cell_width)
+            gy = sy(region.y + i * plan.cell_height)
+            parts.append(
+                f'<line x1="{gx:.1f}" y1="0" x2="{gx:.1f}" y2="{height}" '
+                f'stroke="#ddd" stroke-width="0.5"/>'
+            )
+            parts.append(
+                f'<line x1="0" y1="{gy:.1f}" x2="{width}" y2="{gy:.1f}" '
+                f'stroke="#ddd" stroke-width="0.5"/>'
+            )
+
+    if show_cells:
+        for cell in design.netlist.cells:
+            parts.append(
+                f'<circle cx="{sx(cell.cx):.1f}" cy="{sy(cell.cy):.1f}" '
+                f'r="1" fill="#9ecae1"/>'
+            )
+
+    for macro in design.netlist.macros:
+        color = "#636363" if macro.fixed else "#fd8d3c"
+        parts.append(
+            f'<rect x="{sx(macro.x):.1f}" y="{sy(macro.y + macro.height):.1f}" '
+            f'width="{macro.width * scale:.1f}" '
+            f'height="{macro.height * scale:.1f}" '
+            f'fill="{color}" fill-opacity="0.75" stroke="#333" '
+            f'stroke-width="0.8"/>'
+        )
+        if macro.width * scale > 24:
+            parts.append(
+                f'<text x="{sx(macro.cx):.1f}" y="{sy(macro.cy):.1f}" '
+                f'font-size="8" text-anchor="middle" fill="#111">'
+                f"{macro.name}</text>"
+            )
+
+    for pad in design.netlist.pads:
+        parts.append(
+            f'<rect x="{sx(pad.x):.1f}" y="{sy(pad.y + pad.height):.1f}" '
+            f'width="{max(pad.width * scale, 2):.1f}" '
+            f'height="{max(pad.height * scale, 2):.1f}" fill="#31a354"/>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_placement_svg(design: Design, path: str, **kwargs) -> str:
+    """Write :func:`placement_svg` output to *path*; returns the path."""
+    svg = placement_svg(design, **kwargs)
+    with open(path, "w") as f:
+        f.write(svg)
+    return path
+
+
+def placement_ascii(design: Design, cols: int = 48) -> str:
+    """Coarse terminal rendering: '#' macro, '+' preplaced, '.' cells."""
+    region = design.region
+    rows = max(int(cols * region.height / region.width / 2), 4)
+    grid = [[" "] * cols for _ in range(rows)]
+
+    def mark(x: float, y: float, ch: str) -> None:
+        c = int((x - region.x) / region.width * cols)
+        r = int((y - region.y) / region.height * rows)
+        if 0 <= r < rows and 0 <= c < cols:
+            current = grid[rows - 1 - r][c]
+            # macros overwrite cells, never the other way around
+            if ch == "." and current != " ":
+                return
+            grid[rows - 1 - r][c] = ch
+
+    for cell in design.netlist.cells:
+        mark(cell.cx, cell.cy, ".")
+    for macro in design.netlist.macros:
+        ch = "+" if macro.fixed else "#"
+        steps_x = max(int(macro.width / region.width * cols), 1)
+        steps_y = max(int(macro.height / region.height * rows), 1)
+        for i in range(steps_x + 1):
+            for j in range(steps_y + 1):
+                mark(
+                    macro.x + macro.width * i / max(steps_x, 1),
+                    macro.y + macro.height * j / max(steps_y, 1),
+                    ch,
+                )
+    border = "+" + "-" * cols + "+"
+    return "\n".join([border] + ["|" + "".join(r) + "|" for r in grid] + [border])

@@ -1,0 +1,11 @@
+"""Experiment-record persistence.
+
+The benchmark harness prints paper-style tables and stashes numbers in
+pytest-benchmark's ``extra_info``; this package gives the same data a
+stable on-disk home so runs can be compared across machines/budgets
+(`repro.experiments.records`).
+"""
+
+from repro.experiments.records import ExperimentRecord, RecordStore
+
+__all__ = ["ExperimentRecord", "RecordStore"]

@@ -1,0 +1,120 @@
+"""JSON persistence for experiment results.
+
+An :class:`ExperimentRecord` is one experiment's outcome (a Table III
+row-set, a Fig. 4 curve bundle, ...) plus enough context to reproduce it:
+experiment id, budget name, seeds, code version.  A :class:`RecordStore`
+is a directory of such records, addressable by experiment id, supporting
+append-and-compare workflows:
+
+    store = RecordStore("results/")
+    store.save(ExperimentRecord(experiment="table3", budget="default",
+                                data={"normalized": {...}}))
+    previous = store.load_latest("table3")
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro import __version__
+
+_SLUG_RE = re.compile(r"[^a-zA-Z0-9_-]+")
+
+
+def _slug(name: str) -> str:
+    return _SLUG_RE.sub("-", name).strip("-") or "experiment"
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment outcome with its reproduction context."""
+
+    experiment: str
+    data: dict[str, Any]
+    budget: str = "default"
+    seed: int = 0
+    version: str = field(default=__version__)
+    #: monotonically assigned by the store on save
+    sequence: int = -1
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentRecord":
+        raw = json.loads(text)
+        return cls(**raw)
+
+
+class RecordStore:
+    """A directory of experiment records, one JSON file each.
+
+    File names are ``{experiment}-{sequence:04d}.json``; sequence numbers
+    are per-experiment and strictly increasing, so ``load_latest`` is just
+    the max.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _paths_for(self, experiment: str) -> list[tuple[int, str]]:
+        slug = _slug(experiment)
+        found: list[tuple[int, str]] = []
+        for name in os.listdir(self.directory):
+            m = re.fullmatch(rf"{re.escape(slug)}-(\d{{4}})\.json", name)
+            if m:
+                found.append((int(m.group(1)), os.path.join(self.directory, name)))
+        return sorted(found)
+
+    def save(self, record: ExperimentRecord) -> str:
+        """Persist *record*; assigns the next sequence number.
+
+        Returns the file path.
+        """
+        existing = self._paths_for(record.experiment)
+        record.sequence = (existing[-1][0] + 1) if existing else 0
+        path = os.path.join(
+            self.directory, f"{_slug(record.experiment)}-{record.sequence:04d}.json"
+        )
+        with open(path, "w") as f:
+            f.write(record.to_json())
+        return path
+
+    def load_latest(self, experiment: str) -> ExperimentRecord | None:
+        """Most recent record for *experiment* (None when absent)."""
+        existing = self._paths_for(experiment)
+        if not existing:
+            return None
+        with open(existing[-1][1]) as f:
+            return ExperimentRecord.from_json(f.read())
+
+    def load_all(self, experiment: str) -> list[ExperimentRecord]:
+        """Every record for *experiment*, oldest first."""
+        out = []
+        for _seq, path in self._paths_for(experiment):
+            with open(path) as f:
+                out.append(ExperimentRecord.from_json(f.read()))
+        return out
+
+    def experiments(self) -> list[str]:
+        """Distinct experiment slugs present in the store."""
+        names = set()
+        for name in os.listdir(self.directory):
+            m = re.fullmatch(r"(.+)-\d{4}\.json", name)
+            if m:
+                names.add(m.group(1))
+        return sorted(names)
+
+    def compare_latest(
+        self, experiment: str, key: str
+    ) -> tuple[Any, Any] | None:
+        """(previous, latest) values of ``data[key]`` — None unless ≥ 2 runs."""
+        records = self.load_all(experiment)
+        if len(records) < 2:
+            return None
+        return records[-2].data.get(key), records[-1].data.get(key)

@@ -1,0 +1,23 @@
+"""Floorplanning substrate: B*-tree representation + SA floorplanner.
+
+The paper's first related-work category ([6]–[9], [20], [36]) is
+non-deterministic floorplanning: simulated annealing over a compact
+floorplan representation.  This package implements the most widely used
+one — the **B\\*-tree** (Chang et al., DAC'00, the basis of MP-trees [6])
+with contour-based O(n) packing — plus an annealer over tree
+perturbations, exposed as the :class:`BTreeFloorplanPlacer` baseline.
+
+It doubles as a second, independent legalization engine: any B*-tree packs
+into an overlap-free placement by construction, which the property tests
+exploit.
+"""
+
+from repro.floorplan.btree import BStarTree, PackedFloorplan
+from repro.floorplan.annealer import FloorplanSA, BTreeFloorplanPlacer
+
+__all__ = [
+    "BStarTree",
+    "BTreeFloorplanPlacer",
+    "FloorplanSA",
+    "PackedFloorplan",
+]

@@ -1,0 +1,162 @@
+"""SA floorplanning over the B*-tree, and the derived macro-placer baseline.
+
+Cost: α·(bbox area / total rect area) + (1−α)·(HPWL / initial HPWL) — the
+classic normalized blend.  HPWL is evaluated on the macro-level model
+(cells frozen at their prototype positions) so each move costs one sparse
+max/min pass.
+
+:class:`BTreeFloorplanPlacer` adapts the floorplanner into a baseline
+placer: anneal the movable macros' B*-tree, center the packed block inside
+the placement region (preplaced macros stay put; overlap with them is
+resolved by the common greedy repair), then run the shared legalize +
+cell-place exit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.common import (
+    BaselineResult,
+    MacroEvalModel,
+    finalize_design,
+    prototype_place,
+    timer,
+)
+from repro.floorplan.btree import BStarTree, PackedFloorplan
+from repro.netlist.model import Design
+from repro.utils.rng import ensure_rng
+
+
+class FloorplanSA:
+    """Simulated annealing over B*-tree perturbations."""
+
+    def __init__(
+        self,
+        widths: np.ndarray,
+        heights: np.ndarray,
+        n_moves: int = 2000,
+        area_weight: float = 0.4,
+        t0: float = 1.0,
+        t_final: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        self.rng = ensure_rng(seed)
+        self.tree = BStarTree(widths, heights, rng=self.rng)
+        self.n_moves = n_moves
+        self.area_weight = area_weight
+        self.t0 = t0
+        self.t_final = t_final
+        self.total_area = float(np.sum(np.asarray(widths) * np.asarray(heights)))
+
+    def run(
+        self, wirelength_fn=None
+    ) -> tuple[PackedFloorplan, BStarTree]:
+        """Anneal; *wirelength_fn(packed, tree) -> float* is optional.
+
+        Returns the best packed floorplan and the tree that produced it.
+        """
+        tree = self.tree
+        packed = tree.pack()
+        wl0 = wirelength_fn(packed, tree) if wirelength_fn else 1.0
+        wl0 = max(wl0, 1e-12)
+
+        def cost(p: PackedFloorplan) -> float:
+            c = self.area_weight * p.area / max(self.total_area, 1e-12)
+            if wirelength_fn:
+                c += (1 - self.area_weight) * wirelength_fn(p, tree) / wl0
+            return c
+
+        current = cost(packed)
+        best_cost = current
+        best_state = tree.copy_state()
+        best_packed = packed
+
+        alpha = (self.t_final / self.t0) ** (1.0 / max(self.n_moves, 1))
+        temp = self.t0
+        for _ in range(self.n_moves):
+            state = tree.copy_state()
+            tree.perturb(self.rng)
+            packed = tree.pack()
+            new_cost = cost(packed)
+            accept = new_cost <= current or self.rng.random() < math.exp(
+                -(new_cost - current) / max(temp * max(current, 1e-12), 1e-300)
+            )
+            if accept:
+                current = new_cost
+                if new_cost < best_cost:
+                    best_cost = new_cost
+                    best_state = tree.copy_state()
+                    best_packed = packed
+            else:
+                tree.restore_state(state)
+            temp *= alpha
+
+        tree.restore_state(best_state)
+        return best_packed, tree
+
+
+class BTreeFloorplanPlacer:
+    """Macro placer driven by B*-tree floorplanning (SA category baseline)."""
+
+    def __init__(
+        self,
+        n_moves: int = 1500,
+        area_weight: float = 0.3,
+        cell_place_iters: int = 3,
+        skip_prototype: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.n_moves = n_moves
+        self.area_weight = area_weight
+        self.cell_place_iters = cell_place_iters
+        self.skip_prototype = skip_prototype
+        self.seed = seed
+
+    def place(self, design: Design) -> BaselineResult:
+        with timer() as t:
+            if not self.skip_prototype:
+                prototype_place(design)
+            model = MacroEvalModel(design)
+            if model.n_macros == 0:
+                return BaselineResult(
+                    "btree", finalize_design(design, self.cell_place_iters),
+                    t.seconds, 0,
+                )
+            region = design.region
+
+            def wl(packed, tree):
+                # Center the packed block in the region, then evaluate.
+                w, h = tree.rect_dims()
+                off_x = region.x + (region.width - packed.width) / 2.0
+                off_y = region.y + (region.height - packed.height) / 2.0
+                cx = packed.x + w / 2.0 + off_x
+                cy = packed.y + h / 2.0 + off_y
+                return model.hpwl(cx, cy)
+
+            sa = FloorplanSA(
+                model.widths,
+                model.heights,
+                n_moves=self.n_moves,
+                area_weight=self.area_weight,
+                seed=self.seed,
+            )
+            packed, tree = sa.run(wirelength_fn=wl)
+
+            w, h = tree.rect_dims()
+            off_x = region.x + (region.width - packed.width) / 2.0
+            off_y = region.y + (region.height - packed.height) / 2.0
+            cx = packed.x + w / 2.0 + off_x
+            cy = packed.y + h / 2.0 + off_y
+            # Commit rotations to the design before writing centers.
+            for k in range(model.n_macros):
+                name = model.flat.names[int(model.macro_idx[k])]
+                node = design.netlist[name]
+                node.width, node.height = float(w[k]), float(h[k])
+            model.widths = w.copy()
+            model.heights = h.copy()
+            model.write_centers(cx, cy)
+            hpwl = finalize_design(design, self.cell_place_iters)
+        return BaselineResult("btree", hpwl, t.seconds, self.n_moves)

@@ -1,0 +1,253 @@
+"""B*-tree floorplan representation with contour-based packing.
+
+A B*-tree is an ordered binary tree over n rectangles encoding a
+*left-bottom compacted* placement:
+
+- the root sits at x = 0;
+- a node's **left child** is the lowest unplaced rectangle adjacent to its
+  right side (x = parent.x + parent.width);
+- a node's **right child** is the lowest rectangle above it at the same x.
+
+Packing walks the tree in DFS order keeping a *horizontal contour* (the
+skyline); each rectangle's y is the maximum contour height over its x
+span.  Every tree therefore packs to an overlap-free placement in O(n)
+amortized — the representation's defining property, asserted by the
+property tests.
+
+Perturbations (the SA move set): rotate a rectangle, swap two rectangles'
+tree positions, or delete-and-reinsert a node elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class PackedFloorplan:
+    """Result of packing: lower-left corners plus the bounding box."""
+
+    x: np.ndarray
+    y: np.ndarray
+    width: float
+    height: float
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+
+class _Contour:
+    """Skyline as a sorted list of (x_start, x_end, height) segments."""
+
+    def __init__(self) -> None:
+        self.segments: list[tuple[float, float, float]] = [
+            (0.0, float("inf"), 0.0)
+        ]
+
+    def max_height(self, x_lo: float, x_hi: float) -> float:
+        h = 0.0
+        for s_lo, s_hi, s_h in self.segments:
+            if s_hi <= x_lo or s_lo >= x_hi:
+                continue
+            h = max(h, s_h)
+        return h
+
+    def add(self, x_lo: float, x_hi: float, top: float) -> None:
+        """Raise the skyline over [x_lo, x_hi) to *top*."""
+        new: list[tuple[float, float, float]] = []
+        for s_lo, s_hi, s_h in self.segments:
+            if s_hi <= x_lo or s_lo >= x_hi:
+                new.append((s_lo, s_hi, s_h))
+                continue
+            if s_lo < x_lo:
+                new.append((s_lo, x_lo, s_h))
+            if s_hi > x_hi:
+                new.append((x_hi, s_hi, s_h))
+        new.append((x_lo, x_hi, top))
+        new.sort()
+        self.segments = new
+
+
+class BStarTree:
+    """A B*-tree over n rectangles, with packing and perturbation ops."""
+
+    def __init__(
+        self,
+        widths: np.ndarray,
+        heights: np.ndarray,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self.n = len(widths)
+        if self.n == 0:
+            raise ValueError("need at least one rectangle")
+        self.widths = np.asarray(widths, dtype=float).copy()
+        self.heights = np.asarray(heights, dtype=float).copy()
+        self.rotated = np.zeros(self.n, dtype=bool)
+        #: which original rectangle occupies each tree slot (swap permutes it)
+        self.rect_of_slot = np.arange(self.n, dtype=np.int64)
+        self.parent = -np.ones(self.n, dtype=np.int64)
+        self.left = -np.ones(self.n, dtype=np.int64)
+        self.right = -np.ones(self.n, dtype=np.int64)
+        self.root = 0
+        rng = ensure_rng(rng)
+        self._random_tree(rng)
+
+    # -- construction ----------------------------------------------------------
+    def _random_tree(self, rng: np.random.Generator) -> None:
+        """Random initial topology: insert nodes at random free slots."""
+        order = rng.permutation(self.n)
+        self.root = int(order[0])
+        for k in order[1:]:
+            self._insert_random(int(k), rng)
+
+    def _insert_random(self, node: int, rng: np.random.Generator) -> None:
+        """Attach *node* at a random free left/right slot."""
+        candidates: list[tuple[int, str]] = []
+        for i in range(self.n):
+            if i == node or (self.parent[i] < 0 and i != self.root):
+                continue
+            if self._in_tree(i):
+                if self.left[i] < 0:
+                    candidates.append((i, "left"))
+                if self.right[i] < 0:
+                    candidates.append((i, "right"))
+        host, side = candidates[int(rng.integers(0, len(candidates)))]
+        self._attach(node, host, side)
+
+    def _in_tree(self, i: int) -> bool:
+        return i == self.root or self.parent[i] >= 0
+
+    def _attach(self, node: int, host: int, side: str) -> None:
+        self.parent[node] = host
+        if side == "left":
+            if self.left[host] >= 0:
+                raise ValueError("left slot occupied")
+            self.left[host] = node
+        else:
+            if self.right[host] >= 0:
+                raise ValueError("right slot occupied")
+            self.right[host] = node
+
+    # -- packing -----------------------------------------------------------------
+    def dims(self, i: int) -> tuple[float, float]:
+        if self.rotated[i]:
+            return float(self.heights[i]), float(self.widths[i])
+        return float(self.widths[i]), float(self.heights[i])
+
+    def pack(self) -> PackedFloorplan:
+        """Contour packing; returns lower-left coordinates and bbox."""
+        xs = np.zeros(self.n)
+        ys = np.zeros(self.n)
+        contour = _Contour()
+        max_x = 0.0
+        max_y = 0.0
+
+        stack = [(self.root, 0.0)]
+        # Iterative DFS: process node, push right then left (left first).
+        while stack:
+            node, x = stack.pop()
+            w, h = self.dims(node)
+            y = contour.max_height(x, x + w)
+            xs[node] = x
+            ys[node] = y
+            contour.add(x, x + w, y + h)
+            max_x = max(max_x, x + w)
+            max_y = max(max_y, y + h)
+            if self.right[node] >= 0:
+                stack.append((int(self.right[node]), x))
+            if self.left[node] >= 0:
+                stack.append((int(self.left[node]), x + w))
+        # Report coordinates per original rectangle, not per tree slot.
+        rx = np.empty(self.n)
+        ry = np.empty(self.n)
+        rx[self.rect_of_slot] = xs
+        ry[self.rect_of_slot] = ys
+        return PackedFloorplan(x=rx, y=ry, width=max_x, height=max_y)
+
+    def rect_dims(self) -> tuple[np.ndarray, np.ndarray]:
+        """(width, height) per original rectangle under current rotation."""
+        w = np.empty(self.n)
+        h = np.empty(self.n)
+        for slot in range(self.n):
+            ww, hh = self.dims(slot)
+            w[self.rect_of_slot[slot]] = ww
+            h[self.rect_of_slot[slot]] = hh
+        return w, h
+
+    # -- perturbations ---------------------------------------------------------------
+    def rotate(self, i: int) -> None:
+        self.rotated[i] = ~self.rotated[i]
+
+    def swap(self, a: int, b: int) -> None:
+        """Exchange two rectangles' tree positions (sizes travel along)."""
+        if a == b:
+            return
+        for arr in (self.widths, self.heights, self.rect_of_slot):
+            arr[a], arr[b] = arr[b], arr[a]
+        self.rotated[a], self.rotated[b] = self.rotated[b], self.rotated[a]
+
+    def detach_leaf(self, i: int) -> bool:
+        """Remove leaf *i* from the tree; False if *i* is not a leaf/root."""
+        if i == self.root or self.left[i] >= 0 or self.right[i] >= 0:
+            return False
+        p = int(self.parent[i])
+        if self.left[p] == i:
+            self.left[p] = -1
+        elif self.right[p] == i:
+            self.right[p] = -1
+        self.parent[i] = -1
+        return True
+
+    def move_leaf(self, i: int, rng: np.random.Generator) -> bool:
+        """Detach leaf *i* and reinsert it at a random free slot."""
+        if not self.detach_leaf(i):
+            return False
+        self._insert_random(i, rng)
+        return True
+
+    def perturb(self, rng: np.random.Generator) -> None:
+        """One random move: rotate (40%), swap (40%), or move-leaf (20%)."""
+        u = rng.random()
+        if u < 0.4 or self.n == 1:
+            self.rotate(int(rng.integers(0, self.n)))
+        elif u < 0.8:
+            a, b = rng.choice(self.n, size=2, replace=False)
+            self.swap(int(a), int(b))
+        else:
+            leaves = [
+                i
+                for i in range(self.n)
+                if i != self.root and self.left[i] < 0 and self.right[i] < 0
+            ]
+            if leaves:
+                self.move_leaf(int(rng.choice(leaves)), rng)
+            else:
+                self.rotate(int(rng.integers(0, self.n)))
+
+    def copy_state(self) -> dict:
+        """Snapshot for SA accept/reject."""
+        return {
+            "widths": self.widths.copy(),
+            "heights": self.heights.copy(),
+            "rotated": self.rotated.copy(),
+            "rect_of_slot": self.rect_of_slot.copy(),
+            "parent": self.parent.copy(),
+            "left": self.left.copy(),
+            "right": self.right.copy(),
+            "root": self.root,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.widths[...] = state["widths"]
+        self.heights[...] = state["heights"]
+        self.rotated[...] = state["rotated"]
+        self.rect_of_slot[...] = state["rect_of_slot"]
+        self.parent[...] = state["parent"]
+        self.left[...] = state["left"]
+        self.right[...] = state["right"]
+        self.root = state["root"]

@@ -1,0 +1,25 @@
+"""Analytical global-placement substrate.
+
+Stands in for the paper's two analytical dependencies:
+
+- the "analytical global placement method [23]" that produces the initial
+  prototype placement consumed by the clustering step (Sec. II-A), and
+- DREAMPlace [25], the mixed-size placer used for final cell placement and
+  wirelength measurement (Sec. II-C) and as a baseline in Table II.
+
+The engine is classic quadratic placement: a clique/star net model yields a
+sparse Laplacian system, solved with conjugate gradients; bin-based cell
+shifting (FastPlace-style) with anchor pseudo-nets spreads overlapping
+cells over successive iterations.
+"""
+
+from repro.gp.netmodel import build_quadratic_system
+from repro.gp.quadratic import solve_quadratic_placement
+from repro.gp.mixed_size import MixedSizePlacer, place_cells_with_fixed_macros
+
+__all__ = [
+    "MixedSizePlacer",
+    "build_quadratic_system",
+    "place_cells_with_fixed_macros",
+    "solve_quadratic_placement",
+]

@@ -1,0 +1,286 @@
+"""Mixed-size analytical placer — the DREAMPlace [25] stand-in.
+
+Two entry points:
+
+- :class:`MixedSizePlacer` — full mixed-size placement: macros and cells
+  placed together by iterated quadratic solves + blockage-aware spreading,
+  then movable macros legalized by greedy displacement-minimal snapping.
+  This is the "[25]" baseline column of Table II and the initial-prototype
+  placement "[23]" feeding the clustering step.
+- :func:`place_cells_with_fixed_macros` — the flow's cell-placement step
+  (Sec. II-C): macros are fixed, cells are placed around them, and the
+  measured HPWL is returned.  This is what turns a macro-group allocation
+  into the wirelength the RL reward (Eq. 9) and the MCTS terminal
+  evaluation consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gp.quadratic import solve_quadratic_placement
+from repro.gp.spreading import blocked_area_grid, spread_step
+from repro.netlist.hpwl import FlatNetlist
+from repro.netlist.model import Design, NodeKind, PlacementRegion
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of an analytical placement run."""
+
+    hpwl: float
+    iterations: int
+    macro_overlap: float
+
+
+def _clamp_centers(
+    flat: FlatNetlist, idx: np.ndarray, region: PlacementRegion
+) -> None:
+    """Clamp node centers so rectangles stay inside *region*."""
+    half_w = flat.width[idx] / 2.0
+    half_h = flat.height[idx] / 2.0
+    flat.cx[idx] = np.clip(
+        flat.cx[idx],
+        region.x + half_w,
+        np.maximum(region.x + half_w, region.x_max - half_w),
+    )
+    flat.cy[idx] = np.clip(
+        flat.cy[idx],
+        region.y + half_h,
+        np.maximum(region.y + half_h, region.y_max - half_h),
+    )
+
+
+def _total_overlap(rects: list[tuple[float, float, float, float]]) -> float:
+    """Sum of pairwise intersection areas of (x, y, w, h) rectangles."""
+    total = 0.0
+    for i in range(len(rects)):
+        xi, yi, wi, hi = rects[i]
+        for j in range(i + 1, len(rects)):
+            xj, yj, wj, hj = rects[j]
+            w = min(xi + wi, xj + wj) - max(xi, xj)
+            h = min(yi + hi, yj + hj) - max(yi, yj)
+            if w > 0 and h > 0:
+                total += w * h
+    return total
+
+
+def legalize_macros_greedy(design: Design, max_radius_steps: int = 24) -> float:
+    """Snap movable macros to overlap-free positions near their GP targets.
+
+    Processes macros in non-increasing area order (the big ones anchor the
+    floorplan); each macro scans a spiral of candidate positions around its
+    analytical position and takes the closest candidate with no overlap
+    against preplaced or previously-legalized macros.  Returns the residual
+    pairwise macro overlap (0.0 when legalization fully succeeded).
+    """
+    region = design.region
+    placed: list[tuple[float, float, float, float]] = [
+        (m.x, m.y, m.width, m.height) for m in design.netlist.preplaced_macros
+    ]
+    movable = sorted(design.netlist.movable_macros, key=lambda m: -m.area)
+    if not movable:
+        return 0.0
+    step = max(
+        min(region.width, region.height) / (2.0 * max_radius_steps),
+        min(min(m.width, m.height) for m in movable) / 2.0,
+    )
+
+    def collides(x: float, y: float, w: float, h: float) -> bool:
+        for px, py, pw, ph in placed:
+            if x < px + pw and px < x + w and y < py + ph and py < y + h:
+                return True
+        return False
+
+    residual: list[tuple[float, float, float, float]] = []
+    for macro in movable:
+        tx, ty = macro.x, macro.y
+        best: tuple[float, float] | None = None
+        for ring in range(max_radius_steps + 1):
+            candidates: list[tuple[float, float]] = []
+            if ring == 0:
+                candidates.append((tx, ty))
+            else:
+                r = ring * step
+                n_angles = max(8, ring * 8)
+                for a in range(n_angles):
+                    theta = 2.0 * math.pi * a / n_angles
+                    candidates.append((tx + r * math.cos(theta), ty + r * math.sin(theta)))
+            found = None
+            for cx_, cy_ in candidates:
+                x = min(max(cx_, region.x), region.x_max - macro.width)
+                y = min(max(cy_, region.y), region.y_max - macro.height)
+                if not collides(x, y, macro.width, macro.height):
+                    d = (x - tx) ** 2 + (y - ty) ** 2
+                    if found is None or d < found[0]:
+                        found = (d, x, y)
+            if found is not None:
+                best = (found[1], found[2])
+                break
+        if best is None:
+            # No free slot found: keep the clamped analytical position.
+            best = (
+                min(max(tx, region.x), max(region.x, region.x_max - macro.width)),
+                min(max(ty, region.y), max(region.y, region.y_max - macro.height)),
+            )
+            residual.append((best[0], best[1], macro.width, macro.height))
+        macro.x, macro.y = best
+        placed.append((macro.x, macro.y, macro.width, macro.height))
+
+    if not residual:
+        return 0.0
+    all_rects = [(m.x, m.y, m.width, m.height) for m in movable] + [
+        (m.x, m.y, m.width, m.height) for m in design.netlist.preplaced_macros
+    ]
+    return _total_overlap(all_rects)
+
+
+class MixedSizePlacer:
+    """Quadratic + spreading mixed-size placer (DREAMPlace stand-in).
+
+    Args:
+        n_iterations: spreading/anchored-solve rounds after the initial
+            unconstrained solve.
+        n_bins: spreading grid resolution per axis (default: derived from
+            node count).
+        anchor_base/anchor_growth: anchor pseudo-net weight schedule; larger
+            weights freeze cells onto their spread targets in later rounds.
+        clique_threshold: max net degree handled by the clique net model.
+    """
+
+    def __init__(
+        self,
+        n_iterations: int = 5,
+        n_bins: int | None = None,
+        anchor_base: float = 0.01,
+        anchor_growth: float = 2.0,
+        clique_threshold: int = 6,
+        eta: float = 0.8,
+        spreader: str = "shift",
+    ) -> None:
+        if spreader not in ("shift", "electrostatic"):
+            raise ValueError(
+                f"spreader must be 'shift' or 'electrostatic', got {spreader!r}"
+            )
+        self.n_iterations = n_iterations
+        self.n_bins = n_bins
+        self.anchor_base = anchor_base
+        self.anchor_growth = anchor_growth
+        self.clique_threshold = clique_threshold
+        self.eta = eta
+        self.spreader = spreader
+
+    def _bins_for(self, n_movable: int) -> int:
+        if self.n_bins is not None:
+            return self.n_bins
+        return int(np.clip(round(math.sqrt(max(n_movable, 1)) / 2), 4, 64))
+
+    def _run(
+        self,
+        design: Design,
+        movable_mask: np.ndarray,
+        flat: FlatNetlist,
+        blockers: list | None = None,
+    ) -> int:
+        region = design.region
+        center = (region.x + region.width / 2.0, region.y + region.height / 2.0)
+        idx = np.flatnonzero(movable_mask)
+        if len(idx) == 0:
+            return 0
+        areas = flat.width[idx] * flat.height[idx]
+        nb = self._bins_for(len(idx))
+        if blockers is None:
+            blockers = [
+                n for n in design.netlist if n.fixed and n.kind is not NodeKind.PAD
+            ]
+        blocked = blocked_area_grid(region, blockers, nb, nb)
+
+        # Initial pure-connectivity solve.
+        solve_quadratic_placement(
+            flat, movable_mask, center, clique_threshold=self.clique_threshold
+        )
+        _clamp_centers(flat, idx, region)
+
+        electro = None
+        if self.spreader == "electrostatic":
+            from repro.gp.density import ElectrostaticSpreader
+
+            electro = ElectrostaticSpreader(bins=nb, blocked=blocked)
+
+        weight = self.anchor_base
+        iterations = 0
+        for _ in range(self.n_iterations):
+            if electro is not None:
+                sx, sy = flat.cx[idx].copy(), flat.cy[idx].copy()
+                for _sub in range(4):  # a few field steps per anchored solve
+                    sx, sy = electro.step(sx, sy, areas, region)
+            else:
+                sx, sy = spread_step(
+                    flat.cx[idx], flat.cy[idx], areas, region, blocked, eta=self.eta
+                )
+            solve_quadratic_placement(
+                flat,
+                movable_mask,
+                center,
+                clique_threshold=self.clique_threshold,
+                anchor_weight=np.full(len(idx), weight),
+                anchor_x=sx,
+                anchor_y=sy,
+            )
+            _clamp_centers(flat, idx, region)
+            weight *= self.anchor_growth
+            iterations += 1
+        return iterations
+
+    def place(self, design: Design, move_macros: bool = True) -> PlacementResult:
+        """Place *design* in-place and return the measured result.
+
+        With ``move_macros=False`` only standard cells move (macros must
+        already be fixed/placed); this is the configuration used as the
+        flow's final cell-placement step.
+        """
+        flat = FlatNetlist(design.netlist)
+        movable_mask = ~flat.fixed
+        blockers = None
+        if not move_macros:
+            for i, node in enumerate(design.netlist):
+                if node.kind is NodeKind.MACRO:
+                    movable_mask[i] = False
+                    flat.fixed[i] = True
+            blockers = list(design.netlist.macros)
+        iterations = self._run(design, movable_mask, flat, blockers=blockers)
+        flat.writeback()
+
+        overlap = 0.0
+        if move_macros:
+            overlap = legalize_macros_greedy(design)
+            flat.refresh_from_model()
+            # Re-place cells around the now-legal macros.
+            cell_mask = movable_mask.copy()
+            for i, node in enumerate(design.netlist):
+                if node.kind is NodeKind.MACRO:
+                    cell_mask[i] = False
+                    flat.fixed[i] = True
+            all_macros = list(design.netlist.macros)
+            iterations += self._run(design, cell_mask, flat, blockers=all_macros)
+            flat.writeback()
+
+        return PlacementResult(
+            hpwl=flat.total_hpwl(), iterations=iterations, macro_overlap=overlap
+        )
+
+
+def place_cells_with_fixed_macros(
+    design: Design, n_iterations: int = 4
+) -> float:
+    """Place standard cells around the current (fixed) macros; return HPWL.
+
+    This is the flow's Sec. II-C step: "After all the macros have been
+    placed, we leverage [a] mixed-size placer to generate [the] full
+    placement result, which also returns a measured wirelength value."
+    """
+    placer = MixedSizePlacer(n_iterations=n_iterations)
+    return placer.place(design, move_macros=False).hpwl

@@ -1,0 +1,163 @@
+"""Quadratic net models (clique / star).
+
+Quadratic placement minimizes Σ w_ij ((x_i - x_j)² + (y_i - y_j)²).  Each
+multi-pin net must first be decomposed into two-point connections:
+
+- **clique** — every pin pair, each with weight ``w / (k - 1)`` (the
+  standard normalization so total net weight is independent of degree);
+  used for small nets.
+- **star** — one auxiliary movable "star" node connected to every pin with
+  weight ``w·k / (k - 1)``; used for high-degree nets where a clique would
+  densify the system quadratically.
+
+The result is the (Laplacian) normal-equation system ``A x = b_x`` /
+``A y = b_y`` over movable nodes (plus star nodes), with fixed-node terms
+folded into the right-hand side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.netlist.hpwl import FlatNetlist
+
+
+@dataclass
+class QuadraticSystem:
+    """The assembled quadratic placement system.
+
+    ``A`` is symmetric positive semi-definite over the ``n_mov + n_star``
+    unknowns; ``bx``/``by`` carry fixed-pin contributions.  ``movable`` maps
+    unknown index -> node index in the originating :class:`FlatNetlist`
+    (star nodes have no mapping and occupy the tail of the unknown vector).
+    """
+
+    A: sp.csr_matrix
+    bx: np.ndarray
+    by: np.ndarray
+    movable: np.ndarray  # node indices of the first n_mov unknowns
+    n_star: int
+
+
+def build_quadratic_system(
+    flat: FlatNetlist,
+    movable_mask: np.ndarray,
+    clique_threshold: int = 6,
+    min_weight: float = 1e-9,
+) -> QuadraticSystem:
+    """Assemble ``A x = b`` from *flat* for the nodes selected by *movable_mask*.
+
+    Nodes where ``movable_mask`` is False are treated as fixed at their
+    current centers.  Nets whose pins are all fixed contribute nothing.
+    Nets of degree <= *clique_threshold* use the clique model, larger nets
+    the star model.
+    """
+    if movable_mask.shape != (flat.n_nodes,):
+        raise ValueError("movable_mask must have one entry per node")
+    movable = np.flatnonzero(movable_mask)
+    n_mov = len(movable)
+    unknown_of_node = -np.ones(flat.n_nodes, dtype=np.int64)
+    unknown_of_node[movable] = np.arange(n_mov)
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    n_star = 0
+    star_rows: list[tuple[int, list[int], list[float], float]] = []
+
+    # Pre-extract per-net pin slices once.
+    fx = flat.cx
+    fy = flat.cy
+
+    bx_fixed: dict[int, float] = {}
+    by_fixed: dict[int, float] = {}
+
+    def add_pair(u: int, v: int, w: float, xu: float, yu: float, xv: float, yv: float):
+        """Add a weighted two-point connection between unknowns/fixeds."""
+        if u >= 0 and v >= 0:
+            rows.extend((u, v, u, v))
+            cols.extend((u, v, v, u))
+            vals.extend((w, w, -w, -w))
+        elif u >= 0:
+            rows.append(u)
+            cols.append(u)
+            vals.append(w)
+            bx_fixed[u] = bx_fixed.get(u, 0.0) + w * xv
+            by_fixed[u] = by_fixed.get(u, 0.0) + w * yv
+        elif v >= 0:
+            rows.append(v)
+            cols.append(v)
+            vals.append(w)
+            bx_fixed[v] = bx_fixed.get(v, 0.0) + w * xu
+            by_fixed[v] = by_fixed.get(v, 0.0) + w * yu
+        # both fixed: constant term, ignore
+
+    for net_idx in range(flat.n_nets):
+        lo = int(flat.net_ptr[net_idx])
+        hi = int(flat.net_ptr[net_idx + 1])
+        nodes = flat.pin_node[lo:hi]
+        k = hi - lo
+        w_net = float(flat.net_weight[net_idx])
+        if w_net <= min_weight or k < 2:
+            continue
+        unknowns = unknown_of_node[nodes]
+        if np.all(unknowns < 0):
+            continue
+        if k <= clique_threshold:
+            w = w_net / (k - 1)
+            for a in range(k):
+                for b in range(a + 1, k):
+                    na, nb = int(nodes[a]), int(nodes[b])
+                    add_pair(
+                        int(unknowns[a]),
+                        int(unknowns[b]),
+                        w,
+                        fx[na],
+                        fy[na],
+                        fx[nb],
+                        fy[nb],
+                    )
+        else:
+            # Star: auxiliary unknown at index n_mov + star_id.
+            w = w_net * k / (k - 1)
+            star_id = n_mov + n_star
+            n_star += 1
+            neighbor_unknowns: list[int] = []
+            neighbor_weights: list[float] = []
+            fixed_x = fixed_y = 0.0
+            fixed_w = 0.0
+            for a in range(k):
+                ua = int(unknowns[a])
+                na = int(nodes[a])
+                rows.extend((star_id,))
+                cols.extend((star_id,))
+                vals.extend((w,))
+                if ua >= 0:
+                    rows.extend((ua, ua, star_id))
+                    cols.extend((ua, star_id, ua))
+                    vals.extend((w, -w, -w))
+                    neighbor_unknowns.append(ua)
+                    neighbor_weights.append(w)
+                else:
+                    fixed_x += w * fx[na]
+                    fixed_y += w * fy[na]
+                    fixed_w += w
+            star_rows.append((star_id, neighbor_unknowns, neighbor_weights, fixed_w))
+            if fixed_w > 0:
+                bx_fixed[star_id] = bx_fixed.get(star_id, 0.0) + fixed_x
+                by_fixed[star_id] = by_fixed.get(star_id, 0.0) + fixed_y
+
+    n = n_mov + n_star
+    A = sp.coo_matrix(
+        (np.asarray(vals), (np.asarray(rows), np.asarray(cols))), shape=(n, n)
+    ).tocsr()
+    bx = np.zeros(n)
+    by = np.zeros(n)
+    for i, v in bx_fixed.items():
+        bx[i] = v
+    for i, v in by_fixed.items():
+        by[i] = v
+    return QuadraticSystem(A=A, bx=bx, by=by, movable=movable, n_star=n_star)

@@ -1,0 +1,127 @@
+"""Sparse solves for quadratic placement.
+
+Solves the Laplacian systems assembled by
+:func:`repro.gp.netmodel.build_quadratic_system`.  The Laplacian is only
+positive *semi*-definite (connected components with no fixed pin float
+freely), so a small diagonal regularization anchored at the region center
+makes the solve unconditionally well-posed; anchor pseudo-nets (used by the
+spreading loop) enter the same way with per-node weights and targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.gp.netmodel import QuadraticSystem
+from repro.netlist.hpwl import FlatNetlist
+
+
+def solve_system(
+    system: QuadraticSystem,
+    center: tuple[float, float],
+    anchor_weight: np.ndarray | float = 0.0,
+    anchor_x: np.ndarray | None = None,
+    anchor_y: np.ndarray | None = None,
+    regularization: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solve for unknown x/y positions.
+
+    Args:
+        system: assembled quadratic system.
+        center: fallback target for the regularization anchor (die center).
+        anchor_weight: scalar or per-unknown pseudo-net weights pulling each
+            unknown toward (anchor_x, anchor_y) — the spreading loop's handle.
+        anchor_x/anchor_y: pseudo-net targets (default: die center).
+        regularization: tiny diagonal term guaranteeing positive definiteness.
+
+    Returns:
+        (x, y) arrays over all unknowns (movables first, then star nodes).
+    """
+    n = system.A.shape[0]
+    cx, cy = center
+    ax = np.full(n, cx) if anchor_x is None else np.asarray(anchor_x, dtype=float)
+    ay = np.full(n, cy) if anchor_y is None else np.asarray(anchor_y, dtype=float)
+    w = np.broadcast_to(np.asarray(anchor_weight, dtype=float), (n,)).copy()
+    w += regularization
+
+    A = system.A + sp.diags(w)
+    bx = system.bx + w * ax
+    by = system.by + w * ay
+
+    if n == 0:
+        return np.zeros(0), np.zeros(0)
+    if n <= 2000:
+        solve = spla.factorized(A.tocsc())
+        return solve(bx), solve(by)
+    x, _ = spla.cg(A, bx, rtol=1e-8, maxiter=2000)
+    y, _ = spla.cg(A, by, rtol=1e-8, maxiter=2000)
+    return x, y
+
+
+def solve_quadratic_placement(
+    flat: FlatNetlist,
+    movable_mask: np.ndarray,
+    region_center: tuple[float, float],
+    clique_threshold: int = 6,
+    anchor_weight: np.ndarray | float = 0.0,
+    anchor_x: np.ndarray | None = None,
+    anchor_y: np.ndarray | None = None,
+    apply: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-shot quadratic placement of the masked nodes of *flat*.
+
+    Builds the system against the *current* positions of fixed nodes and
+    solves it.  When *apply* is True the new centers are written back into
+    ``flat.cx/cy`` (the object model is untouched until
+    :meth:`FlatNetlist.writeback`).
+
+    Returns the (x, y) centers of the movable nodes, in ``movable_mask``
+    order (star-node positions are internal and discarded).
+    """
+    from repro.gp.netmodel import build_quadratic_system
+
+    system = build_quadratic_system(flat, movable_mask, clique_threshold)
+    n_mov = len(system.movable)
+    n = system.A.shape[0]
+
+    def expand(arr: np.ndarray | None) -> np.ndarray | None:
+        """Lift per-movable anchor arrays onto the full unknown vector."""
+        if arr is None:
+            return None
+        arr = np.asarray(arr, dtype=float)
+        if arr.shape == (n,):
+            return arr
+        if arr.shape == (n_mov,):
+            out = np.full(n, np.nan)
+            out[:n_mov] = arr
+            out[n_mov:] = region_center[0]  # placeholder, fixed below per-axis
+            return out
+        raise ValueError("anchor arrays must cover movables or all unknowns")
+
+    ax = expand(anchor_x)
+    ay = expand(anchor_y)
+    if ay is not None and len(ay) == n:
+        ay[n_mov:] = region_center[1]
+    w = anchor_weight
+    if isinstance(w, np.ndarray):
+        if w.shape == (n_mov,):
+            full_w = np.zeros(n)
+            full_w[:n_mov] = w
+            w = full_w
+        elif w.shape != (n,):
+            raise ValueError("anchor_weight array must cover movables or unknowns")
+
+    x, y = solve_system(
+        system,
+        center=region_center,
+        anchor_weight=w,
+        anchor_x=ax,
+        anchor_y=ay,
+    )
+    mx, my = x[:n_mov], y[:n_mov]
+    if apply:
+        flat.cx[system.movable] = mx
+        flat.cy[system.movable] = my
+    return mx, my

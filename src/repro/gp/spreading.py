@@ -1,0 +1,123 @@
+"""Blockage-aware cell spreading (FastPlace-style cell shifting).
+
+Quadratic solves collapse cells toward their connectivity centroid; the
+spreading pass redistributes them.  The algorithm is 1-D shifting applied
+alternately along x (within horizontal bin strips) and y (within vertical
+strips):
+
+1. rasterize *blocked* area (fixed macros / preplaced blocks) into the bin
+   grid and derive each bin's free capacity;
+2. within each strip, map the cumulative cell-area distribution onto the
+   cumulative free-capacity distribution (piecewise-linear inverse), so
+   cells flow out of dense and blocked bins;
+3. blend the mapped target with the current position by a damping factor η.
+
+Making capacity blockage-aware is what lets the final cell placement
+*respond* to macro positions — the property the paper's reward relies on
+(bad macro placements must show up as longer measured wirelength).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.model import Node, PlacementRegion
+
+
+def blocked_area_grid(
+    region: PlacementRegion, blockers: list[Node], nx: int, ny: int
+) -> np.ndarray:
+    """(ny, nx) array of area blocked by *blockers* in each bin."""
+    blocked = np.zeros((ny, nx))
+    bw = region.width / nx
+    bh = region.height / ny
+    for node in blockers:
+        c0 = int(np.floor((node.x - region.x) / bw))
+        c1 = int(np.ceil((node.x + node.width - region.x) / bw))
+        r0 = int(np.floor((node.y - region.y) / bh))
+        r1 = int(np.ceil((node.y + node.height - region.y) / bh))
+        for r in range(max(r0, 0), min(r1, ny)):
+            for c in range(max(c0, 0), min(c1, nx)):
+                x_lo = region.x + c * bw
+                y_lo = region.y + r * bh
+                w = min(node.x + node.width, x_lo + bw) - max(node.x, x_lo)
+                h = min(node.y + node.height, y_lo + bh) - max(node.y, y_lo)
+                if w > 0 and h > 0:
+                    blocked[r, c] += w * h
+    return blocked
+
+
+def _spread_axis(
+    pos_main: np.ndarray,
+    pos_cross: np.ndarray,
+    areas: np.ndarray,
+    main_lo: float,
+    main_hi: float,
+    cross_lo: float,
+    cross_hi: float,
+    capacity: np.ndarray,
+    eta: float,
+) -> np.ndarray:
+    """One 1-D shifting pass.
+
+    ``capacity`` has shape (n_strips, n_bins): free capacity of each bin
+    along the main axis, per cross-axis strip.  Returns updated main-axis
+    coordinates.
+    """
+    n_strips, n_bins = capacity.shape
+    out = pos_main.copy()
+    strip_h = (cross_hi - cross_lo) / n_strips
+    strip_idx = np.clip(
+        ((pos_cross - cross_lo) / strip_h).astype(int), 0, n_strips - 1
+    )
+    boundaries = np.linspace(main_lo, main_hi, n_bins + 1)
+    for s in range(n_strips):
+        mask = strip_idx == s
+        if not mask.any():
+            continue
+        cap = np.maximum(capacity[s], 1e-9)
+        cum_cap = np.concatenate(([0.0], np.cumsum(cap)))
+        total_cap = cum_cap[-1]
+        idx = np.flatnonzero(mask)
+        order = idx[np.argsort(pos_main[idx], kind="stable")]
+        a = areas[order]
+        total_area = a.sum()
+        if total_area <= 0:
+            continue
+        # Cumulative area at each cell's midpoint, normalized to capacity.
+        cum_area = np.cumsum(a) - a / 2.0
+        targets_cap = cum_area / total_area * total_cap
+        target_pos = np.interp(targets_cap, cum_cap, boundaries)
+        out[order] = (1.0 - eta) * pos_main[order] + eta * target_pos
+    return out
+
+
+def spread_step(
+    cx: np.ndarray,
+    cy: np.ndarray,
+    areas: np.ndarray,
+    region: PlacementRegion,
+    blocked: np.ndarray,
+    eta: float = 0.8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One x-pass followed by one y-pass of blockage-aware shifting.
+
+    *blocked* is the (ny, nx) blocked-area grid from
+    :func:`blocked_area_grid`; bin free capacity is ``bin_area - blocked``.
+    Returns damped target centers (inputs are not modified).
+    """
+    ny, nx = blocked.shape
+    bin_area = (region.width / nx) * (region.height / ny)
+    free = np.clip(bin_area - blocked, 0.0, None)
+
+    new_cx = _spread_axis(
+        cx, cy, areas,
+        region.x, region.x_max, region.y, region.y_max,
+        capacity=free, eta=eta,
+    )
+    new_cy = _spread_axis(
+        cy, new_cx, areas,
+        region.y, region.y_max, region.x, region.x_max,
+        capacity=free.T.copy(), eta=eta,
+    )
+    return new_cx, new_cy

@@ -1,0 +1,5 @@
+"""Grid substrate: ζ×ζ partitioning of the placement region (Sec. II-A)."""
+
+from repro.grid.plan import GridPlan
+
+__all__ = ["GridPlan"]

@@ -1,0 +1,124 @@
+"""ζ×ζ grid partitioning of the placement region.
+
+The paper's first preprocessing step "divides a placement region into a
+grid-based structure" with ζ=16.  The RL agent and MCTS allocate macro
+groups to these grid cells; the state tensors s_p and s_a (Sec. III-B) are
+ζ×ζ images over this plan.
+
+Conventions:
+
+- grids are indexed ``(row, col)`` with row 0 at the *bottom* (y increasing
+  with row index), matching the geometric orientation of the die;
+- a flat index ``g = row * zeta + col`` is used as the RL/MCTS action id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.model import Node, PlacementRegion
+
+
+@dataclass(frozen=True)
+class GridPlan:
+    """An immutable ζ×ζ partition of a :class:`PlacementRegion`."""
+
+    region: PlacementRegion
+    zeta: int = 16
+
+    def __post_init__(self) -> None:
+        if self.zeta < 1:
+            raise ValueError("zeta must be >= 1")
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def cell_width(self) -> float:
+        return self.region.width / self.zeta
+
+    @property
+    def cell_height(self) -> float:
+        return self.region.height / self.zeta
+
+    @property
+    def cell_area(self) -> float:
+        return self.cell_width * self.cell_height
+
+    @property
+    def n_grids(self) -> int:
+        return self.zeta * self.zeta
+
+    def flat_index(self, row: int, col: int) -> int:
+        """Flat action id of grid (row, col)."""
+        if not (0 <= row < self.zeta and 0 <= col < self.zeta):
+            raise IndexError(f"grid ({row}, {col}) outside {self.zeta}x{self.zeta}")
+        return row * self.zeta + col
+
+    def row_col(self, flat: int) -> tuple[int, int]:
+        """Inverse of :meth:`flat_index`."""
+        if not 0 <= flat < self.n_grids:
+            raise IndexError(f"flat index {flat} outside 0..{self.n_grids - 1}")
+        return divmod(flat, self.zeta)
+
+    def origin(self, row: int, col: int) -> tuple[float, float]:
+        """Lower-left corner of grid (row, col) in die coordinates."""
+        return (
+            self.region.x + col * self.cell_width,
+            self.region.y + row * self.cell_height,
+        )
+
+    def center(self, row: int, col: int) -> tuple[float, float]:
+        """Center of grid (row, col) in die coordinates."""
+        ox, oy = self.origin(row, col)
+        return ox + self.cell_width / 2.0, oy + self.cell_height / 2.0
+
+    def bounds(self, row: int, col: int) -> tuple[float, float, float, float]:
+        """(x_min, y_min, x_max, y_max) of grid (row, col)."""
+        ox, oy = self.origin(row, col)
+        return ox, oy, ox + self.cell_width, oy + self.cell_height
+
+    def grid_of_point(self, x: float, y: float) -> tuple[int, int]:
+        """Grid (row, col) containing point (x, y), clamped to the plan."""
+        col = int((x - self.region.x) / self.cell_width)
+        row = int((y - self.region.y) / self.cell_height)
+        return (
+            min(max(row, 0), self.zeta - 1),
+            min(max(col, 0), self.zeta - 1),
+        )
+
+    # -- footprints ------------------------------------------------------------
+    def span(self, width: float, height: float) -> tuple[int, int]:
+        """Grid footprint (rows, cols) of a ``width``×``height`` rectangle.
+
+        This is the dimension of the paper's s_m matrix: "the number of grids
+        occupied by M_t".  A rectangle no larger than one grid cell spans
+        (1, 1); partial overflows round up.
+        """
+        cols = max(1, int(np.ceil(width / self.cell_width - 1e-9)))
+        rows = max(1, int(np.ceil(height / self.cell_height - 1e-9)))
+        return min(rows, self.zeta), min(cols, self.zeta)
+
+    def occupancy(self, nodes: list[Node]) -> np.ndarray:
+        """ζ×ζ area-occupancy image of *nodes* (uncapped grid utilization).
+
+        Each node's rectangle is rasterized onto the grid; the returned array
+        holds occupied area divided by grid area (may exceed 1 before the
+        cap the state representation applies).
+        """
+        occ = np.zeros((self.zeta, self.zeta))
+        gx = self.cell_width
+        gy = self.cell_height
+        for node in nodes:
+            c0 = int(np.floor((node.x - self.region.x) / gx))
+            c1 = int(np.ceil((node.x + node.width - self.region.x) / gx))
+            r0 = int(np.floor((node.y - self.region.y) / gy))
+            r1 = int(np.ceil((node.y + node.height - self.region.y) / gy))
+            for r in range(max(r0, 0), min(r1, self.zeta)):
+                for c in range(max(c0, 0), min(c1, self.zeta)):
+                    x_lo, y_lo, x_hi, y_hi = self.bounds(r, c)
+                    w = min(node.x + node.width, x_hi) - max(node.x, x_lo)
+                    h = min(node.y + node.height, y_hi) - max(node.y, y_lo)
+                    if w > 0 and h > 0:
+                        occ[r, c] += (w * h) / self.cell_area
+        return occ

@@ -1,0 +1,255 @@
+"""The three-step macro legalization pipeline (Sec. II-B).
+
+Input: a :class:`~repro.coarsen.coarse.CoarseNetlist` and an *assignment*
+mapping each macro group to its anchor grid (the lower-left grid of the
+group's span).  Output: exact, overlap-free macro coordinates written into
+the underlying design.
+
+Step 1 — cell groups by QP, macro groups fixed at their span centers.
+Step 2 — groups decomposed; member macros refined by QP with cell groups
+         fixed, then each macro clamped into its group's span rectangle.
+Step 3 — per-group overlap removal: sequence pair extraction + the Eq. 3
+         LP along x then y, inside the span rectangle.
+
+Groups that were allocated to overlapping spans (the availability mask
+discourages but cannot always prevent this) may still collide *across*
+groups; a final greedy displacement-minimal repair pass
+(:func:`repro.gp.mixed_size.legalize_macros_greedy`) clears residual
+overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coarsen.coarse import CoarseNetlist
+from repro.gp.mixed_size import legalize_macros_greedy
+from repro.gp.quadratic import solve_quadratic_placement
+from repro.legalize.lp_spread import AxisNet, lp_legalize_axis
+from repro.legalize.sequence_pair import extract_sequence_pair
+from repro.netlist.hpwl import FlatNetlist
+from repro.netlist.model import NodeKind
+
+
+@dataclass(frozen=True)
+class SpanRect:
+    """A macro group's assigned rectangle in die coordinates."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def cx(self) -> float:
+        return self.x + self.width / 2.0
+
+    @property
+    def cy(self) -> float:
+        return self.y + self.height / 2.0
+
+
+def anchor_for_span(
+    plan, flat_grid: int, rows: int, cols: int
+) -> tuple[int, int]:
+    """Clamp an anchor grid so a rows×cols span stays inside the plan."""
+    r, c = plan.row_col(flat_grid)
+    r = min(r, plan.zeta - rows)
+    c = min(c, plan.zeta - cols)
+    return max(r, 0), max(c, 0)
+
+
+def span_rect(coarse: CoarseNetlist, group_index: int, flat_grid: int) -> SpanRect:
+    """Die-coordinate rectangle covered by *group_index* anchored at *flat_grid*."""
+    plan = coarse.plan
+    rows, cols = coarse.group_span(group_index)
+    r, c = anchor_for_span(plan, flat_grid, rows, cols)
+    ox, oy = plan.origin(r, c)
+    return SpanRect(
+        x=ox, y=oy, width=cols * plan.cell_width, height=rows * plan.cell_height
+    )
+
+
+class MacroLegalizer:
+    """Runs the Sec. II-B pipeline against a coarse netlist."""
+
+    def __init__(
+        self,
+        lp_net_limit: int = 200,
+        cleanup: bool = True,
+        qp_clique_threshold: int = 6,
+    ) -> None:
+        self.lp_net_limit = lp_net_limit
+        self.cleanup = cleanup
+        self.qp_clique_threshold = qp_clique_threshold
+
+    # -- step 1 ---------------------------------------------------------------
+    def _place_cell_groups(
+        self, coarse: CoarseNetlist, rects: list[SpanRect]
+    ) -> None:
+        """QP the coarse netlist with macro groups pinned to their spans."""
+        coarse_nl = coarse.as_netlist()
+        for i, rect in enumerate(rects):
+            node = coarse_nl[coarse.group_node_name(i)]
+            node.move_center_to(rect.cx, rect.cy)
+            node.fixed = True
+        flat = FlatNetlist(coarse_nl)
+        movable = ~flat.fixed
+        region = coarse.design.region
+        center = (region.x + region.width / 2.0, region.y + region.height / 2.0)
+        solve_quadratic_placement(
+            flat, movable, center, clique_threshold=self.qp_clique_threshold
+        )
+        flat.writeback()
+        # Record solved centroids back onto the cell groups.
+        n_mg = coarse.n_macro_groups
+        for j, g in enumerate(coarse.cell_groups):
+            node = coarse_nl[coarse.group_node_name(n_mg + j)]
+            g.cx, g.cy = node.cx, node.cy
+
+    # -- step 2 ---------------------------------------------------------------
+    def _refine_macros(self, coarse: CoarseNetlist, rects: list[SpanRect]) -> None:
+        """Scatter groups, pin cells to their group centroids, QP the macros."""
+        design = coarse.design
+        for i, rect in enumerate(rects):
+            coarse.scatter_macro_group(i, rect.cx, rect.cy)
+        for g in coarse.cell_groups:
+            for name in g.members:
+                design.netlist[name].move_center_to(g.cx, g.cy)
+
+        flat = FlatNetlist(design.netlist)
+        movable = np.zeros(flat.n_nodes, dtype=bool)
+        for i, node in enumerate(design.netlist):
+            movable[i] = node.kind is NodeKind.MACRO and not node.fixed
+        region = design.region
+        center = (region.x + region.width / 2.0, region.y + region.height / 2.0)
+        solve_quadratic_placement(
+            flat, movable, center, clique_threshold=self.qp_clique_threshold
+        )
+        flat.writeback()
+
+        # Confine each macro to its group's span rectangle.
+        rect_of_macro: dict[str, SpanRect] = {}
+        for i, g in enumerate(coarse.macro_groups):
+            for name in g.members:
+                rect_of_macro[name] = rects[i]
+        for name, rect in rect_of_macro.items():
+            node = design.netlist[name]
+            node.x = min(max(node.x, rect.x), max(rect.x, rect.x + rect.width - node.width))
+            node.y = min(
+                max(node.y, rect.y), max(rect.y, rect.y + rect.height - node.height)
+            )
+
+    # -- step 3 ---------------------------------------------------------------
+    def _axis_nets(
+        self,
+        coarse: CoarseNetlist,
+        member_index: dict[str, int],
+        axis: str,
+    ) -> list[AxisNet]:
+        """Project original nets touching the region's macros onto one axis."""
+        design = coarse.design
+        nets: list[AxisNet] = []
+        for net in design.netlist.nets:
+            movable_pins: list[tuple[int, float]] = []
+            fixed_positions: list[float] = []
+            for pin in net.pins:
+                node = design.netlist[pin.node]
+                if pin.node in member_index:
+                    if axis == "x":
+                        off = node.width / 2.0 + pin.dx
+                    else:
+                        off = node.height / 2.0 + pin.dy
+                    movable_pins.append((member_index[pin.node], off))
+                else:
+                    if axis == "x":
+                        fixed_positions.append(node.cx + pin.dx)
+                    else:
+                        fixed_positions.append(node.cy + pin.dy)
+            if movable_pins:
+                nets.append(
+                    AxisNet(
+                        weight=net.weight,
+                        pins=movable_pins,
+                        fixed_positions=fixed_positions[:4],
+                    )
+                )
+        nets.sort(key=lambda n: -n.weight)
+        return nets[: self.lp_net_limit]
+
+    def _legalize_region(
+        self, coarse: CoarseNetlist, group_index: int, rect: SpanRect
+    ) -> None:
+        design = coarse.design
+        members = [
+            design.netlist[name]
+            for name in coarse.macro_groups[group_index].members
+        ]
+        if len(members) == 0:
+            return
+        member_index = {m.name: k for k, m in enumerate(members)}
+        xs = np.array([m.x for m in members])
+        ys = np.array([m.y for m in members])
+        ws = np.array([m.width for m in members])
+        hs = np.array([m.height for m in members])
+
+        if len(members) == 1:
+            m = members[0]
+            m.x = min(max(m.x, rect.x), max(rect.x, rect.x + rect.width - m.width))
+            m.y = min(max(m.y, rect.y), max(rect.y, rect.y + rect.height - m.height))
+            return
+
+        sp_pair = extract_sequence_pair(xs, ys, ws, hs)
+        h_edges, v_edges = sp_pair.relations()
+
+        x_nets = self._axis_nets(coarse, member_index, "x")
+        new_x = lp_legalize_axis(
+            ws, h_edges, rect.x, rect.x + rect.width, x_nets
+        )
+        for k, m in enumerate(members):
+            m.x = float(new_x[k])
+
+        y_nets = self._axis_nets(coarse, member_index, "y")
+        new_y = lp_legalize_axis(
+            hs, v_edges, rect.y, rect.y + rect.height, y_nets
+        )
+        for k, m in enumerate(members):
+            m.y = float(new_y[k])
+
+    # -- entry point ------------------------------------------------------------
+    def legalize(self, coarse: CoarseNetlist, assignment: list[int]) -> None:
+        """Run all three steps for *assignment* (anchor grid per macro group).
+
+        Mutates macro positions in ``coarse.design``.  Cell positions are
+        also touched (pinned at their group centroids) — the flow's final
+        cell-placement step re-places them properly afterwards.
+        """
+        if len(assignment) != coarse.n_macro_groups:
+            raise ValueError(
+                f"assignment covers {len(assignment)} groups, "
+                f"expected {coarse.n_macro_groups}"
+            )
+        rects = [
+            span_rect(coarse, i, int(flat_grid))
+            for i, flat_grid in enumerate(assignment)
+        ]
+        self._place_cell_groups(coarse, rects)
+        self._refine_macros(coarse, rects)
+        for i, rect in enumerate(rects):
+            self._legalize_region(coarse, i, rect)
+        if self.cleanup:
+            design = coarse.design
+            macros = design.netlist.movable_macros
+            has_overlap = False
+            blockers = macros + design.netlist.preplaced_macros
+            for i in range(len(blockers)):
+                for j in range(i + 1, len(blockers)):
+                    if blockers[i].overlaps(blockers[j]):
+                        has_overlap = True
+                        break
+                if has_overlap:
+                    break
+            if has_overlap:
+                legalize_macros_greedy(design)

@@ -1,0 +1,17 @@
+"""MCTS placement optimization guided by the pre-trained agent (Sec. IV)."""
+
+from repro.mcts.search import (
+    MCTSConfig,
+    MCTSPlacer,
+    SearchResult,
+    principal_variation,
+)
+from repro.mcts.node import Node
+
+__all__ = [
+    "MCTSConfig",
+    "MCTSPlacer",
+    "Node",
+    "SearchResult",
+    "principal_variation",
+]

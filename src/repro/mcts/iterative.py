@@ -1,0 +1,191 @@
+"""AlphaZero-style iterative MCTS↔RL training — the loop the paper avoids.
+
+Sec. I-B recounts Silver et al.'s scheme: MCTS generates training samples,
+the network trains on them, the improved network guides the next MCTS, and
+so on.  The paper deliberately runs MCTS **once**, after A2C pre-training,
+arguing the iterative loop's cost explodes with design size (every MCTS
+sample requires cell placements).
+
+This module implements the avoided loop as an *extension*, so the design
+decision can be measured (see ``benchmarks/bench_ablation_iterative.py``):
+
+- each round runs a full MCTS placement with the current network,
+  recording for every committed step the state planes and the
+  visit-count distribution over actions (the AlphaZero policy target);
+- the terminal reward of the committed assignment becomes the value
+  target z of every step;
+- the network trains on cross-entropy(π_visit, p_θ) + MSE(z, v_θ).
+
+The cost asymmetry the paper predicts is directly observable: one
+iterative round costs roughly a whole MCTS placement, whereas one A2C
+episode costs a single legalize-and-place call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agent.network import PolicyValueNet
+from repro.agent.reward import RewardFunction
+from repro.env.placement_env import MacroGroupPlacementEnv
+from repro.mcts.search import MCTSConfig, MCTSPlacer
+from repro.nn.functional import masked_softmax
+from repro.nn.optim import Adam, clip_gradients
+
+
+@dataclass
+class _Sample:
+    planes: np.ndarray  # (3, ζ, ζ)
+    mask: np.ndarray  # (ζ²,)
+    pi: np.ndarray  # (ζ²,) visit distribution
+    z: float  # terminal value of the episode
+
+
+@dataclass
+class IterativeHistory:
+    """Per-round telemetry of the iterative loop."""
+
+    wirelengths: list[float] = field(default_factory=list)
+    rewards: list[float] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+    terminal_evaluations: list[int] = field(default_factory=list)
+
+    def best_wirelength(self) -> float:
+        return min(self.wirelengths) if self.wirelengths else float("nan")
+
+
+class IterativeMCTSTrainer:
+    """Alternates MCTS sample generation and network updates."""
+
+    def __init__(
+        self,
+        env: MacroGroupPlacementEnv,
+        network: PolicyValueNet,
+        reward_fn: RewardFunction,
+        mcts_config: MCTSConfig = MCTSConfig(),
+        lr: float = 1e-3,
+        grad_clip: float = 5.0,
+        train_epochs: int = 4,
+        root_noise_frac: float = 0.25,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.reward_fn = reward_fn
+        self.mcts_config = mcts_config
+        self.optimizer = Adam(network.parameters(), lr=lr)
+        self.grad_clip = grad_clip
+        self.train_epochs = train_epochs
+        self.root_noise_frac = root_noise_frac
+
+    # -- sample generation ---------------------------------------------------
+    def _collect_round(self, seed: int) -> tuple[list[_Sample], float, int]:
+        """One MCTS placement; returns samples, wirelength, #terminal evals."""
+        from dataclasses import replace
+
+        config = replace(
+            self.mcts_config,
+            seed=seed,
+            root_noise_frac=self.root_noise_frac,
+        )
+        placer = MCTSPlacer(self.env, self.network, self.reward_fn, config)
+
+        # Re-run the search step by step, capturing visit distributions.
+        from repro.agent.state import StateBuilder
+
+        samples: list[_Sample] = []
+        n_steps = self.env.n_steps
+        from repro.mcts.node import Node
+
+        root = Node(depth=0)
+        builder = StateBuilder(self.env.coarse)
+        if n_steps:
+            placer._expand(root, builder, [])
+            placer._apply_root_noise(root)
+        committed: list[int] = []
+        committed_path: list[tuple[Node, int]] = []
+        current = root
+        for _step in range(n_steps):
+            if not current.expanded:
+                b = StateBuilder(self.env.coarse)
+                for a in committed:
+                    b.apply(a)
+                placer._expand(current, b, list(committed))
+            for _ in range(config.explorations):
+                placer._explore(root, committed, committed_path, current)
+
+            # Record the state + visit distribution at this decision point.
+            state_builder = StateBuilder(self.env.coarse)
+            for a in committed:
+                state_builder.apply(a)
+            state = state_builder.observe()
+            pi = np.zeros(self.env.n_actions)
+            total_visits = current.visit.sum()
+            if total_visits > 0:
+                pi[current.actions] = current.visit / total_visits
+            else:
+                pi[current.actions] = 1.0 / len(current.actions)
+            samples.append(
+                _Sample(
+                    planes=self.network.pack_planes(
+                        state.s_p, state.s_a, state.t, state.total_steps
+                    )[0],
+                    mask=state.action_mask.copy(),
+                    pi=pi,
+                    z=0.0,  # filled after the terminal evaluation
+                )
+            )
+
+            idx = current.most_visited_index()
+            committed_path.append((current, idx))
+            committed.append(int(current.actions[idx]))
+            current = current.child_for(idx)
+
+        wirelength = self.env.evaluate_assignment(committed)
+        z = float(self.reward_fn(wirelength))
+        for s in samples:
+            s.z = z
+        return samples, wirelength, placer.n_terminal_evaluations
+
+    # -- network update ---------------------------------------------------------
+    def _train_on(self, samples: list[_Sample]) -> float:
+        if not samples:
+            return 0.0
+        net = self.network
+        net.train(True)
+        x = np.stack([s.planes for s in samples])
+        masks = np.stack([s.mask for s in samples])
+        pis = np.stack([s.pi for s in samples])
+        zs = np.array([s.z for s in samples])
+        b = len(samples)
+        loss = 0.0
+        for _ in range(self.train_epochs):
+            logits, values = net.forward(x)
+            probs = masked_softmax(logits, masks, axis=1)
+            # Cross-entropy to the visit distribution; same (p − π) gradient
+            # shape as the A2C case.
+            dlogits = (probs - pis) / b
+            dvalues = 2.0 * (values - zs) / b
+            safe = np.clip(probs, 1e-12, None)
+            policy_loss = float(-(pis * np.log(safe)).sum(axis=1).mean())
+            value_loss = float(((values - zs) ** 2).mean())
+            loss = policy_loss + value_loss
+            net.zero_grad()
+            net.backward(dlogits, dvalues)
+            clip_gradients(net.parameters(), self.grad_clip)
+            self.optimizer.step()
+        return loss
+
+    # -- main loop -----------------------------------------------------------------
+    def train(self, n_rounds: int) -> IterativeHistory:
+        """Run *n_rounds* of generate-and-train; returns the telemetry."""
+        history = IterativeHistory()
+        for round_idx in range(n_rounds):
+            samples, wirelength, n_term = self._collect_round(seed=round_idx)
+            loss = self._train_on(samples)
+            history.wirelengths.append(wirelength)
+            history.rewards.append(float(self.reward_fn(wirelength)))
+            history.losses.append(loss)
+            history.terminal_evaluations.append(n_term)
+        return history

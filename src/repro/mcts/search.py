@@ -1,0 +1,245 @@
+"""Agent-guided MCTS over macro-group allocation (Sec. IV-B, Alg. 1 l.11–16).
+
+The search runs once, after RL pre-training.  For each macro group in order
+it performs γ *explorations* from the current committed node, then commits
+the most-visited edge.  Each exploration:
+
+1. **Selection** — descend by argmax(Q + U) (Eq. 10/11) until an
+   unexplored node s_s is reached.
+2. **Expansion** — mark s_s explored; create its edges with N=W=Q=0 and
+   P = π_θ(s_s).
+3. **Evaluation** — *non-terminal* s_s is scored by the value network
+   v_θ(s_s) directly (no rollout); *terminal* s_s triggers the real
+   legalize-and-place pipeline, whose measured wirelength is converted to a
+   value by the same reward function used in training.  Terminal values are
+   cached per assignment.
+4. **Backpropagation** — N/W/Q updated along the whole path to the root
+   (Eq. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agent.network import PolicyValueNet
+from repro.agent.reward import RewardFunction
+from repro.agent.state import StateBuilder
+from repro.env.placement_env import MacroGroupPlacementEnv
+from repro.mcts.node import Node
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class MCTSConfig:
+    """Search knobs.  ``c_puct`` defaults to the paper's 1.05."""
+
+    c_puct: float = 1.05
+    explorations: int = 40  # γ
+    #: Dirichlet root noise (0 disables; the paper does not use noise, but
+    #: the ablation benches expose it).
+    root_noise_frac: float = 0.0
+    root_noise_alpha: float = 0.3
+    seed: int = 0
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one full MCTS placement."""
+
+    assignment: list[int]
+    wirelength: float
+    reward: float
+    #: committed (depth, action) pairs in order — the traced-back path
+    path: list[tuple[int, int]] = field(default_factory=list)
+    n_terminal_evaluations: int = 0
+    n_network_evaluations: int = 0
+    #: best *terminal* assignment visited anywhere during the search — an
+    #: anytime byproduct; the committed path is the paper-faithful result.
+    best_terminal_assignment: list[int] | None = None
+    best_terminal_wirelength: float = float("inf")
+
+
+class MCTSPlacer:
+    """Runs the placement-optimization stage against an environment."""
+
+    def __init__(
+        self,
+        env: MacroGroupPlacementEnv,
+        network: PolicyValueNet,
+        reward_fn: RewardFunction,
+        config: MCTSConfig = MCTSConfig(),
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.reward_fn = reward_fn
+        self.config = config
+        self.rng = ensure_rng(config.seed)
+        self._terminal_cache: dict[tuple[int, ...], float] = {}
+        self.n_terminal_evaluations = 0
+        self.n_network_evaluations = 0
+        self.best_terminal_assignment: list[int] | None = None
+        self.best_terminal_wirelength = float("inf")
+
+    # -- node expansion helpers ---------------------------------------------------
+    def _expand(
+        self, node: Node, builder: StateBuilder, prefix: list[int]
+    ) -> float:
+        """Expand *node* (state = builder's current) and return its value.
+
+        *prefix* is the action sequence leading to *node* — unused by the
+        value-network evaluation here, but rollout-based variants (the
+        Sec. IV-B3 ablation) need it to complete assignments.
+        """
+        state = builder.observe()
+        probs, value = self.network.evaluate(
+            state.s_p, state.s_a, state.t, state.total_steps
+        )
+        self.n_network_evaluations += 1
+        mask = state.action_mask
+        actions = np.flatnonzero(mask > 0)
+        prior = probs[actions]
+        total = prior.sum()
+        prior = prior / total if total > 0 else np.full(len(actions), 1.0 / len(actions))
+        node.actions = actions.astype(np.int64)
+        node.prior = prior
+        node.visit = np.zeros(len(actions))
+        node.total_value = np.zeros(len(actions))
+        node.expanded = True
+        return value
+
+    def _terminal_value(self, assignment: list[int]) -> float:
+        key = tuple(assignment)
+        cached = self._terminal_cache.get(key)
+        if cached is not None:
+            return cached
+        wirelength = self.env.evaluate_assignment(assignment)
+        self.n_terminal_evaluations += 1
+        if wirelength < self.best_terminal_wirelength:
+            self.best_terminal_wirelength = wirelength
+            self.best_terminal_assignment = list(assignment)
+        value = float(self.reward_fn(wirelength))
+        self._terminal_cache[key] = value
+        return value
+
+    def _apply_root_noise(self, node: Node) -> None:
+        frac = self.config.root_noise_frac
+        if frac <= 0 or len(node.prior) == 0:
+            return
+        noise = self.rng.dirichlet(
+            np.full(len(node.prior), self.config.root_noise_alpha)
+        )
+        node.prior = (1 - frac) * node.prior + frac * noise
+
+    # -- one exploration --------------------------------------------------------------
+    def _explore(
+        self,
+        root: Node,
+        committed: list[int],
+        path_to_target: list[tuple[Node, int]],
+        target: Node,
+    ) -> None:
+        """One selection→expansion→evaluation→backpropagation pass.
+
+        *path_to_target* holds (node, action_index) pairs for the committed
+        prefix so backpropagation can run all the way to the root, as the
+        paper's Fig. 3 shows.
+        """
+        builder = StateBuilder(self.env.coarse)
+        for a in committed:
+            builder.apply(a)
+
+        path: list[tuple[Node, int]] = list(path_to_target)
+        node = target
+        actions_taken = list(committed)
+
+        # Selection: descend through expanded nodes.
+        while node.expanded and not node.terminal:
+            idx = node.select_child_index(self.config.c_puct)
+            path.append((node, idx))
+            actions_taken.append(int(node.actions[idx]))
+            builder.apply(int(node.actions[idx]))
+            node = node.child_for(idx)
+
+        # Evaluation (+ expansion for non-terminals).
+        if builder.done():
+            node.terminal = True
+            if node.terminal_value is None:
+                node.terminal_value = self._terminal_value(actions_taken)
+            value = node.terminal_value
+        else:
+            value = self._expand(node, builder, actions_taken)
+
+        # Backpropagation to the root (Eq. 12).
+        for parent, idx in path:
+            parent.record(idx, value)
+
+    # -- full placement ------------------------------------------------------------------
+    def run(self) -> SearchResult:
+        """Place every macro group; returns the final traced-back result.
+
+        The search tree's root survives on ``self.last_root`` for post-hoc
+        analysis (:func:`principal_variation`, visit statistics).
+        """
+        env = self.env
+        n_steps = env.n_steps
+        root = Node(depth=0)
+        self.last_root = root
+
+        builder = StateBuilder(env.coarse)
+        if n_steps > 0:
+            self._expand(root, builder, [])
+            self._apply_root_noise(root)
+
+        committed: list[int] = []
+        committed_path: list[tuple[Node, int]] = []
+        current = root
+        path: list[tuple[int, int]] = []
+
+        for step in range(n_steps):
+            if not current.expanded:
+                b = StateBuilder(env.coarse)
+                for a in committed:
+                    b.apply(a)
+                self._expand(current, b, list(committed))
+            for _ in range(self.config.explorations):
+                self._explore(root, committed, committed_path, current)
+            idx = current.most_visited_index()
+            action = int(current.actions[idx])
+            path.append((step, action))
+            committed_path.append((current, idx))
+            committed.append(action)
+            current = current.child_for(idx)
+
+        wirelength = env.evaluate_assignment(committed)
+        return SearchResult(
+            assignment=committed,
+            wirelength=wirelength,
+            reward=float(self.reward_fn(wirelength)),
+            path=path,
+            n_terminal_evaluations=self.n_terminal_evaluations,
+            n_network_evaluations=self.n_network_evaluations,
+            best_terminal_assignment=self.best_terminal_assignment,
+            best_terminal_wirelength=self.best_terminal_wirelength,
+        )
+
+
+def principal_variation(root: Node, max_depth: int = 10_000) -> list[int]:
+    """The most-visited action sequence from *root* (diagnostics helper).
+
+    Follows :meth:`Node.most_visited_index` until an unexpanded or terminal
+    node; the committed path of a finished search is exactly this sequence.
+    """
+    actions: list[int] = []
+    node = root
+    while node.expanded and not node.terminal and len(actions) < max_depth:
+        if node.visit.sum() == 0:
+            break
+        idx = node.most_visited_index()
+        actions.append(int(node.actions[idx]))
+        child = node.children.get(int(node.actions[idx]))
+        if child is None:
+            break
+        node = child
+    return actions

@@ -1,0 +1,45 @@
+"""Netlist substrate: data model, HPWL, Bookshelf I/O, synthetic benchmarks.
+
+The paper evaluates on the ICCAD04 mixed-size Bookshelf benchmarks and on
+proprietary industrial designs with hierarchy and preplaced macros.  This
+package provides:
+
+- :mod:`repro.netlist.model` — the in-memory design representation
+  (:class:`Design`, :class:`Netlist`, macros/cells/pads/nets/pins).
+- :mod:`repro.netlist.hpwl` — vectorized half-perimeter wirelength.
+- :mod:`repro.netlist.bookshelf` — a Bookshelf (``.aux/.nodes/.nets/.pl/.scl``)
+  parser and writer so genuine ICCAD04 data can be dropped in.
+- :mod:`repro.netlist.generator` / :mod:`repro.netlist.suites` — synthetic
+  hierarchical mixed-size benchmark generators standing in for the
+  unavailable proprietary/industrial data (see DESIGN.md §2).
+"""
+
+from repro.netlist.model import (
+    Cell,
+    Design,
+    IOPad,
+    Macro,
+    Net,
+    Netlist,
+    Node,
+    NodeKind,
+    Pin,
+    PlacementRegion,
+)
+from repro.netlist.hpwl import FlatNetlist, hpwl, net_hpwl
+
+__all__ = [
+    "Cell",
+    "Design",
+    "FlatNetlist",
+    "IOPad",
+    "Macro",
+    "Net",
+    "Netlist",
+    "Node",
+    "NodeKind",
+    "Pin",
+    "PlacementRegion",
+    "hpwl",
+    "net_hpwl",
+]

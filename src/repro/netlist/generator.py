@@ -1,0 +1,265 @@
+"""Synthetic mixed-size benchmark generation.
+
+The paper evaluates on (a) the ICCAD04 mixed-size Bookshelf suite and (b)
+proprietary industrial designs with logical hierarchy and preplaced macros.
+Neither dataset ships with this repository, so :func:`generate_design`
+synthesizes circuits with matching *statistics*:
+
+- a logical hierarchy tree (branching/depth configurable) whose leaf modules
+  own macros and cells — intra-module nets dominate, giving the locality the
+  grouping score Γ exploits;
+- a heavy-tailed net-degree distribution (2-pin dominated, geometric tail),
+  the shape real netlists exhibit;
+- macro areas drawn from a lognormal, cells of unit row height;
+- a die sized from total area and a target utilization;
+- I/O pads on the die boundary, preplaced macros (optionally) pinned in the
+  corners/edges as industrial flows do.
+
+The generator is fully deterministic given a seed, so benchmark tables are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist.model import (
+    Cell,
+    Design,
+    IOPad,
+    Macro,
+    Net,
+    Netlist,
+    Pin,
+    PlacementRegion,
+)
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class GeneratorSpec:
+    """Parameters of one synthetic circuit.
+
+    The defaults produce a small smoke-test design; the suite constructors in
+    :mod:`repro.netlist.suites` fill these in from the paper's tables.
+    """
+
+    name: str = "synthetic"
+    n_movable_macros: int = 12
+    n_preplaced_macros: int = 0
+    n_pads: int = 16
+    n_cells: int = 400
+    n_nets: int = 500
+    utilization: float = 0.55
+    macro_area_fraction: float = 0.35
+    hierarchy_depth: int = 3
+    hierarchy_branching: int = 3
+    intra_module_net_prob: float = 0.8
+    mean_net_degree: float = 3.4
+    max_net_degree: int = 24
+    macro_aspect_range: tuple[float, float] = (0.5, 2.0)
+    cell_width_range: tuple[int, int] = (1, 4)
+    expose_hierarchy: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_movable_macros < 1:
+            raise ValueError("need at least one movable macro")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+        if not 0.0 < self.macro_area_fraction < 1.0:
+            raise ValueError("macro_area_fraction must be in (0, 1)")
+        if self.mean_net_degree < 2.0:
+            raise ValueError("mean_net_degree must be >= 2")
+
+
+@dataclass
+class _Module:
+    """One leaf of the hierarchy tree with the node names it owns."""
+
+    path: str
+    members: list[str] = field(default_factory=list)
+
+
+def _build_hierarchy(spec: GeneratorSpec, rng: np.random.Generator) -> list[_Module]:
+    """Enumerate leaf-module paths of a uniform tree."""
+    paths = [""]
+    for _ in range(spec.hierarchy_depth):
+        next_paths = []
+        for p in paths:
+            for b in range(spec.hierarchy_branching):
+                label = f"m{b}"
+                next_paths.append(f"{p}/{label}" if p else label)
+        paths = next_paths
+    # Real designs are unbalanced: drop a random third of the leaves.
+    keep = max(1, int(len(paths) * 2 / 3))
+    idx = rng.permutation(len(paths))[:keep]
+    return [_Module(path=f"{spec.name}/{paths[i]}") for i in sorted(idx)]
+
+
+def _macro_dims(
+    spec: GeneratorSpec, area: float, rng: np.random.Generator
+) -> tuple[float, float]:
+    lo, hi = spec.macro_aspect_range
+    aspect = float(rng.uniform(lo, hi))
+    h = math.sqrt(area / aspect)
+    w = area / h
+    # Macros are multi-row objects by definition (this is also what lets
+    # the Bookshelf reader tell them from cells): enforce height >= 2 rows
+    # while preserving area.
+    min_height = 2.0  # cell row height is 1.0
+    if h < min_height:
+        h = min_height
+        w = area / h
+    return w, h
+
+
+def _sample_net_degree(spec: GeneratorSpec, rng: np.random.Generator) -> int:
+    """Geometric degree >= 2 with mean ``mean_net_degree``, capped."""
+    p = 1.0 / (spec.mean_net_degree - 1.0)
+    d = 2 + int(rng.geometric(min(1.0, p))) - 1
+    return min(d, spec.max_net_degree)
+
+
+def generate_design(spec: GeneratorSpec) -> Design:
+    """Build a deterministic synthetic :class:`Design` from *spec*."""
+    rng = ensure_rng(spec.seed)
+    netlist = Netlist(name=spec.name)
+    modules = _build_hierarchy(spec, rng)
+
+    # -- size budget --------------------------------------------------------
+    cell_widths = rng.integers(
+        spec.cell_width_range[0], spec.cell_width_range[1] + 1, size=spec.n_cells
+    )
+    cell_area = float(cell_widths.sum())  # unit row height
+    total_macros = spec.n_movable_macros + spec.n_preplaced_macros
+    frac = spec.macro_area_fraction
+    macro_area_total = cell_area * frac / (1.0 - frac) if spec.n_cells else 100.0 * total_macros
+    # Lognormal split of macro area across macros (few big, many small);
+    # floor at 4 area units (2 rows × 2 sites) — anything smaller is a
+    # cell, not a macro, and would confuse Bookshelf's implicit
+    # terminal/macro/cell classification.
+    raw = rng.lognormal(mean=0.0, sigma=0.8, size=total_macros)
+    macro_areas = np.maximum(raw / raw.sum() * macro_area_total, 4.0)
+    macro_area_total = float(macro_areas.sum())
+
+    placeable_area = cell_area + macro_area_total
+    die_area = placeable_area / spec.utilization
+    side = math.sqrt(die_area)
+    region = PlacementRegion(x=0.0, y=0.0, width=side, height=side)
+
+    # -- macros ---------------------------------------------------------------
+    macro_module = rng.integers(0, len(modules), size=total_macros)
+    preplaced_rects: list[tuple[float, float, float, float]] = []
+
+    def edge_position(w: float, h: float) -> tuple[float, float]:
+        edge = int(rng.integers(0, 4))
+        t = float(rng.uniform(0.05, 0.95))
+        if edge == 0:
+            return t * (side - w), 0.0
+        if edge == 1:
+            return t * (side - w), side - h
+        if edge == 2:
+            return 0.0, t * (side - h)
+        return side - w, t * (side - h)
+
+    for i in range(total_macros):
+        w, h = _macro_dims(spec, float(macro_areas[i]), rng)
+        w = min(w, side * 0.45)
+        h = min(h, side * 0.45)
+        preplaced = i >= spec.n_movable_macros
+        mod = modules[int(macro_module[i])]
+        name = f"o_mk{i}" if not preplaced else f"o_mp{i}"
+        macro = Macro(
+            name=name,
+            width=w,
+            height=h,
+            fixed=preplaced,
+            hierarchy=mod.path if spec.expose_hierarchy else "",
+        )
+        if preplaced:
+            # Industrial flows pin pre-placed macros along the die edges;
+            # retry until the fixed blocks do not overlap one another (they
+            # could never be repaired downstream).
+            for _attempt in range(64):
+                x, y = edge_position(w, h)
+                if all(
+                    not (x < rx + rw and rx < x + w and y < ry + rh and ry < y + h)
+                    for rx, ry, rw, rh in preplaced_rects
+                ):
+                    break
+            macro.x, macro.y = x, y
+            preplaced_rects.append((x, y, w, h))
+        else:
+            macro.x = float(rng.uniform(0.0, side - w))
+            macro.y = float(rng.uniform(0.0, side - h))
+        netlist.add_node(macro)
+        mod.members.append(name)
+
+    # -- cells ----------------------------------------------------------------
+    cell_module = rng.integers(0, len(modules), size=spec.n_cells)
+    for i in range(spec.n_cells):
+        mod = modules[int(cell_module[i])]
+        cell = Cell(
+            name=f"o_c{i}",
+            width=float(cell_widths[i]),
+            height=1.0,
+            x=float(rng.uniform(0.0, side - cell_widths[i])),
+            y=float(rng.uniform(0.0, side - 1.0)),
+            hierarchy=mod.path if spec.expose_hierarchy else "",
+        )
+        netlist.add_node(cell)
+        mod.members.append(cell.name)
+
+    # -- pads -------------------------------------------------------------------
+    pad_names: list[str] = []
+    for i in range(spec.n_pads):
+        t = i / max(1, spec.n_pads)
+        edge = i % 4
+        u = (t * 4.0) % 1.0
+        if edge == 0:
+            x, y = u * side, -1.0
+        elif edge == 1:
+            x, y = side, u * side
+        elif edge == 2:
+            x, y = (1 - u) * side, side
+        else:
+            x, y = -1.0, (1 - u) * side
+        pad = IOPad(name=f"o_p{i}", width=1.0, height=1.0, x=x, y=y)
+        netlist.add_node(pad)
+        pad_names.append(pad.name)
+
+    # -- nets ---------------------------------------------------------------------
+    all_movable = [n.name for n in netlist if not n.fixed] + [
+        m.name for m in netlist.preplaced_macros
+    ]
+    module_members = [m.members for m in modules if m.members]
+    for i in range(spec.n_nets):
+        degree = _sample_net_degree(spec, rng)
+        pins: list[str] = []
+        if module_members and rng.random() < spec.intra_module_net_prob:
+            members = module_members[int(rng.integers(0, len(module_members)))]
+            pool = members if len(members) >= 2 else all_movable
+        else:
+            pool = all_movable
+        degree = min(degree, len(pool))
+        if degree < 2:
+            pool = all_movable
+            degree = min(max(2, degree), len(pool))
+        chosen = rng.choice(len(pool), size=degree, replace=False)
+        pins = [pool[int(c)] for c in chosen]
+        # A small fraction of nets also reach an I/O pad.
+        if pad_names and rng.random() < 0.08:
+            pins.append(pad_names[int(rng.integers(0, len(pad_names)))])
+        net = Net(name=f"net{i}")
+        for node_name in pins:
+            node = netlist[node_name]
+            dx = float(rng.uniform(-node.width / 2, node.width / 2))
+            dy = float(rng.uniform(-node.height / 2, node.height / 2))
+            net.pins.append(Pin(node=node_name, dx=dx, dy=dy))
+        netlist.add_net(net)
+
+    return Design(netlist=netlist, region=region)

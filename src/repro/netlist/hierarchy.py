@@ -1,0 +1,48 @@
+"""Hierarchy-path utilities.
+
+The industrial benchmarks carry logical hierarchy (``top/cpu/alu/mult``).
+The grouping score Γ (Eq. 1) includes H(g_i, g_j): "the common parts of the
+hierarchy names" — implemented here as the length of the shared path prefix.
+"""
+
+from __future__ import annotations
+
+SEPARATOR = "/"
+
+
+def split_path(path: str) -> list[str]:
+    """Split a hierarchy path into components, ignoring empty segments."""
+    return [part for part in path.split(SEPARATOR) if part]
+
+
+def common_prefix_depth(a: str, b: str) -> int:
+    """Number of leading path components *a* and *b* share.
+
+    ``common_prefix_depth("top/cpu/alu", "top/cpu/fpu") == 2``.
+    An empty path shares nothing with anything.
+    """
+    pa, pb = split_path(a), split_path(b)
+    depth = 0
+    for ca, cb in zip(pa, pb):
+        if ca != cb:
+            break
+        depth += 1
+    return depth
+
+
+def common_prefix(a: str, b: str) -> str:
+    """The shared leading path of *a* and *b* (possibly empty)."""
+    pa = split_path(a)
+    depth = common_prefix_depth(a, b)
+    return SEPARATOR.join(pa[:depth])
+
+
+def depth(path: str) -> int:
+    """Number of components in *path*."""
+    return len(split_path(path))
+
+
+def parent(path: str) -> str:
+    """The path with its last component removed (empty for top-level)."""
+    parts = split_path(path)
+    return SEPARATOR.join(parts[:-1])

@@ -1,0 +1,166 @@
+"""Half-perimeter wirelength (HPWL) evaluation.
+
+The paper's wirelength W (Eq. 9) is "estimated in the half perimeter
+wirelength model".  HPWL of a net is ``(max_x - min_x) + (max_y - min_y)``
+over its pin positions; the design HPWL is the (optionally net-weighted) sum.
+
+Two interfaces are provided:
+
+- :func:`hpwl` / :func:`net_hpwl` — convenience functions over the object
+  model; fine for tests and small designs.
+- :class:`FlatNetlist` — a compiled structure-of-arrays view with
+  ``reduceat``-vectorized evaluation.  All inner loops of the placers (RL
+  episodes, SE/SA moves, MCTS terminal evaluations) go through this view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.model import Net, Netlist
+
+
+def net_hpwl(netlist: Netlist, net: Net) -> float:
+    """HPWL of a single *net* under the current placement (unweighted)."""
+    if net.degree < 2:
+        return 0.0
+    xs = []
+    ys = []
+    for pin in net.pins:
+        node = netlist[pin.node]
+        xs.append(node.cx + pin.dx)
+        ys.append(node.cy + pin.dy)
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def hpwl(netlist: Netlist, weighted: bool = False) -> float:
+    """Total design HPWL; multiply per-net HPWL by ``net.weight`` if *weighted*."""
+    total = 0.0
+    for net in netlist.nets:
+        w = net.weight if weighted else 1.0
+        total += w * net_hpwl(netlist, net)
+    return total
+
+
+class FlatNetlist:
+    """Structure-of-arrays netlist view for vectorized wirelength queries.
+
+    The pin list is stored CSR-style: ``pin_node[k]`` is the node index of
+    the k-th pin, nets occupy the contiguous ranges ``net_ptr[i]:net_ptr[i+1]``.
+    Nets with fewer than two pins are dropped at compile time (their HPWL is
+    identically zero).
+
+    Node *centers* are kept in ``cx``/``cy``; callers move nodes by editing
+    those arrays (or via :meth:`set_centers`) and call :meth:`total_hpwl`.
+    :meth:`writeback` pushes center coordinates back into the object model.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.names = netlist.node_names
+        n = len(self.names)
+        self.width = np.empty(n)
+        self.height = np.empty(n)
+        self.cx = np.empty(n)
+        self.cy = np.empty(n)
+        self.fixed = np.zeros(n, dtype=bool)
+        for i, node in enumerate(netlist):
+            self.width[i] = node.width
+            self.height[i] = node.height
+            self.cx[i] = node.cx
+            self.cy[i] = node.cy
+            self.fixed[i] = node.fixed
+
+        pin_node: list[int] = []
+        pin_dx: list[float] = []
+        pin_dy: list[float] = []
+        net_ptr: list[int] = [0]
+        net_weight: list[float] = []
+        self.kept_nets: list[Net] = []
+        for net in netlist.nets:
+            if net.degree < 2:
+                continue
+            for pin in net.pins:
+                pin_node.append(netlist.index_of(pin.node))
+                pin_dx.append(pin.dx)
+                pin_dy.append(pin.dy)
+            net_ptr.append(len(pin_node))
+            net_weight.append(net.weight)
+            self.kept_nets.append(net)
+        self.pin_node = np.asarray(pin_node, dtype=np.int64)
+        self.pin_dx = np.asarray(pin_dx)
+        self.pin_dy = np.asarray(pin_dy)
+        self.net_ptr = np.asarray(net_ptr, dtype=np.int64)
+        self.net_weight = np.asarray(net_weight)
+        # reduceat segment starts (net_ptr without the trailing sentinel)
+        self._starts = self.net_ptr[:-1]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.names)
+
+    @property
+    def n_nets(self) -> int:
+        return len(self._starts)
+
+    # -- placement plumbing --------------------------------------------------
+    def refresh_from_model(self) -> None:
+        """Re-read node centers from the object model."""
+        for i, node in enumerate(self.netlist):
+            self.cx[i] = node.cx
+            self.cy[i] = node.cy
+
+    def writeback(self) -> None:
+        """Push center coordinates back to the object model (as lower-left).
+
+        Fixed nodes are skipped: nothing may move them, and re-deriving
+        their lower-left from the center would perturb the last floating-
+        point bit.
+        """
+        for i, node in enumerate(self.netlist):
+            if node.fixed:
+                continue
+            node.move_center_to(float(self.cx[i]), float(self.cy[i]))
+
+    def set_centers(self, indices: np.ndarray, cx: np.ndarray, cy: np.ndarray) -> None:
+        """Move the nodes at *indices* so their centers are (cx, cy)."""
+        self.cx[indices] = cx
+        self.cy[indices] = cy
+
+    # -- wirelength ----------------------------------------------------------
+    def pin_positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """Absolute (x, y) of every pin under the current centers."""
+        px = self.cx[self.pin_node] + self.pin_dx
+        py = self.cy[self.pin_node] + self.pin_dy
+        return px, py
+
+    def per_net_hpwl(self) -> np.ndarray:
+        """Unweighted HPWL of every kept net (length :attr:`n_nets`)."""
+        if self.n_nets == 0:
+            return np.zeros(0)
+        px, py = self.pin_positions()
+        dx = np.maximum.reduceat(px, self._starts) - np.minimum.reduceat(
+            px, self._starts
+        )
+        dy = np.maximum.reduceat(py, self._starts) - np.minimum.reduceat(
+            py, self._starts
+        )
+        return dx + dy
+
+    def total_hpwl(self, weighted: bool = False) -> float:
+        """Total HPWL; multiplied by per-net weights when *weighted*."""
+        per_net = self.per_net_hpwl()
+        if weighted:
+            per_net = per_net * self.net_weight
+        return float(per_net.sum())
+
+    # -- incidence helpers (used by clustering and net models) ---------------
+    def nets_of_node(self) -> list[list[int]]:
+        """For each node index, the list of kept-net indices touching it."""
+        out: list[list[int]] = [[] for _ in range(self.n_nodes)]
+        net_of_pin = np.repeat(
+            np.arange(self.n_nets), np.diff(self.net_ptr)
+        )
+        for pin_idx, node_idx in enumerate(self.pin_node):
+            out[node_idx].append(int(net_of_pin[pin_idx]))
+        return out

@@ -1,0 +1,298 @@
+"""In-memory design representation.
+
+A :class:`Design` couples a :class:`Netlist` (nodes + nets) with a
+:class:`PlacementRegion`.  Nodes come in three kinds:
+
+- :class:`Macro` — large movable (or preplaced/fixed) blocks.  Macros carry a
+  ``hierarchy`` path (e.g. ``"top/cpu/dcache"``); the paper's grouping score
+  Γ (Eq. 1) rewards merging macros whose hierarchy prefixes overlap.
+- :class:`Cell` — standard cells.
+- :class:`IOPad` — fixed terminals on the die boundary.
+
+Coordinates follow the Bookshelf convention: ``(x, y)`` is the node's
+lower-left corner; pin offsets are measured from the node *center*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class NodeKind(enum.Enum):
+    """Discriminates the three node species in a mixed-size design."""
+
+    MACRO = "macro"
+    CELL = "cell"
+    PAD = "pad"
+
+
+@dataclass
+class Node:
+    """A rectangular placeable object.
+
+    Attributes:
+        name: Unique identifier within the netlist.
+        width/height: Dimensions in the same unit as the placement region.
+        x/y: Lower-left corner of the current placement.
+        fixed: Fixed nodes (pads, preplaced macros) are never moved by any
+            stage of the flow.
+        hierarchy: Slash-separated logical hierarchy path; empty string when
+            the design carries no hierarchy information (e.g. ICCAD04).
+    """
+
+    name: str
+    width: float
+    height: float
+    x: float = 0.0
+    y: float = 0.0
+    fixed: bool = False
+    hierarchy: str = ""
+
+    @property
+    def kind(self) -> NodeKind:
+        raise NotImplementedError
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def cx(self) -> float:
+        """Center x coordinate."""
+        return self.x + self.width / 2.0
+
+    @property
+    def cy(self) -> float:
+        """Center y coordinate."""
+        return self.y + self.height / 2.0
+
+    def move_center_to(self, cx: float, cy: float) -> None:
+        """Place this node so that its center lands on ``(cx, cy)``."""
+        self.x = cx - self.width / 2.0
+        self.y = cy - self.height / 2.0
+
+    def overlaps(self, other: "Node") -> bool:
+        """True when the two rectangles share positive interior area."""
+        return (
+            self.x < other.x + other.width
+            and other.x < self.x + self.width
+            and self.y < other.y + other.height
+            and other.y < self.y + self.height
+        )
+
+    def overlap_area(self, other: "Node") -> float:
+        """Interior intersection area of the two rectangles (0 if disjoint)."""
+        w = min(self.x + self.width, other.x + other.width) - max(self.x, other.x)
+        h = min(self.y + self.height, other.y + other.height) - max(self.y, other.y)
+        if w <= 0.0 or h <= 0.0:
+            return 0.0
+        return w * h
+
+
+@dataclass
+class Macro(Node):
+    """A macro block.  ``fixed=True`` marks a preplaced macro."""
+
+    @property
+    def kind(self) -> NodeKind:
+        return NodeKind.MACRO
+
+
+@dataclass
+class Cell(Node):
+    """A standard cell (always movable in this flow)."""
+
+    @property
+    def kind(self) -> NodeKind:
+        return NodeKind.CELL
+
+
+@dataclass
+class IOPad(Node):
+    """A fixed I/O terminal; forced ``fixed=True`` on construction."""
+
+    def __post_init__(self) -> None:
+        self.fixed = True
+
+    @property
+    def kind(self) -> NodeKind:
+        return NodeKind.PAD
+
+
+@dataclass(frozen=True)
+class Pin:
+    """One connection point of a net.
+
+    ``dx``/``dy`` are offsets from the owning node's *center* (Bookshelf
+    convention), so the pin's absolute position is
+    ``(node.cx + dx, node.cy + dy)``.
+    """
+
+    node: str
+    dx: float = 0.0
+    dy: float = 0.0
+
+
+@dataclass
+class Net:
+    """A multi-terminal net with an optional weight (λ_n in Eq. 3)."""
+
+    name: str
+    pins: list[Pin] = field(default_factory=list)
+    weight: float = 1.0
+
+    @property
+    def degree(self) -> int:
+        return len(self.pins)
+
+
+class Netlist:
+    """A collection of named nodes plus the nets connecting them.
+
+    Node insertion order is preserved, and every node receives a stable
+    integer index (``index_of``) used by the flat, vectorized views
+    (:class:`repro.netlist.hpwl.FlatNetlist`).
+    """
+
+    def __init__(self, name: str = "design") -> None:
+        self.name = name
+        self._nodes: dict[str, Node] = {}
+        self._order: list[str] = []
+        self._index: dict[str, int] = {}
+        self.nets: list[Net] = []
+
+    # -- node management ---------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        self._index[node.name] = len(self._order)
+        self._order.append(node.name)
+        return node
+
+    def add_net(self, net: Net) -> Net:
+        for pin in net.pins:
+            if pin.node not in self._nodes:
+                raise KeyError(f"net {net.name!r} references unknown node {pin.node!r}")
+        self.nets.append(net)
+        return net
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __getitem__(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        for name in self._order:
+            yield self._nodes[name]
+
+    def index_of(self, name: str) -> int:
+        """Stable integer index of node *name* (insertion order)."""
+        return self._index[name]
+
+    @property
+    def node_names(self) -> list[str]:
+        return list(self._order)
+
+    # -- filtered views ----------------------------------------------------
+    def nodes(self, kind: NodeKind | None = None) -> list[Node]:
+        """All nodes, optionally restricted to one :class:`NodeKind`."""
+        if kind is None:
+            return [self._nodes[n] for n in self._order]
+        return [self._nodes[n] for n in self._order if self._nodes[n].kind is kind]
+
+    @property
+    def macros(self) -> list[Macro]:
+        return self.nodes(NodeKind.MACRO)  # type: ignore[return-value]
+
+    @property
+    def movable_macros(self) -> list[Macro]:
+        return [m for m in self.macros if not m.fixed]
+
+    @property
+    def preplaced_macros(self) -> list[Macro]:
+        return [m for m in self.macros if m.fixed]
+
+    @property
+    def cells(self) -> list[Cell]:
+        return self.nodes(NodeKind.CELL)  # type: ignore[return-value]
+
+    @property
+    def pads(self) -> list[IOPad]:
+        return self.nodes(NodeKind.PAD)  # type: ignore[return-value]
+
+    # -- statistics ---------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Counts matching the paper's benchmark tables (Table II/III rows)."""
+        return {
+            "movable_macros": len(self.movable_macros),
+            "preplaced_macros": len(self.preplaced_macros),
+            "pads": len(self.pads),
+            "cells": len(self.cells),
+            "nets": len(self.nets),
+        }
+
+
+@dataclass
+class PlacementRegion:
+    """The rectangular core area macros and cells must stay inside."""
+
+    x: float = 0.0
+    y: float = 0.0
+    width: float = 1000.0
+    height: float = 1000.0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def x_max(self) -> float:
+        return self.x + self.width
+
+    @property
+    def y_max(self) -> float:
+        return self.y + self.height
+
+    def contains(self, node: Node, tol: float = 1e-9) -> bool:
+        """True when *node*'s rectangle lies fully inside the region."""
+        return (
+            node.x >= self.x - tol
+            and node.y >= self.y - tol
+            and node.x + node.width <= self.x_max + tol
+            and node.y + node.height <= self.y_max + tol
+        )
+
+    def clamp(self, node: Node) -> None:
+        """Shift *node* by the minimum amount needed to fit in the region."""
+        node.x = min(max(node.x, self.x), max(self.x, self.x_max - node.width))
+        node.y = min(max(node.y, self.y), max(self.y, self.y_max - node.height))
+
+
+@dataclass
+class Design:
+    """A netlist bound to a placement region — the unit every placer consumes."""
+
+    netlist: Netlist
+    region: PlacementRegion
+
+    @property
+    def name(self) -> str:
+        return self.netlist.name
+
+    def clone_placement(self) -> dict[str, tuple[float, float]]:
+        """Snapshot of every node's lower-left position (for save/restore)."""
+        return {n.name: (n.x, n.y) for n in self.netlist}
+
+    def restore_placement(self, snapshot: dict[str, tuple[float, float]]) -> None:
+        """Restore positions captured by :meth:`clone_placement`."""
+        for name, (x, y) in snapshot.items():
+            node = self.netlist[name]
+            node.x = x
+            node.y = y

@@ -1,0 +1,166 @@
+"""Benchmark suite definitions matching the paper's evaluation tables.
+
+Two suites are provided, both synthesized by :mod:`repro.netlist.generator`
+with the per-circuit statistics the paper reports (Table II for the
+industrial designs, Table III for ICCAD04), scaled by a ``scale`` knob so
+single-core CPU runs finish in seconds instead of hours:
+
+- :func:`iccad04_suite` — ibm01…ibm18-alike circuits (no ibm05: it has no
+  macros, exactly as the paper notes).  No hierarchy, no preplaced macros,
+  matching the real ICCAD04 data.
+- :func:`industrial_suite` — Cir1…Cir6-alike circuits with hierarchy,
+  preplaced macros and boundary pads.
+
+``scale`` multiplies cell/net/pad counts; ``macro_scale`` multiplies macro
+counts (macros are the RL/MCTS action space and dominate runtime, so they
+get their own knob).  ``scale=1.0, macro_scale=1.0`` reconstructs full-size
+instances.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.netlist.generator import GeneratorSpec, generate_design
+from repro.netlist.model import Design
+
+#: Table III rows 1–3: (movable macros, standard cells, nets).  ibm05 is
+#: intentionally absent (no macros).
+ICCAD04_STATS: dict[str, tuple[int, int, int]] = {
+    "ibm01": (246, 12_000, 14_000),
+    "ibm02": (280, 19_000, 19_000),
+    "ibm03": (290, 22_000, 27_000),
+    "ibm04": (608, 26_000, 31_000),
+    "ibm06": (178, 32_000, 34_000),
+    "ibm07": (507, 45_000, 48_000),
+    "ibm08": (309, 51_000, 50_000),
+    "ibm09": (253, 53_000, 60_000),
+    "ibm10": (786, 68_000, 75_000),
+    "ibm11": (373, 70_000, 81_000),
+    "ibm12": (651, 70_000, 77_000),
+    "ibm13": (424, 83_000, 99_000),
+    "ibm14": (614, 146_000, 152_000),
+    "ibm15": (393, 161_000, 186_000),
+    "ibm16": (458, 183_000, 190_000),
+    "ibm17": (760, 184_000, 189_000),
+    "ibm18": (285, 210_000, 201_000),
+}
+
+#: Table II columns 2–6: (movable macros, preplaced macros, pads, cells, nets).
+INDUSTRIAL_STATS: dict[str, tuple[int, int, int, int, int]] = {
+    "Cir1": (30, 13, 130, 157_000, 181_000),
+    "Cir2": (71, 47, 365, 1_098_000, 1_126_000),
+    "Cir3": (55, 15, 219, 232_000, 235_000),
+    "Cir4": (38, 15, 169, 321_000, 327_000),
+    "Cir5": (32, 12, 351, 347_000, 352_000),
+    "Cir6": (66, 3, 481, 209_000, 217_000),
+}
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """A named circuit plus the statistics it was scaled from."""
+
+    name: str
+    design: Design
+    paper_macros: int
+    paper_cells: int
+    paper_nets: int
+
+
+def _scaled(count: int, scale: float, minimum: int) -> int:
+    return max(minimum, round(count * scale))
+
+
+def _stable_seed(name: str) -> int:
+    """Process-independent seed for circuit *name* (str hash is randomized)."""
+    return zlib.crc32(name.encode())
+
+
+def make_iccad04_circuit(
+    name: str,
+    scale: float = 0.01,
+    macro_scale: float = 0.08,
+    seed_offset: int = 0,
+) -> SuiteEntry:
+    """One ibmXX-alike circuit (see :data:`ICCAD04_STATS`)."""
+    if name not in ICCAD04_STATS:
+        raise KeyError(f"unknown ICCAD04 circuit {name!r}; ibm05 has no macros")
+    macros, cells, nets = ICCAD04_STATS[name]
+    spec = GeneratorSpec(
+        name=name,
+        n_movable_macros=_scaled(macros, macro_scale, 6),
+        n_preplaced_macros=0,
+        n_pads=_scaled(cells, scale * 0.01, 8),
+        n_cells=_scaled(cells, scale, 50),
+        n_nets=_scaled(nets, scale, 60),
+        utilization=0.5,
+        macro_area_fraction=0.45,
+        hierarchy_depth=2,
+        hierarchy_branching=3,
+        expose_hierarchy=False,
+        seed=_stable_seed(name) + seed_offset,
+    )
+    return SuiteEntry(
+        name=name,
+        design=generate_design(spec),
+        paper_macros=macros,
+        paper_cells=cells,
+        paper_nets=nets,
+    )
+
+
+def iccad04_suite(
+    scale: float = 0.01,
+    macro_scale: float = 0.08,
+    circuits: list[str] | None = None,
+) -> list[SuiteEntry]:
+    """The ibm01…ibm18-alike suite (Table III), optionally restricted."""
+    names = circuits if circuits is not None else list(ICCAD04_STATS)
+    return [make_iccad04_circuit(n, scale=scale, macro_scale=macro_scale) for n in names]
+
+
+def make_industrial_circuit(
+    name: str,
+    scale: float = 0.002,
+    macro_scale: float = 0.5,
+    seed_offset: int = 0,
+) -> SuiteEntry:
+    """One CirX-alike hierarchical circuit (see :data:`INDUSTRIAL_STATS`)."""
+    if name not in INDUSTRIAL_STATS:
+        raise KeyError(f"unknown industrial circuit {name!r}")
+    mov, pre, pads, cells, nets = INDUSTRIAL_STATS[name]
+    spec = GeneratorSpec(
+        name=name,
+        n_movable_macros=_scaled(mov, macro_scale, 6),
+        n_preplaced_macros=_scaled(pre, macro_scale, 1),
+        n_pads=_scaled(pads, scale * 50, 8),
+        n_cells=_scaled(cells, scale, 50),
+        n_nets=_scaled(nets, scale, 60),
+        utilization=0.55,
+        macro_area_fraction=0.4,
+        hierarchy_depth=3,
+        hierarchy_branching=3,
+        expose_hierarchy=True,
+        seed=_stable_seed(name) + seed_offset,
+    )
+    return SuiteEntry(
+        name=name,
+        design=generate_design(spec),
+        paper_macros=mov,
+        paper_cells=cells,
+        paper_nets=nets,
+    )
+
+
+def industrial_suite(
+    scale: float = 0.002,
+    macro_scale: float = 0.5,
+    circuits: list[str] | None = None,
+) -> list[SuiteEntry]:
+    """The Cir1…Cir6-alike suite (Table II), optionally restricted."""
+    names = circuits if circuits is not None else list(INDUSTRIAL_STATS)
+    return [
+        make_industrial_circuit(n, scale=scale, macro_scale=macro_scale) for n in names
+    ]

@@ -1,0 +1,135 @@
+"""Netlist analysis and transformation utilities.
+
+Helpers a downstream user needs when preparing designs for the flow:
+net-degree statistics, net weighting policies, macro-only projections, and
+connectivity summaries between node groups (the raw material of the Γ/φ
+scores, exposed for inspection).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.model import Design, Net, Netlist, NodeKind, Pin
+
+
+@dataclass(frozen=True)
+class NetlistProfile:
+    """Summary statistics of a netlist (degree histogram, pin counts...)."""
+
+    n_nodes: int
+    n_nets: int
+    n_pins: int
+    mean_degree: float
+    max_degree: int
+    degree_histogram: dict[int, int]
+    macro_area_fraction: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.n_nodes} nodes, {self.n_nets} nets, {self.n_pins} pins, "
+            f"mean degree {self.mean_degree:.2f} (max {self.max_degree}), "
+            f"macro area {self.macro_area_fraction:.0%}"
+        )
+
+
+def profile(netlist: Netlist) -> NetlistProfile:
+    """Compute a :class:`NetlistProfile` for *netlist*."""
+    degrees = [net.degree for net in netlist.nets]
+    n_pins = sum(degrees)
+    macro_area = sum(m.area for m in netlist.macros)
+    cell_area = sum(c.area for c in netlist.cells)
+    total = macro_area + cell_area
+    return NetlistProfile(
+        n_nodes=len(netlist),
+        n_nets=len(netlist.nets),
+        n_pins=n_pins,
+        mean_degree=float(np.mean(degrees)) if degrees else 0.0,
+        max_degree=max(degrees) if degrees else 0,
+        degree_histogram=dict(Counter(degrees)),
+        macro_area_fraction=macro_area / total if total > 0 else 0.0,
+    )
+
+
+def weight_nets_by_degree(
+    netlist: Netlist, exponent: float = -0.5, base: float = 1.0
+) -> None:
+    """Set net weights to ``base · degree^exponent`` in place.
+
+    A common pre-pass: de-emphasize high-fanout nets (negative exponent)
+    so the quadratic model is not dominated by clock/reset trees.
+    """
+    for net in netlist.nets:
+        if net.degree > 0:
+            net.weight = base * float(net.degree) ** exponent
+
+
+def macro_interface_netlist(design: Design) -> Netlist:
+    """Project the design onto macros + pads only.
+
+    Cells vanish; any net touching ≥ 2 distinct surviving nodes becomes a
+    direct net between them (duplicate projections merge by weight
+    accumulation).  This is the "indirect connectivity between macros"
+    view the dataflow-aware placers ([23], [26]) operate on, and a compact
+    input for floorplanning-style analysis.
+    """
+    src = design.netlist
+    keep = {
+        n.name for n in src if n.kind in (NodeKind.MACRO, NodeKind.PAD)
+    }
+    out = Netlist(name=f"{src.name}::macros")
+    for node in src:
+        if node.name in keep:
+            cls = type(node)
+            copy_node = cls(
+                name=node.name,
+                width=node.width,
+                height=node.height,
+                x=node.x,
+                y=node.y,
+                fixed=node.fixed,
+                hierarchy=node.hierarchy,
+            )
+            out.add_node(copy_node)
+
+    merged: dict[tuple[str, ...], float] = {}
+    for net in src.nets:
+        names = tuple(sorted({p.node for p in net.pins if p.node in keep}))
+        if len(names) < 2:
+            continue
+        merged[names] = merged.get(names, 0.0) + net.weight
+    for i, (names, weight) in enumerate(sorted(merged.items())):
+        out.add_net(
+            Net(name=f"mi{i}", pins=[Pin(n) for n in names], weight=weight)
+        )
+    return out
+
+
+def connectivity_matrix(
+    netlist: Netlist, groups: list[list[str]], degree_cap: int = 64
+) -> np.ndarray:
+    """Total net weight between each pair of node groups.
+
+    ``groups`` is a partition (or any family) of node-name lists; entry
+    [i, j] sums the weights of nets touching both group i and group j.
+    Nets above *degree_cap* are skipped (no locality signal, quadratic
+    cost), matching the clustering engine's convention.
+    """
+    index_of: dict[str, int] = {}
+    for gi, names in enumerate(groups):
+        for name in names:
+            index_of[name] = gi
+    k = len(groups)
+    w = np.zeros((k, k))
+    for net in netlist.nets:
+        if net.degree > degree_cap:
+            continue
+        touched = sorted({index_of[p.node] for p in net.pins if p.node in index_of})
+        for a in range(len(touched)):
+            for b in range(a + 1, len(touched)):
+                w[touched[a], touched[b]] += net.weight
+                w[touched[b], touched[a]] += net.weight
+    return w

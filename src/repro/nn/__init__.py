@@ -1,0 +1,44 @@
+"""Pure-numpy deep-learning substrate.
+
+The paper trains its agent with PyTorch on a Tesla T4; this environment has
+neither, so the network machinery of Fig. 2 / Table I is implemented from
+scratch on numpy: Conv2D (im2col), BatchNorm2D, ReLU, Linear, residual
+blocks, manual backpropagation, and the Adam optimizer.  The math is
+identical to the framework versions — only the scale differs (channel
+count, tower depth and grid size are configurable; paper-scale settings
+remain constructible).
+
+Layout convention is NCHW throughout.
+"""
+
+from repro.nn.layers import (
+    BatchNorm2D,
+    Conv2D,
+    Flatten,
+    Layer,
+    Linear,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from repro.nn.blocks import ResBlock, ResTower
+from repro.nn.optim import SGD, Adam, clip_gradients
+from repro.nn.serialization import load_params, save_params
+
+__all__ = [
+    "Adam",
+    "BatchNorm2D",
+    "Conv2D",
+    "Flatten",
+    "Layer",
+    "Linear",
+    "Parameter",
+    "ReLU",
+    "ResBlock",
+    "ResTower",
+    "SGD",
+    "Sequential",
+    "clip_gradients",
+    "load_params",
+    "save_params",
+]

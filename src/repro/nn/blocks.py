@@ -1,0 +1,77 @@
+"""Residual blocks (the ResBlock / ResTower of Fig. 2 and Table I).
+
+ResBlock: Conv3×3+BN → ReLU → Conv3×3+BN, added to the skip connection,
+followed by a ReLU — the AlphaGo-Zero-style block the paper adopts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2D, Conv2D, Layer, Parameter, ReLU
+from repro.utils.rng import ensure_rng
+
+
+class ResBlock(Layer):
+    """Conv-BN-ReLU-Conv-BN + identity skip, final ReLU."""
+
+    def __init__(
+        self, channels: int, rng: int | np.random.Generator | None = None
+    ) -> None:
+        g = ensure_rng(rng)
+        self.conv1 = Conv2D(channels, channels, kernel=3, rng=g)
+        self.bn1 = BatchNorm2D(channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2D(channels, channels, kernel=3, rng=g)
+        self.bn2 = BatchNorm2D(channels)
+        self.relu_out = ReLU()
+
+    def children(self) -> list[Layer]:
+        return [self.conv1, self.bn1, self.relu1, self.conv2, self.bn2, self.relu_out]
+
+    def parameters(self) -> list[Parameter]:
+        return [p for c in self.children() for p in c.parameters()]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = self.bn1(self.conv1(x))
+        y = self.relu1(y)
+        y = self.bn2(self.conv2(y))
+        return self.relu_out(y + x)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        d = self.relu_out.backward(dy)
+        d_branch = self.bn2.backward(d)
+        d_branch = self.conv2.backward(d_branch)
+        d_branch = self.relu1.backward(d_branch)
+        d_branch = self.bn1.backward(d_branch)
+        d_branch = self.conv1.backward(d_branch)
+        return d_branch + d  # skip path
+
+
+class ResTower(Layer):
+    """A stack of *n_blocks* residual blocks (paper: 10 × ResBlock)."""
+
+    def __init__(
+        self,
+        channels: int,
+        n_blocks: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        g = ensure_rng(rng)
+        self.blocks = [ResBlock(channels, rng=g) for _ in range(n_blocks)]
+
+    def children(self) -> list[Layer]:
+        return list(self.blocks)
+
+    def parameters(self) -> list[Parameter]:
+        return [p for b in self.blocks for p in b.parameters()]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for block in self.blocks:
+            x = block(x)
+        return x
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        for block in reversed(self.blocks):
+            dy = block.backward(dy)
+        return dy

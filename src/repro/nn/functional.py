@@ -1,0 +1,56 @@
+"""Stateless tensor operations: im2col/col2im, softmax, losses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def im2col(x: np.ndarray, kernel: int, pad: int) -> np.ndarray:
+    """Unfold NCHW input into convolution columns (stride 1).
+
+    Returns shape (N, C·k·k, H·W): each output column holds the receptive
+    field of one spatial position, so convolution becomes a single matmul.
+    """
+    n, c, h, w = x.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    # Gather k*k shifted views; stride-1 same-size output.
+    cols = np.empty((n, c, kernel, kernel, h, w), dtype=x.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            cols[:, :, i, j] = xp[:, :, i : i + h, j : j + w]
+    return cols.reshape(n, c * kernel * kernel, h * w)
+
+
+def col2im(cols: np.ndarray, x_shape: tuple, kernel: int, pad: int) -> np.ndarray:
+    """Adjoint of :func:`im2col` — scatter-adds columns back to NCHW."""
+    n, c, h, w = x_shape
+    cols = cols.reshape(n, c, kernel, kernel, h, w)
+    xp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            xp[:, :, i : i + h, j : j + w] += cols[:, :, i, j]
+    if pad == 0:
+        return xp
+    return xp[:, :, pad : pad + h, pad : pad + w]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax."""
+    z = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def masked_softmax(logits: np.ndarray, mask: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax restricted to positive-mask entries, renormalized.
+
+    This realizes the paper's policy head: the FC output is "multiplied by
+    available placing area s_a" before the softmax, so grids with zero
+    availability receive zero probability.  If *every* entry is masked out
+    the distribution falls back to uniform (the environment treats that as
+    "place anywhere and accept the overflow").
+    """
+    p = softmax(logits, axis=axis) * mask
+    total = p.sum(axis=axis, keepdims=True)
+    uniform = np.ones_like(p) / p.shape[axis]
+    return np.where(total > 0, p / np.where(total > 0, total, 1.0), uniform)

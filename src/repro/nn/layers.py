@@ -1,0 +1,239 @@
+"""Trainable layers with manual backpropagation (NCHW).
+
+Every layer caches what its backward pass needs during ``forward`` and
+accumulates parameter gradients into :class:`Parameter.grad` during
+``backward`` (call :meth:`Layer.zero_grad` between optimizer steps).
+Shapes follow the paper's Table I blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import col2im, im2col
+from repro.utils.rng import ensure_rng
+
+
+class Parameter:
+    """A trainable array plus its accumulated gradient."""
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+
+class Layer:
+    """Base class: forward/backward plus parameter enumeration."""
+
+    training: bool = True
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, mode: bool = True) -> None:
+        self.training = mode
+        for child in self.children():
+            child.train(mode)
+
+    def eval(self) -> None:
+        self.train(False)
+
+    def children(self) -> list["Layer"]:
+        return []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Conv2D(Layer):
+    """Stride-1, 'same'-padded 2-D convolution (the only kind Table I uses)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        bias: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if kernel % 2 != 1:
+            raise ValueError("same-padding requires an odd kernel")
+        g = ensure_rng(rng)
+        fan_in = in_channels * kernel * kernel
+        scale = np.sqrt(2.0 / fan_in)  # He init (ReLU networks)
+        self.kernel = kernel
+        self.pad = kernel // 2
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.weight = Parameter(
+            g.normal(0.0, scale, size=(out_channels, fan_in)), name="conv.weight"
+        )
+        self.bias = Parameter(np.zeros(out_channels), name="conv.bias") if bias else None
+        self._cache: tuple | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        cols = im2col(x, self.kernel, self.pad)  # (N, C*k*k, H*W)
+        y = np.einsum("of,nfs->nos", self.weight.data, cols)
+        if self.bias is not None:
+            y += self.bias.data[None, :, None]
+        self._cache = (x.shape, cols)
+        return y.reshape(n, self.out_channels, h, w)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        x_shape, cols = self._cache
+        n, _, h, w = x_shape
+        dy2 = dy.reshape(n, self.out_channels, h * w)
+        self.weight.grad += np.einsum("nos,nfs->of", dy2, cols)
+        if self.bias is not None:
+            self.bias.grad += dy2.sum(axis=(0, 2))
+        dcols = np.einsum("of,nos->nfs", self.weight.data, dy2)
+        return col2im(dcols, x_shape, self.kernel, self.pad)
+
+
+class BatchNorm2D(Layer):
+    """Per-channel batch normalization with running statistics."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(channels), name="bn.gamma")
+        self.beta = Parameter(np.zeros(channels), name="bn.beta")
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._cache: tuple | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gamma, self.beta]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean += self.momentum * (mean - self.running_mean)
+            self.running_var += self.momentum * (var - self.running_var)
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        self._cache = (x_hat, inv_std, x.shape)
+        return self.gamma.data[None, :, None, None] * x_hat + self.beta.data[
+            None, :, None, None
+        ]
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        x_hat, inv_std, shape = self._cache
+        n, _, h, w = shape
+        m = n * h * w
+        self.gamma.grad += (dy * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += dy.sum(axis=(0, 2, 3))
+        if not self.training:
+            return dy * (self.gamma.data * inv_std)[None, :, None, None]
+        dxhat = dy * self.gamma.data[None, :, None, None]
+        term1 = dxhat
+        term2 = dxhat.mean(axis=(0, 2, 3), keepdims=True)
+        term3 = x_hat * (dxhat * x_hat).sum(axis=(0, 2, 3), keepdims=True) / m
+        return (term1 - term2 - term3) * inv_std[None, :, None, None]
+
+
+class ReLU(Layer):
+    """Elementwise max(x, 0)."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        return dy * self._mask
+
+
+class Linear(Layer):
+    """Fully connected layer over the trailing dimension."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        g = ensure_rng(rng)
+        scale = np.sqrt(2.0 / in_features)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            g.normal(0.0, scale, size=(out_features, in_features)), name="fc.weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), name="fc.bias")
+        self._x: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.weight.data.T + self.bias.data
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        self.weight.grad += dy.T @ self._x
+        self.bias.grad += dy.sum(axis=0)
+        return dy @ self.weight.data
+
+
+class Flatten(Layer):
+    """(N, C, H, W) -> (N, C·H·W)."""
+
+    def __init__(self) -> None:
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        return dy.reshape(self._shape)
+
+
+class Sequential(Layer):
+    """Chain of layers applied in order."""
+
+    def __init__(self, *layers: Layer) -> None:
+        self.layers = list(layers)
+
+    def children(self) -> list[Layer]:
+        return self.layers
+
+    def parameters(self) -> list[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dy = layer.backward(dy)
+        return dy

@@ -1,0 +1,92 @@
+"""Optimizers (Adam, SGD) and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+def clip_gradients(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most *max_norm*.
+
+    Returns the pre-clip norm (useful for training diagnostics).
+    """
+    total = 0.0
+    for p in params:
+        total += float((p.grad**2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for p in params:
+            p.grad *= scale
+    return norm
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, params: list[Parameter], lr: float = 0.01, momentum: float = 0.0
+    ) -> None:
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in params]
+
+    def step(self) -> None:
+        """Apply one (momentum-)SGD update to every parameter."""
+        for p, v in zip(self.params, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v -= self.lr * p.grad
+                p.data += v
+            else:
+                p.data -= self.lr * p.grad
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on all managed parameters."""
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params = params
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in params]
+        self._v = [np.zeros_like(p.data) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one bias-corrected Adam update to every parameter."""
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on all managed parameters."""
+        for p in self.params:
+            p.zero_grad()

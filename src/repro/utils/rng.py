@@ -1,0 +1,41 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (benchmark generation, RL
+exploration, MCTS tie-breaking, simulated evolution, ...) accepts either a
+seed or a :class:`numpy.random.Generator`.  Routing everything through these
+helpers keeps experiments reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *rng*.
+
+    Accepts ``None`` (fresh nondeterministic generator), an integer seed, or
+    an existing generator (returned unchanged so state is shared with the
+    caller).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"expected seed, Generator or None, got {type(rng)!r}")
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split *rng* into *n* independent child generators.
+
+    Used when an experiment fans out into parallel arms (e.g. one RL run per
+    reward-function variant) and each arm must be deterministic regardless of
+    how much entropy the others consume.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

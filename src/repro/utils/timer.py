@@ -1,0 +1,44 @@
+"""Wall-clock timing helpers used by the runtime experiments (Table IV)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock intervals.
+
+    The placement flow records how long each stage takes (preprocessing, RL
+    pre-training, MCTS, legalization, cell placement) so the Table IV
+    benchmark can report the MCTS stage in isolation.
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[name] = self.totals.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def total(self, name: str) -> float:
+        """Seconds accumulated under *name* (0.0 if never measured)."""
+        return self.totals.get(name, 0.0)
+
+    def overall(self) -> float:
+        """Sum of all measured intervals."""
+        return sum(self.totals.values())
+
+
+@contextmanager
+def timed():
+    """Yield a zero-arg callable that returns elapsed seconds so far."""
+    start = time.perf_counter()
+    yield lambda: time.perf_counter() - start

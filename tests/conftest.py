@@ -1,0 +1,94 @@
+"""Shared fixtures.
+
+Expensive artifacts (generated designs, prototype placements, coarse
+netlists) are built once per session and handed to tests as deep copies so
+mutation never leaks between tests.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.coarsen import coarsen_design
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.grid.plan import GridPlan
+from repro.netlist.generator import GeneratorSpec, generate_design
+from repro.netlist.model import (
+    Cell,
+    Design,
+    IOPad,
+    Macro,
+    Net,
+    Netlist,
+    Pin,
+    PlacementRegion,
+)
+
+
+def build_tiny_design() -> Design:
+    """A fully hand-built 2-macro / 3-cell / 1-pad design for exact asserts."""
+    nl = Netlist(name="tiny")
+    nl.add_node(Macro("m0", 10.0, 10.0, x=0.0, y=0.0, hierarchy="top/a"))
+    nl.add_node(Macro("m1", 8.0, 6.0, x=20.0, y=20.0, hierarchy="top/b"))
+    nl.add_node(Cell("c0", 2.0, 1.0, x=5.0, y=5.0, hierarchy="top/a"))
+    nl.add_node(Cell("c1", 2.0, 1.0, x=15.0, y=15.0, hierarchy="top/b"))
+    nl.add_node(Cell("c2", 3.0, 1.0, x=30.0, y=30.0, hierarchy="top/b"))
+    nl.add_node(IOPad("p0", 1.0, 1.0, x=-1.0, y=20.0))
+    nl.add_net(Net("n0", pins=[Pin("m0"), Pin("c0")]))
+    nl.add_net(Net("n1", pins=[Pin("m0"), Pin("m1"), Pin("c1")]))
+    nl.add_net(Net("n2", pins=[Pin("c2"), Pin("p0")]))
+    return Design(netlist=nl, region=PlacementRegion(0.0, 0.0, 40.0, 40.0))
+
+
+@pytest.fixture
+def tiny_design() -> Design:
+    return build_tiny_design()
+
+
+_SMALL_SPEC = GeneratorSpec(
+    name="small",
+    n_movable_macros=8,
+    n_preplaced_macros=2,
+    n_pads=8,
+    n_cells=60,
+    n_nets=80,
+    hierarchy_depth=2,
+    hierarchy_branching=2,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="session")
+def _small_design_base() -> Design:
+    return generate_design(_SMALL_SPEC)
+
+
+@pytest.fixture
+def small_design(_small_design_base: Design) -> Design:
+    return copy.deepcopy(_small_design_base)
+
+
+@pytest.fixture(scope="session")
+def _placed_design_base(_small_design_base: Design) -> Design:
+    design = copy.deepcopy(_small_design_base)
+    MixedSizePlacer(n_iterations=2).place(design)
+    return design
+
+
+@pytest.fixture
+def placed_design(_placed_design_base: Design) -> Design:
+    return copy.deepcopy(_placed_design_base)
+
+
+@pytest.fixture(scope="session")
+def _coarse_base(_placed_design_base: Design):
+    design = copy.deepcopy(_placed_design_base)
+    plan = GridPlan(design.region, zeta=4)
+    return coarsen_design(design, plan)
+
+
+@pytest.fixture
+def coarse_small(_coarse_base):
+    return copy.deepcopy(_coarse_base)

@@ -1,0 +1,251 @@
+"""Agent tests: state encoding (Eq. 4), network (Fig. 2), reward (Eq. 9),
+Actor-Critic trainer (Eq. 5–8)."""
+
+import numpy as np
+import pytest
+
+from repro.agent.network import NetworkConfig, PolicyValueNet
+from repro.agent.reward import (
+    NegativeWirelength,
+    NormalizedReward,
+    calibrate_reward,
+)
+from repro.agent.state import StateBuilder, group_utilization
+from repro.grid.plan import GridPlan
+from repro.netlist.model import PlacementRegion
+
+
+@pytest.fixture
+def plan16() -> GridPlan:
+    return GridPlan(PlacementRegion(0, 0, 160, 160), zeta=16)
+
+
+class TestGroupUtilization:
+    def test_full_grid(self, plan16):
+        u = group_utilization(plan16, 10.0, 10.0)
+        assert u.shape == (1, 1)
+        assert u[0, 0] == pytest.approx(1.0)
+
+    def test_half_grid(self, plan16):
+        u = group_utilization(plan16, 5.0, 10.0)
+        assert u[0, 0] == pytest.approx(0.5)
+
+    def test_multi_grid_span(self, plan16):
+        u = group_utilization(plan16, 15.0, 25.0)
+        assert u.shape == (3, 2)
+        assert u[0, 0] == pytest.approx(1.0)
+        assert u[0, 1] == pytest.approx(0.5)  # 5/10 width remainder
+        assert u[2, 0] == pytest.approx(0.5)  # 5/10 height remainder
+        assert u[2, 1] == pytest.approx(0.25)
+
+    def test_paper_figure1_example(self):
+        """The Fig. 1 walk-through: V(g) = sqrt(0.4*0.5*0.7*0.75) ≈ 0.32."""
+        v = np.sqrt((1 - 0.6) * (1 - 0.5) * (1 - 0.3) * (1 - 0.25))
+        assert v == pytest.approx(0.32, abs=0.005)
+
+
+class TestStateBuilder:
+    def test_initial_state_empty(self, coarse_small):
+        b = StateBuilder(coarse_small)
+        state = b.observe()
+        assert state.t == 0
+        assert state.s_p.shape == (4, 4)
+        # Preplaced macros pre-load the occupancy.
+        preplaced = coarse_small.design.netlist.preplaced_macros
+        if preplaced:
+            assert state.s_p.sum() > 0
+
+    def test_apply_increases_occupancy(self, coarse_small):
+        b = StateBuilder(coarse_small)
+        before = b.s_p().sum()
+        b.apply(0)
+        assert b.s_p().sum() > before
+        assert b.t == 1
+
+    def test_availability_drops_where_occupied(self, coarse_small):
+        b = StateBuilder(coarse_small)
+        s_a_before = b.availability(1)
+        b.apply(0)  # place group 0 at anchor (0, 0)
+        s_a_after = b.availability(1)
+        assert s_a_after[0, 0] <= s_a_before[0, 0]
+
+    def test_availability_zero_outside_span(self, coarse_small):
+        b = StateBuilder(coarse_small)
+        rows, cols = coarse_small.group_span(0)
+        s_a = b.availability(0)
+        zeta = coarse_small.plan.zeta
+        if cols > 1:
+            assert (s_a[:, zeta - cols + 1 :] == 0).all()
+        if rows > 1:
+            assert (s_a[zeta - rows + 1 :, :] == 0).all()
+
+    def test_eq4_value_matches_manual(self, coarse_small):
+        b = StateBuilder(coarse_small)
+        idx = 0
+        s_m = b.footprint(idx)
+        s_p = b.s_p()
+        rows, cols = s_m.shape
+        n = rows * cols
+        manual = np.prod(
+            (1 - s_m) * (1 - s_p[0:rows, 0:cols])
+        ) ** (1.0 / n)
+        assert b.availability(idx)[0, 0] == pytest.approx(manual)
+
+    def test_full_episode_reaches_done(self, coarse_small):
+        b = StateBuilder(coarse_small)
+        while not b.done():
+            b.observe()
+            b.apply(int(b.t) % coarse_small.plan.n_grids)
+        assert b.t == b.n_steps
+        with pytest.raises(IndexError):
+            b.observe()
+
+    def test_reset(self, coarse_small):
+        b = StateBuilder(coarse_small)
+        b.apply(0)
+        b.reset()
+        assert b.t == 0
+        np.testing.assert_allclose(b.occupancy, b._base_occupancy)
+
+    def test_action_mask_fallback(self, coarse_small):
+        b = StateBuilder(coarse_small)
+        # Saturate the die so availability vanishes everywhere.
+        b.occupancy[...] = 1.0
+        state = b.observe()
+        assert not state.mask.any()
+        assert state.action_mask.sum() > 0  # fallback engaged
+
+
+class TestPolicyValueNet:
+    @pytest.fixture
+    def net(self) -> PolicyValueNet:
+        return PolicyValueNet(NetworkConfig(zeta=4, channels=4, res_blocks=1, seed=0))
+
+    def test_forward_shapes(self, net):
+        x = np.random.default_rng(0).random((3, 3, 4, 4))
+        logits, v = net.forward(x)
+        assert logits.shape == (3, 16)
+        assert v.shape == (3,)
+
+    def test_value_bounded_when_tanh_enabled(self):
+        net = PolicyValueNet(
+            NetworkConfig(zeta=4, channels=4, res_blocks=1, value_tanh=True, seed=0)
+        )
+        x = np.random.default_rng(0).random((5, 3, 4, 4)) * 100
+        _, v = net.forward(x)
+        assert (np.abs(v) <= 1.0).all()
+
+    def test_value_unbounded_by_default(self):
+        assert not NetworkConfig().value_tanh
+
+    def test_pack_planes_validates_shape(self, net):
+        with pytest.raises(ValueError):
+            net.pack_planes(np.zeros((5, 5)), np.zeros((5, 5)), 0, 1)
+
+    def test_evaluate_returns_distribution(self, net):
+        s_p = np.zeros((4, 4))
+        s_a = np.ones((4, 4))
+        probs, v = net.evaluate(s_p, s_a, 0, 3)
+        assert probs.shape == (16,)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.isfinite(v)
+
+    def test_evaluate_respects_mask(self, net):
+        s_p = np.zeros((4, 4))
+        s_a = np.zeros((4, 4))
+        s_a[1, 2] = 0.5
+        probs, _ = net.evaluate(s_p, s_a, 0, 3)
+        assert probs[1 * 4 + 2] == pytest.approx(1.0)
+
+    def test_evaluate_restores_training_mode(self, net):
+        net.train(True)
+        net.evaluate(np.zeros((4, 4)), np.ones((4, 4)), 0, 3)
+        assert net.training
+
+    def test_backward_runs_and_produces_grads(self, net):
+        x = np.random.default_rng(1).random((2, 3, 4, 4))
+        logits, v = net.forward(x)
+        net.zero_grad()
+        net.backward(np.ones_like(logits) / logits.size, np.ones_like(v))
+        total = sum(float(np.abs(p.grad).sum()) for p in net.parameters())
+        assert total > 0
+
+    def test_paper_config_topology(self):
+        cfg = NetworkConfig.paper()
+        assert cfg.zeta == 16
+        assert cfg.channels == 128
+        assert cfg.res_blocks == 10
+
+    def test_grad_check_through_both_heads(self):
+        """Finite-difference check of d(loss)/d(params) through the full net."""
+        net = PolicyValueNet(NetworkConfig(zeta=3, channels=3, res_blocks=1, seed=3))
+        rng = np.random.default_rng(0)
+        x = rng.random((2, 3, 3, 3))
+        dlogits = rng.normal(size=(2, 9))
+        dv = rng.normal(size=2)
+
+        def loss():
+            lg, vv = net.forward(x)
+            return float((lg * dlogits).sum() + (vv * dv).sum())
+
+        net.train(True)
+        net.zero_grad()
+        net.forward(x)
+        net.backward(dlogits, dv)
+        checked = 0
+        for p in net.parameters():
+            flat, gflat = p.data.ravel(), p.grad.ravel()
+            k = int(rng.integers(0, len(flat)))
+            if abs(gflat[k]) < 1e-8:
+                continue
+            eps = 1e-6
+            orig = flat[k]
+            flat[k] = orig + eps
+            lp = loss()
+            flat[k] = orig - eps
+            lm = loss()
+            flat[k] = orig
+            num = (lp - lm) / (2 * eps)
+            err = abs(num - gflat[k]) / (abs(num) + abs(gflat[k]) + 1e-8)
+            assert err < 1e-4, f"{p.name}: {err:.2e}"
+            checked += 1
+        assert checked > 5
+
+
+class TestRewards:
+    def test_eq9_at_average_is_alpha(self):
+        r = NormalizedReward(w_max=200.0, w_min=100.0, w_avg=150.0, alpha=0.75)
+        assert r(150.0) == pytest.approx(0.75)
+
+    def test_eq9_better_than_average_above_alpha(self):
+        r = NormalizedReward(w_max=200.0, w_min=100.0, w_avg=150.0, alpha=0.75)
+        assert r(100.0) > 0.75
+        assert r(200.0) < 0.75
+
+    def test_eq9_range_with_alpha_in_band(self):
+        """With α ∈ [0.5, 1], rewards within the sampled W range stay ≥ ~0."""
+        r = NormalizedReward(w_max=200.0, w_min=100.0, w_avg=150.0, alpha=0.5)
+        assert r(200.0) >= 0.0
+        assert r(100.0) <= 1.0
+
+    def test_invalid_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            NormalizedReward(w_max=1.0, w_min=2.0, w_avg=1.5)
+
+    def test_degenerate_spread_guarded(self):
+        r = NormalizedReward(w_max=5.0, w_min=5.0, w_avg=5.0, alpha=0.5)
+        assert np.isfinite(r(5.0))
+
+    def test_negative_wirelength(self):
+        assert NegativeWirelength()(123.0) == -123.0
+        assert NegativeWirelength(scale=0.01)(100.0) == pytest.approx(-1.0)
+
+    def test_calibrate_reward_statistics(self):
+        samples = iter([10.0, 20.0, 30.0])
+        reward, seen = calibrate_reward(
+            lambda g: next(samples), alpha=0.6, n_episodes=3, rng=0
+        )
+        assert reward.w_min == 10.0
+        assert reward.w_max == 30.0
+        assert reward.w_avg == pytest.approx(20.0)
+        assert seen == [10.0, 20.0, 30.0]

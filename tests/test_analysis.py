@@ -1,0 +1,118 @@
+"""Analysis/statistics helper tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    bootstrap_mean_ci,
+    converged_at,
+    moving_average,
+    normalized_ratios,
+    rank_correlation,
+)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        v = [1.0, 5.0, 2.0]
+        np.testing.assert_allclose(moving_average(v, 1), v)
+
+    def test_constant_input(self):
+        np.testing.assert_allclose(moving_average([3.0] * 10, 4), 3.0)
+
+    def test_known_values(self):
+        out = moving_average([1.0, 2.0, 3.0, 4.0], 2)
+        np.testing.assert_allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+    def test_empty(self):
+        assert moving_average([], 3).size == 0
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+           st.integers(1, 10))
+    @settings(max_examples=40)
+    def test_bounded_by_input_range(self, values, window):
+        out = moving_average(values, window)
+        assert out.min() >= min(values) - 1e-9
+        assert out.max() <= max(values) + 1e-9
+
+
+class TestBootstrap:
+    def test_interval_contains_mean(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 2.0, 100)
+        ci = bootstrap_mean_ci(sample, rng=1)
+        assert ci.low <= ci.mean <= ci.high
+        assert ci.contains(ci.mean)
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(0)
+        small = bootstrap_mean_ci(rng.normal(0, 1, 10), rng=1)
+        large = bootstrap_mean_ci(rng.normal(0, 1, 1000), rng=1)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    def test_deterministic_given_seed(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        a = bootstrap_mean_ci(sample, rng=5)
+        b = bootstrap_mean_ci(sample, rng=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+
+class TestConvergence:
+    def test_converging_curve_detected(self):
+        curve = [0.0] * 50 + [1.0] * 100
+        idx = converged_at(curve, window=10, tolerance=0.05)
+        assert idx is not None
+        assert 40 <= idx <= 80
+
+    def test_flat_noise_converges_immediately_or_never(self):
+        rng = np.random.default_rng(0)
+        curve = list(rng.normal(1.0, 0.001, 100))
+        idx = converged_at(curve, window=10)
+        assert idx is not None and idx < 20
+
+    def test_diverging_curve_not_converged(self):
+        curve = list(np.linspace(0, 10, 100))  # still climbing at the end
+        idx = converged_at(curve, window=10, tolerance=0.01)
+        assert idx is None or idx > 80
+
+    def test_too_short_returns_none(self):
+        assert converged_at([1.0, 2.0], window=10) is None
+
+
+class TestNormalizedRatios:
+    def test_reference_all_ones(self):
+        values = {"c1": {"a": 2.0, "ref": 1.0}, "c2": {"a": 3.0, "ref": 1.5}}
+        ratios = normalized_ratios(values, "ref")
+        np.testing.assert_allclose(ratios["ref"], [1.0, 1.0])
+        np.testing.assert_allclose(ratios["a"], [2.0, 2.0])
+
+    def test_missing_reference_skipped(self):
+        values = {"c1": {"a": 2.0}, "c2": {"a": 3.0, "ref": 1.0}}
+        ratios = normalized_ratios(values, "ref")
+        assert ratios["a"] == [3.0]
+
+
+class TestRankCorrelation:
+    def test_perfect_monotone(self):
+        assert rank_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        assert rank_correlation([1, 2, 3], [9, 5, 1]) == pytest.approx(-1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rank_correlation([1, 2], [1])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            rank_correlation([1], [1])

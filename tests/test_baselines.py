@@ -1,0 +1,199 @@
+"""Baseline placer tests: each must produce a legal, measured placement."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CTStylePlacer,
+    MacroEvalModel,
+    RandomPlacer,
+    RePlAceLikePlacer,
+    SAPlacer,
+    SEPlacer,
+    WiremaskPlacer,
+)
+from repro.baselines.common import finalize_design
+from repro.eval.metrics import macro_overlap_area, out_of_region_area
+
+
+FAST_BASELINES = [
+    ("random", lambda: RandomPlacer(cell_place_iters=1, seed=0)),
+    ("sa", lambda: SAPlacer(n_moves=150, cell_place_iters=1, seed=0)),
+    ("se", lambda: SEPlacer(generations=3, lattice=6, cell_place_iters=1, seed=0)),
+    (
+        "maskplace",
+        lambda: WiremaskPlacer(bins=6, rollouts=2, cell_place_iters=1, seed=0),
+    ),
+    (
+        "replace",
+        lambda: RePlAceLikePlacer(gp_iterations=3, refine_moves=100,
+                                  cell_place_iters=1, seed=0),
+    ),
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("name,factory", FAST_BASELINES)
+    def test_result_fields(self, small_design, name, factory):
+        result = factory().place(small_design)
+        assert result.name == name
+        assert result.hpwl > 0
+        assert result.runtime >= 0
+
+    @pytest.mark.parametrize("name,factory", FAST_BASELINES)
+    def test_placement_legal(self, small_design, name, factory):
+        factory().place(small_design)
+        assert macro_overlap_area(small_design) < 1e-9
+        assert out_of_region_area(small_design) < 1e-6
+
+    @pytest.mark.parametrize("name,factory", FAST_BASELINES)
+    def test_preplaced_macros_untouched(self, small_design, name, factory):
+        before = {
+            m.name: (m.x, m.y)
+            for m in small_design.netlist.preplaced_macros
+        }
+        factory().place(small_design)
+        for mname, pos in before.items():
+            node = small_design.netlist[mname]
+            assert (node.x, node.y) == pos
+
+    @pytest.mark.parametrize("name,factory", FAST_BASELINES)
+    def test_deterministic(self, small_design, name, factory):
+        d2 = copy.deepcopy(small_design)
+        r1 = factory().place(small_design)
+        r2 = factory().place(d2)
+        assert r1.hpwl == pytest.approx(r2.hpwl)
+
+
+class TestQualityOrdering:
+    def test_search_baselines_beat_random(self, small_design):
+        """SA/SE/wiremask must clearly beat random placement."""
+        d_rand = copy.deepcopy(small_design)
+        rand = RandomPlacer(cell_place_iters=1, seed=3).place(d_rand).hpwl
+        for factory in [
+            lambda: SAPlacer(n_moves=400, cell_place_iters=1, seed=1),
+            lambda: SEPlacer(generations=5, cell_place_iters=1, seed=1),
+            lambda: WiremaskPlacer(bins=8, rollouts=4, cell_place_iters=1, seed=1),
+        ]:
+            d = copy.deepcopy(small_design)
+            assert factory().place(d).hpwl < rand
+
+
+class TestMacroEvalModel:
+    def test_hpwl_responds_to_macro_moves(self, placed_design):
+        model = MacroEvalModel(placed_design)
+        cx, cy = model.current_centers()
+        base = model.hpwl(cx, cy)
+        moved = model.hpwl(cx + 50.0, cy)
+        assert moved != pytest.approx(base, rel=1e-6)
+
+    def test_overlap_penalty_detects_collision(self, placed_design):
+        model = MacroEvalModel(placed_design)
+        cx, cy = model.current_centers()
+        assert model.overlap_penalty(cx, cy) < 1e-9  # placed = legal
+        stacked = np.full_like(cx, float(cx[0]))
+        assert model.overlap_penalty(stacked, np.full_like(cy, float(cy[0]))) > 0
+
+    def test_write_centers_mutates_design(self, placed_design):
+        model = MacroEvalModel(placed_design)
+        cx, cy = model.current_centers()
+        model.write_centers(cx + 1.0, cy + 2.0)
+        name = model.flat.names[int(model.macro_idx[0])]
+        node = placed_design.netlist[name]
+        assert node.cx == pytest.approx(float(cx[0]) + 1.0)
+
+    def test_finalize_reports_current_hpwl(self, placed_design):
+        wl = finalize_design(placed_design, cell_place_iters=1)
+        from repro.netlist.hpwl import hpwl as hp
+
+        assert wl == pytest.approx(hp(placed_design.netlist), rel=1e-9)
+
+
+class TestCTStyle:
+    def test_ct_runs_and_is_legal(self, small_design):
+        from repro.agent.network import NetworkConfig
+
+        placer = CTStylePlacer(
+            zeta=4,
+            network=NetworkConfig(zeta=4, channels=4, res_blocks=1, seed=0),
+            episodes=4,
+            update_every=2,
+            cell_place_iters=1,
+            seed=0,
+        )
+        result = placer.place(small_design)
+        assert result.name == "ct"
+        assert result.hpwl > 0
+        assert macro_overlap_area(small_design) < 1e-9
+
+    def test_ct_uses_singleton_macro_groups(self, placed_design):
+        from repro.baselines.ct_placer import singleton_macro_coarsening
+        from repro.grid.plan import GridPlan
+
+        plan = GridPlan(placed_design.region, zeta=4)
+        coarse = singleton_macro_coarsening(placed_design, plan)
+        assert coarse.n_macro_groups == len(
+            placed_design.netlist.movable_macros
+        )
+        assert all(len(g.members) == 1 for g in coarse.macro_groups)
+
+    def test_ct_groups_sorted_by_area(self, placed_design):
+        from repro.baselines.ct_placer import singleton_macro_coarsening
+        from repro.grid.plan import GridPlan
+
+        coarse = singleton_macro_coarsening(
+            placed_design, GridPlan(placed_design.region, zeta=4)
+        )
+        areas = [g.area for g in coarse.macro_groups]
+        assert areas == sorted(areas, reverse=True)
+
+
+class TestSARotation:
+    def test_rotation_preserves_macro_areas(self, small_design):
+        areas_before = sorted(m.area for m in small_design.netlist.movable_macros)
+        SAPlacer(n_moves=300, allow_rotation=True, rotate_prob=0.5,
+                 cell_place_iters=1, seed=2).place(small_design)
+        areas_after = sorted(m.area for m in small_design.netlist.movable_macros)
+        for a, b in zip(areas_before, areas_after):
+            assert a == pytest.approx(b)
+
+    def test_rotation_keeps_placement_legal(self, small_design):
+        SAPlacer(n_moves=300, allow_rotation=True, rotate_prob=0.5,
+                 cell_place_iters=1, seed=2).place(small_design)
+        assert macro_overlap_area(small_design) < 1e-9
+        assert out_of_region_area(small_design) < 1e-6
+
+    def test_rotation_deterministic(self, small_design):
+        d2 = copy.deepcopy(small_design)
+        kw = dict(n_moves=200, allow_rotation=True, rotate_prob=0.5,
+                  cell_place_iters=1, seed=7)
+        r1 = SAPlacer(**kw).place(small_design)
+        r2 = SAPlacer(**kw).place(d2)
+        assert r1.hpwl == pytest.approx(r2.hpwl)
+
+
+class TestElectrostaticVariant:
+    def test_mixed_size_electrostatic_legal(self, small_design):
+        from repro.gp.mixed_size import MixedSizePlacer
+
+        result = MixedSizePlacer(
+            n_iterations=3, spreader="electrostatic"
+        ).place(small_design)
+        assert result.hpwl > 0
+        assert macro_overlap_area(small_design) < 1e-9
+
+    def test_invalid_spreader_rejected(self):
+        from repro.gp.mixed_size import MixedSizePlacer
+
+        with pytest.raises(ValueError):
+            MixedSizePlacer(spreader="magic")
+
+    def test_replace_like_electrostatic(self, small_design):
+        result = RePlAceLikePlacer(
+            gp_iterations=3, refine_moves=100, cell_place_iters=1,
+            electrostatic=True, seed=0,
+        ).place(small_design)
+        assert result.hpwl > 0
+        assert macro_overlap_area(small_design) < 1e-9

@@ -1,0 +1,96 @@
+"""RUDY congestion-estimation tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.congestion import congestion_report, rudy_map
+from repro.netlist.model import Cell, Design, Net, Netlist, Pin, PlacementRegion
+
+
+def two_pin_design(p0, p1, region_side=100.0) -> Design:
+    nl = Netlist()
+    a = Cell("a", 0.0, 0.0)
+    a.move_center_to(*p0)
+    b = Cell("b", 0.0, 0.0)
+    b.move_center_to(*p1)
+    nl.add_node(a)
+    nl.add_node(b)
+    nl.add_net(Net("n", pins=[Pin("a"), Pin("b")]))
+    return Design(netlist=nl, region=PlacementRegion(0, 0, region_side, region_side))
+
+
+class TestRudyMap:
+    def test_empty_design_zero(self):
+        design = Design(netlist=Netlist(), region=PlacementRegion(0, 0, 10, 10))
+        assert rudy_map(design, bins=4).sum() == 0.0
+
+    def test_demand_confined_to_bbox(self):
+        design = two_pin_design((10, 10), (30, 30))
+        m = rudy_map(design, bins=10)
+        # Bins fully outside the [10,30]² box carry no demand.
+        assert m[8, 8] == 0.0
+        assert m[0, 8] == 0.0
+        assert m[1:3, 1:3].sum() > 0
+
+    def test_total_wire_volume_conserved(self):
+        """Σ bins · bin_area = HPWL (the net's wire volume) for an interior
+        net."""
+        design = two_pin_design((10, 20), (50, 60))
+        bins = 20
+        m = rudy_map(design, bins=bins)
+        bin_area = (100.0 / bins) ** 2
+        hpwl = (50 - 10) + (60 - 20)
+        assert m.sum() * bin_area == pytest.approx(hpwl, rel=1e-6)
+
+    def test_net_weight_scales_demand(self):
+        d1 = two_pin_design((10, 10), (40, 40))
+        d2 = two_pin_design((10, 10), (40, 40))
+        d2.netlist.nets[0].weight = 3.0
+        m1, m2 = rudy_map(d1, 8), rudy_map(d2, 8)
+        assert m2.sum() == pytest.approx(3.0 * m1.sum())
+
+    def test_degenerate_net_handled(self):
+        design = two_pin_design((25, 25), (25, 25))  # zero-extent bbox
+        m = rudy_map(design, bins=8)
+        assert np.isfinite(m).all()
+
+    def test_crossing_nets_accumulate(self):
+        nl = Netlist()
+        for i, (x, y) in enumerate([(10, 50), (90, 50), (50, 10), (50, 90)]):
+            c = Cell(f"c{i}", 0, 0)
+            c.move_center_to(x, y)
+            nl.add_node(c)
+        nl.add_net(Net("h", pins=[Pin("c0"), Pin("c1")]))
+        nl.add_net(Net("v", pins=[Pin("c2"), Pin("c3")]))
+        design = Design(netlist=nl, region=PlacementRegion(0, 0, 100, 100))
+        m = rudy_map(design, bins=10)
+        center = m[5, 5]
+        edge_h = m[5, 1]
+        # The crossing region sees both nets.
+        assert center > edge_h
+
+
+class TestCongestionReport:
+    def test_report_fields(self, placed_design):
+        report = congestion_report(placed_design, bins=16)
+        assert report.peak >= report.p95 >= 0
+        assert 0.0 <= report.overflow_fraction <= 1.0
+        assert "RUDY" in str(report)
+
+    def test_spread_placement_less_congested_than_stacked(self, small_design):
+        import copy
+
+        from repro.gp.mixed_size import MixedSizePlacer
+
+        stacked = copy.deepcopy(small_design)
+        for node in stacked.netlist:
+            if not node.fixed:
+                node.move_center_to(
+                    stacked.region.width / 2, stacked.region.height / 2
+                )
+        placed = copy.deepcopy(small_design)
+        MixedSizePlacer(n_iterations=3).place(placed)
+        assert (
+            congestion_report(placed, 16).peak
+            < congestion_report(stacked, 16).peak
+        )

@@ -1,0 +1,203 @@
+"""Environment and Actor-Critic trainer tests."""
+
+import numpy as np
+import pytest
+
+from repro.agent.actorcritic import ActorCriticTrainer
+from repro.agent.network import NetworkConfig, PolicyValueNet
+from repro.agent.reward import NormalizedReward
+from repro.env.placement_env import MacroGroupPlacementEnv
+from repro.eval.metrics import macro_overlap_area
+
+
+@pytest.fixture
+def env(coarse_small) -> MacroGroupPlacementEnv:
+    return MacroGroupPlacementEnv(coarse_small, cell_place_iters=1)
+
+
+@pytest.fixture
+def net() -> PolicyValueNet:
+    return PolicyValueNet(NetworkConfig(zeta=4, channels=4, res_blocks=1, seed=0))
+
+
+@pytest.fixture
+def reward_fn() -> NormalizedReward:
+    return NormalizedReward(w_max=2000.0, w_min=500.0, w_avg=1200.0, alpha=0.75)
+
+
+class TestEnvironment:
+    def test_episode_length_equals_groups(self, env):
+        state = env.reset()
+        steps = 0
+        done = False
+        while not done:
+            state, done = env.step(0)
+            steps += 1
+        assert steps == env.n_steps
+
+    def test_invalid_action_rejected(self, env):
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(env.n_actions)
+
+    def test_finalize_before_done_rejected(self, env):
+        env.reset()
+        with pytest.raises(RuntimeError):
+            env.finalize()
+
+    def test_finalize_returns_positive_hpwl(self, env):
+        env.reset()
+        done = False
+        while not done:
+            _, done = env.step(3)
+        assert env.finalize() > 0
+
+    def test_finalize_leaves_legal_macros(self, env):
+        env.reset()
+        done = False
+        while not done:
+            _, done = env.step(5)
+        env.finalize()
+        assert macro_overlap_area(env.coarse.design) < 1e-9
+
+    def test_random_episode_reproducible(self, env):
+        r1 = env.play_random_episode(rng=123)
+        r2 = env.play_random_episode(rng=123)
+        assert r1.actions == r2.actions
+        assert r1.wirelength == pytest.approx(r2.wirelength)
+
+    def test_random_episode_respects_mask(self, env):
+        record = env.play_random_episode(rng=7)
+        assert len(record.actions) == env.n_steps
+        for state, action in zip(record.states, record.actions):
+            assert state.action_mask[action] > 0
+
+    def test_assignment_recorded(self, env):
+        record = env.play_random_episode(rng=1)
+        assert env.assignment == record.actions
+
+    def test_different_assignments_different_hpwl(self, env):
+        w_a = env.evaluate_assignment([0] * env.n_steps)
+        far = env.n_actions - 1
+        w_b = env.evaluate_assignment(
+            [0, far] * (env.n_steps // 2) + [0] * (env.n_steps % 2)
+        )
+        assert w_a != pytest.approx(w_b, rel=1e-3)
+
+    def test_greedy_episode_uses_argmax(self, env):
+        target = 6
+
+        def policy(state):
+            p = np.zeros(env.n_actions)
+            p[target] = 1.0
+            return p
+
+        record = env.play_greedy_episode(policy)
+        for state, action in zip(record.states, record.actions):
+            if state.action_mask[target] > 0:
+                assert action == target
+
+
+class TestActorCriticTrainer:
+    def test_zeta_mismatch_rejected(self, env, reward_fn):
+        bad = PolicyValueNet(NetworkConfig(zeta=8, channels=4, res_blocks=1))
+        with pytest.raises(ValueError, match="grid"):
+            ActorCriticTrainer(env, bad, reward_fn)
+
+    def test_history_lengths(self, env, net, reward_fn):
+        trainer = ActorCriticTrainer(env, net, reward_fn, update_every=3, rng=0)
+        hist = trainer.train(6)
+        assert len(hist.rewards) == 6
+        assert len(hist.wirelengths) == 6
+        assert len(hist.losses) == 2  # one update per 3 episodes
+
+    def test_rewards_match_reward_fn(self, env, net, reward_fn):
+        trainer = ActorCriticTrainer(env, net, reward_fn, update_every=2, rng=0)
+        hist = trainer.train(2)
+        for r, w in zip(hist.rewards, hist.wirelengths):
+            assert r == pytest.approx(reward_fn(w))
+
+    def test_update_changes_parameters(self, env, net, reward_fn):
+        trainer = ActorCriticTrainer(env, net, reward_fn, update_every=2, rng=0)
+        before = [p.data.copy() for p in net.parameters()]
+        trainer.train(2)
+        changed = any(
+            not np.allclose(b, p.data)
+            for b, p in zip(before, net.parameters())
+        )
+        assert changed
+
+    def test_no_update_before_interval(self, env, net, reward_fn):
+        trainer = ActorCriticTrainer(env, net, reward_fn, update_every=10, rng=0)
+        before = [p.data.copy() for p in net.parameters()]
+        trainer.train(3)
+        for b, p in zip(before, net.parameters()):
+            np.testing.assert_allclose(b, p.data)
+
+    def test_snapshots_recorded(self, env, net, reward_fn):
+        trainer = ActorCriticTrainer(env, net, reward_fn, update_every=2, rng=0)
+        hist = trainer.train(6, checkpoint_every=2)
+        assert [s.episode for s in hist.snapshots] == [2, 4, 6]
+
+    def test_snapshot_restore_roundtrip(self, env, net, reward_fn):
+        trainer = ActorCriticTrainer(env, net, reward_fn, update_every=2, rng=0)
+        snap = trainer.snapshot(0)
+        trainer.train(4)
+        restored = trainer.network_at(snap)
+        for p_saved, p_restored in zip(snap.params, restored.parameters()):
+            np.testing.assert_allclose(p_saved, p_restored.data)
+
+    def test_snapshot_is_deep_copy(self, env, net, reward_fn):
+        trainer = ActorCriticTrainer(env, net, reward_fn, rng=0)
+        snap = trainer.snapshot(0)
+        net.parameters()[0].data += 1.0
+        assert not np.allclose(snap.params[0], net.parameters()[0].data)
+
+    def test_deterministic_given_seed(self, coarse_small, reward_fn):
+        import copy
+
+        results = []
+        for _ in range(2):
+            env = MacroGroupPlacementEnv(
+                copy.deepcopy(coarse_small), cell_place_iters=1
+            )
+            net = PolicyValueNet(
+                NetworkConfig(zeta=4, channels=4, res_blocks=1, seed=5)
+            )
+            trainer = ActorCriticTrainer(env, net, reward_fn, rng=9)
+            hist = trainer.train(3)
+            results.append(hist.wirelengths)
+        assert results[0] == pytest.approx(results[1])
+
+    def test_training_improves_reward_on_average(self, coarse_small):
+        """Statistical sanity: late-phase mean reward ≥ early-phase mean
+        (generous margin — 40 episodes on a tiny instance)."""
+        env = MacroGroupPlacementEnv(coarse_small, cell_place_iters=1)
+        reward_fn, _ = _quick_calibration(env)
+        net = PolicyValueNet(NetworkConfig(zeta=4, channels=8, res_blocks=1, seed=0))
+        trainer = ActorCriticTrainer(env, net, reward_fn, update_every=5, rng=0)
+        hist = trainer.train(40)
+        early = float(np.mean(hist.rewards[:10]))
+        late = float(np.mean(hist.rewards[-10:]))
+        assert late > early - 0.15
+
+
+def _quick_calibration(env):
+    from repro.agent.reward import calibrate_reward
+
+    return calibrate_reward(
+        lambda g: env.play_random_episode(g).wirelength, n_episodes=5, rng=2
+    )
+
+
+class TestEvaluationPathIndependence:
+    def test_evaluate_assignment_is_history_free(self, env):
+        """The MCTS terminal cache assumes evaluate_assignment(a) depends
+        only on *a*, not on whatever placement earlier evaluations left
+        behind."""
+        a1 = [0] * env.n_steps
+        a2 = [env.n_actions - 1] * env.n_steps
+        first = env.evaluate_assignment(a1)
+        env.evaluate_assignment(a2)
+        again = env.evaluate_assignment(a1)
+        assert again == pytest.approx(first, rel=1e-9)

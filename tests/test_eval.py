@@ -1,0 +1,114 @@
+"""Metric and reporting tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    density_map,
+    macro_overlap_area,
+    out_of_region_area,
+    placement_summary,
+)
+from repro.eval.report import ComparisonTable
+from repro.netlist.model import Design, Macro, Netlist, PlacementRegion
+
+
+def design_with(macros) -> Design:
+    nl = Netlist()
+    for m in macros:
+        nl.add_node(m)
+    return Design(netlist=nl, region=PlacementRegion(0, 0, 100, 100))
+
+
+class TestMetrics:
+    def test_overlap_zero_for_disjoint(self):
+        d = design_with([Macro("a", 10, 10, x=0, y=0), Macro("b", 10, 10, x=50, y=50)])
+        assert macro_overlap_area(d) == 0.0
+
+    def test_overlap_counts_pairs(self):
+        d = design_with([
+            Macro("a", 10, 10, x=0, y=0),
+            Macro("b", 10, 10, x=5, y=0),
+            Macro("c", 10, 10, x=0, y=5),
+        ])
+        # a∩b = 50, a∩c = 50, b∩c = 5*5 = 25
+        assert macro_overlap_area(d) == pytest.approx(125.0)
+
+    def test_overlap_with_preplaced_toggle(self):
+        d = design_with([
+            Macro("a", 10, 10, x=0, y=0),
+            Macro("pp", 10, 10, x=5, y=0, fixed=True),
+        ])
+        assert macro_overlap_area(d, include_preplaced=True) > 0
+        assert macro_overlap_area(d, include_preplaced=False) == 0.0
+
+    def test_out_of_region(self):
+        d = design_with([Macro("a", 10, 10, x=95, y=0)])
+        assert out_of_region_area(d) == pytest.approx(50.0)
+
+    def test_out_of_region_zero_inside(self):
+        d = design_with([Macro("a", 10, 10, x=45, y=45)])
+        assert out_of_region_area(d) == 0.0
+
+    def test_density_map_shape_and_range(self, placed_design):
+        dm = density_map(placed_design, bins=8)
+        assert dm.shape == (8, 8)
+        assert (dm >= 0).all()
+
+    def test_placement_summary_legal_flag(self):
+        d = design_with([Macro("a", 10, 10, x=0, y=0), Macro("b", 10, 10, x=50, y=50)])
+        summary = placement_summary(d)
+        assert summary.legal
+        d2 = design_with([Macro("a", 10, 10, x=0, y=0), Macro("b", 10, 10, x=5, y=5)])
+        assert not placement_summary(d2).legal
+
+
+class TestComparisonTable:
+    def _table(self) -> ComparisonTable:
+        t = ComparisonTable(methods=["se", "dp", "ours"], reference="ours")
+        t.add("Cir1", "se", 1.12)
+        t.add("Cir1", "dp", 1.24)
+        t.add("Cir1", "ours", 1.14)
+        t.add("Cir2", "se", 6.55)
+        t.add("Cir2", "dp", 7.14)
+        t.add("Cir2", "ours", 6.33)
+        return t
+
+    def test_unknown_method_rejected(self):
+        t = ComparisonTable(methods=["a"], reference="a")
+        with pytest.raises(KeyError):
+            t.add("c", "b", 1.0)
+
+    def test_reference_normalizes_to_one(self):
+        nor = self._table().normalized()
+        assert nor["ours"] == pytest.approx(1.0)
+
+    def test_normalized_is_mean_ratio(self):
+        nor = self._table().normalized()
+        expected = np.mean([1.12 / 1.14, 6.55 / 6.33])
+        assert nor["se"] == pytest.approx(expected)
+
+    def test_missing_cells_skipped(self):
+        t = ComparisonTable(methods=["a", "ours"], reference="ours")
+        t.add("c1", "ours", 2.0)
+        t.add("c1", "a", 4.0)
+        t.add("c2", "ours", 1.0)  # method 'a' missing here
+        nor = t.normalized()
+        assert nor["a"] == pytest.approx(2.0)
+
+    def test_empty_table_nan(self):
+        t = ComparisonTable(methods=["a"], reference="a")
+        assert np.isnan(t.normalized()["a"])
+
+    def test_render_contains_all_parts(self):
+        text = self._table().render()
+        assert "Cir1" in text and "Cir2" in text
+        assert "Nor." in text
+        assert "1.00" in text  # the reference's normalized value
+
+    def test_render_handles_missing(self):
+        t = ComparisonTable(methods=["a", "ours"], reference="ours", title="T")
+        t.add("c1", "ours", 1.0)
+        text = t.render()
+        assert "-" in text
+        assert text.startswith("T")

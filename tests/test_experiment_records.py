@@ -1,0 +1,80 @@
+"""Experiment-record persistence tests."""
+
+import pytest
+
+from repro.experiments import ExperimentRecord, RecordStore
+
+
+@pytest.fixture
+def store(tmp_path) -> RecordStore:
+    return RecordStore(str(tmp_path / "results"))
+
+
+class TestRecord:
+    def test_json_roundtrip(self):
+        rec = ExperimentRecord(
+            experiment="table3", data={"normalized": {"ours": 1.0}},
+            budget="default", seed=7,
+        )
+        back = ExperimentRecord.from_json(rec.to_json())
+        assert back == rec
+
+    def test_version_stamped(self):
+        from repro import __version__
+
+        rec = ExperimentRecord(experiment="x", data={})
+        assert rec.version == __version__
+
+
+class TestStore:
+    def test_save_assigns_sequences(self, store):
+        for i in range(3):
+            rec = ExperimentRecord(experiment="fig4", data={"run": i})
+            store.save(rec)
+            assert rec.sequence == i
+
+    def test_load_latest(self, store):
+        store.save(ExperimentRecord(experiment="fig4", data={"run": 0}))
+        store.save(ExperimentRecord(experiment="fig4", data={"run": 1}))
+        latest = store.load_latest("fig4")
+        assert latest is not None
+        assert latest.data == {"run": 1}
+
+    def test_load_latest_missing(self, store):
+        assert store.load_latest("nothing") is None
+
+    def test_load_all_ordered(self, store):
+        for i in range(4):
+            store.save(ExperimentRecord(experiment="t2", data={"run": i}))
+        assert [r.data["run"] for r in store.load_all("t2")] == [0, 1, 2, 3]
+
+    def test_experiments_listing(self, store):
+        store.save(ExperimentRecord(experiment="a", data={}))
+        store.save(ExperimentRecord(experiment="b", data={}))
+        assert store.experiments() == ["a", "b"]
+
+    def test_experiments_isolated(self, store):
+        store.save(ExperimentRecord(experiment="a", data={"v": 1}))
+        store.save(ExperimentRecord(experiment="b", data={"v": 2}))
+        assert store.load_latest("a").data == {"v": 1}
+
+    def test_compare_latest(self, store):
+        store.save(ExperimentRecord(experiment="t3", data={"nor": 1.05}))
+        store.save(ExperimentRecord(experiment="t3", data={"nor": 1.01}))
+        assert store.compare_latest("t3", "nor") == (1.05, 1.01)
+
+    def test_compare_needs_two_runs(self, store):
+        store.save(ExperimentRecord(experiment="t3", data={"nor": 1.0}))
+        assert store.compare_latest("t3", "nor") is None
+
+    def test_slug_sanitizes_names(self, store):
+        path = store.save(
+            ExperimentRecord(experiment="Table III / weird name!", data={})
+        )
+        assert "/" not in path.split("results")[-1].lstrip("/\\")
+        assert store.load_latest("Table III / weird name!") is not None
+
+    def test_store_creates_directory(self, tmp_path):
+        sub = tmp_path / "deep" / "dir"
+        RecordStore(str(sub))
+        assert sub.exists()

@@ -1,0 +1,156 @@
+"""B*-tree floorplanning tests: packing legality, perturbations, SA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import macro_overlap_area, out_of_region_area
+from repro.floorplan import BStarTree, BTreeFloorplanPlacer, FloorplanSA
+
+
+def assert_packing_legal(tree: BStarTree) -> None:
+    packed = tree.pack()
+    w, h = tree.rect_dims()
+    n = tree.n
+    for i in range(n):
+        assert packed.x[i] >= -1e-9
+        assert packed.y[i] >= -1e-9
+        assert packed.x[i] + w[i] <= packed.width + 1e-9
+        assert packed.y[i] + h[i] <= packed.height + 1e-9
+        for j in range(i + 1, n):
+            sep_x = (
+                packed.x[i] + w[i] <= packed.x[j] + 1e-9
+                or packed.x[j] + w[j] <= packed.x[i] + 1e-9
+            )
+            sep_y = (
+                packed.y[i] + h[i] <= packed.y[j] + 1e-9
+                or packed.y[j] + h[j] <= packed.y[i] + 1e-9
+            )
+            assert sep_x or sep_y, f"rects {i}, {j} overlap"
+
+
+class TestPacking:
+    def test_single_rectangle(self):
+        tree = BStarTree(np.array([4.0]), np.array([3.0]), rng=0)
+        packed = tree.pack()
+        assert packed.area == pytest.approx(12.0)
+        assert (packed.x[0], packed.y[0]) == (0.0, 0.0)
+
+    def test_two_rectangles_no_overlap(self):
+        tree = BStarTree(np.array([4.0, 2.0]), np.array([3.0, 5.0]), rng=1)
+        assert_packing_legal(tree)
+
+    def test_area_lower_bound(self):
+        widths = np.array([3.0, 4.0, 2.0, 5.0])
+        heights = np.array([2.0, 3.0, 4.0, 1.0])
+        tree = BStarTree(widths, heights, rng=2)
+        packed = tree.pack()
+        assert packed.area >= float((widths * heights).sum()) - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 12), st.integers(0, 10_000))
+    def test_any_tree_packs_legally(self, n, seed):
+        """The representation's defining property: every B*-tree is legal."""
+        rng = np.random.default_rng(seed)
+        tree = BStarTree(rng.uniform(1, 8, n), rng.uniform(1, 8, n), rng=seed)
+        assert_packing_legal(tree)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 10), st.integers(0, 10_000), st.integers(1, 30))
+    def test_legal_after_arbitrary_perturbations(self, n, seed, k):
+        rng = np.random.default_rng(seed)
+        tree = BStarTree(rng.uniform(1, 8, n), rng.uniform(1, 8, n), rng=seed)
+        for _ in range(k):
+            tree.perturb(rng)
+        assert_packing_legal(tree)
+
+
+class TestPerturbations:
+    def test_rotate_changes_dims(self):
+        tree = BStarTree(np.array([4.0, 2.0]), np.array([3.0, 5.0]), rng=0)
+        w0, h0 = tree.rect_dims()
+        tree.rotate(0)
+        w1, h1 = tree.rect_dims()
+        # Slot 0 holds some rectangle; its dims flipped.
+        r = int(tree.rect_of_slot[0])
+        assert w1[r] == pytest.approx(h0[r])
+        assert h1[r] == pytest.approx(w0[r])
+
+    def test_swap_preserves_rect_identity(self):
+        tree = BStarTree(np.array([4.0, 2.0]), np.array([3.0, 5.0]), rng=0)
+        tree.swap(0, 1)
+        w, h = tree.rect_dims()
+        # Rect 0 is still 4x3 wherever it sits.
+        assert w[0] == pytest.approx(4.0)
+        assert h[0] == pytest.approx(3.0)
+
+    def test_copy_restore_roundtrip(self):
+        rng = np.random.default_rng(0)
+        tree = BStarTree(rng.uniform(1, 5, 6), rng.uniform(1, 5, 6), rng=0)
+        before = tree.pack()
+        state = tree.copy_state()
+        for _ in range(10):
+            tree.perturb(rng)
+        tree.restore_state(state)
+        after = tree.pack()
+        np.testing.assert_allclose(after.x, before.x)
+        np.testing.assert_allclose(after.y, before.y)
+
+    def test_detach_root_refused(self):
+        tree = BStarTree(np.array([1.0, 1.0]), np.array([1.0, 1.0]), rng=0)
+        assert not tree.detach_leaf(tree.root)
+
+
+class TestFloorplanSA:
+    def test_area_improves(self):
+        rng = np.random.default_rng(3)
+        widths = rng.uniform(2, 10, 10)
+        heights = rng.uniform(2, 10, 10)
+        sa0 = FloorplanSA(widths, heights, n_moves=0, seed=3)
+        initial, _ = sa0.run()
+        sa = FloorplanSA(widths, heights, n_moves=800, area_weight=1.0, seed=3)
+        packed, _tree = sa.run()
+        assert packed.area <= initial.area
+
+    def test_deterministic(self):
+        widths = np.array([3.0, 5.0, 2.0, 4.0])
+        heights = np.array([2.0, 3.0, 6.0, 1.0])
+        a, _ = FloorplanSA(widths, heights, n_moves=200, seed=9).run()
+        b, _ = FloorplanSA(widths, heights, n_moves=200, seed=9).run()
+        assert a.area == pytest.approx(b.area)
+
+    def test_single_rect_rejected_gracefully(self):
+        with pytest.raises(ValueError):
+            BStarTree(np.zeros(0), np.zeros(0))
+
+
+class TestBTreePlacer:
+    def test_places_legally(self, small_design):
+        result = BTreeFloorplanPlacer(
+            n_moves=300, cell_place_iters=1, seed=0
+        ).place(small_design)
+        assert result.name == "btree"
+        assert result.hpwl > 0
+        assert macro_overlap_area(small_design) < 1e-9
+        assert out_of_region_area(small_design) < 1e-6
+
+    def test_preserves_macro_areas(self, small_design):
+        areas_before = sorted(m.area for m in small_design.netlist.movable_macros)
+        BTreeFloorplanPlacer(n_moves=300, cell_place_iters=1, seed=0).place(
+            small_design
+        )
+        areas_after = sorted(m.area for m in small_design.netlist.movable_macros)
+        np.testing.assert_allclose(areas_after, areas_before)
+
+    def test_beats_random(self, small_design):
+        import copy
+
+        from repro.baselines import RandomPlacer
+
+        d_rand = copy.deepcopy(small_design)
+        rand = RandomPlacer(cell_place_iters=1, seed=5).place(d_rand).hpwl
+        result = BTreeFloorplanPlacer(
+            n_moves=600, cell_place_iters=1, seed=0
+        ).place(small_design)
+        assert result.hpwl < rand

@@ -1,0 +1,126 @@
+"""Synthetic benchmark generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generator import GeneratorSpec, generate_design
+from repro.netlist.model import NodeKind
+
+
+def small_spec(**overrides) -> GeneratorSpec:
+    base = dict(
+        name="g",
+        n_movable_macros=6,
+        n_preplaced_macros=2,
+        n_pads=6,
+        n_cells=40,
+        n_nets=50,
+        seed=3,
+    )
+    base.update(overrides)
+    return GeneratorSpec(**base)
+
+
+class TestSpecValidation:
+    def test_rejects_zero_macros(self):
+        with pytest.raises(ValueError, match="macro"):
+            GeneratorSpec(n_movable_macros=0)
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError, match="utilization"):
+            GeneratorSpec(utilization=1.5)
+
+    def test_rejects_bad_macro_fraction(self):
+        with pytest.raises(ValueError, match="macro_area_fraction"):
+            GeneratorSpec(macro_area_fraction=1.0)
+
+    def test_rejects_tiny_net_degree(self):
+        with pytest.raises(ValueError, match="degree"):
+            GeneratorSpec(mean_net_degree=1.5)
+
+
+class TestGeneratedStructure:
+    def test_counts_match_spec(self):
+        spec = small_spec()
+        design = generate_design(spec)
+        stats = design.netlist.stats()
+        assert stats["movable_macros"] == spec.n_movable_macros
+        assert stats["preplaced_macros"] == spec.n_preplaced_macros
+        assert stats["pads"] == spec.n_pads
+        assert stats["cells"] == spec.n_cells
+        assert stats["nets"] == spec.n_nets
+
+    def test_deterministic_given_seed(self):
+        a = generate_design(small_spec())
+        b = generate_design(small_spec())
+        for na, nb in zip(a.netlist, b.netlist):
+            assert na.name == nb.name
+            assert (na.x, na.y) == (nb.x, nb.y)
+
+    def test_different_seeds_differ(self):
+        a = generate_design(small_spec(seed=1))
+        b = generate_design(small_spec(seed=2))
+        coords_a = [(n.x, n.y) for n in a.netlist]
+        coords_b = [(n.x, n.y) for n in b.netlist]
+        assert coords_a != coords_b
+
+    def test_every_net_has_at_least_two_pins(self):
+        design = generate_design(small_spec())
+        assert all(net.degree >= 2 for net in design.netlist.nets)
+
+    def test_net_pins_reference_existing_nodes(self):
+        design = generate_design(small_spec())
+        for net in design.netlist.nets:
+            for pin in net.pins:
+                assert pin.node in design.netlist
+
+    def test_movable_macros_inside_region(self):
+        design = generate_design(small_spec())
+        for m in design.netlist.movable_macros:
+            assert design.region.contains(m, tol=1e-6)
+
+    def test_preplaced_macros_are_fixed_and_inside(self):
+        design = generate_design(small_spec())
+        for m in design.netlist.preplaced_macros:
+            assert m.fixed
+            assert design.region.contains(m, tol=1e-6)
+
+    def test_pads_sit_on_or_outside_boundary(self):
+        design = generate_design(small_spec())
+        r = design.region
+        for p in design.netlist.pads:
+            on_edge = (
+                p.x <= r.x or p.y <= r.y or p.x >= r.x_max - p.width
+                or p.y >= r.y_max - p.height
+            )
+            assert on_edge
+
+    def test_utilization_close_to_target(self):
+        spec = small_spec(n_cells=400, n_nets=300, utilization=0.5)
+        design = generate_design(spec)
+        placeable = sum(
+            n.area for n in design.netlist if n.kind is not NodeKind.PAD
+        )
+        assert placeable / design.region.area == pytest.approx(0.5, rel=0.05)
+
+    def test_macro_area_fraction(self):
+        spec = small_spec(n_cells=400, n_nets=300, macro_area_fraction=0.4)
+        design = generate_design(spec)
+        macro_area = sum(m.area for m in design.netlist.macros)
+        cell_area = sum(c.area for c in design.netlist.cells)
+        frac = macro_area / (macro_area + cell_area)
+        assert frac == pytest.approx(0.4, rel=0.05)
+
+    def test_hierarchy_exposed_when_requested(self):
+        design = generate_design(small_spec(expose_hierarchy=True))
+        assert any(m.hierarchy for m in design.netlist.movable_macros)
+
+    def test_hierarchy_hidden_when_disabled(self):
+        design = generate_design(small_spec(expose_hierarchy=False))
+        assert all(m.hierarchy == "" for m in design.netlist.movable_macros)
+        assert all(c.hierarchy == "" for c in design.netlist.cells)
+
+    def test_net_degree_capped(self):
+        design = generate_design(small_spec(max_net_degree=5, n_nets=200))
+        # +1 allows the optional pad pin appended after degree sampling.
+        assert max(net.degree for net in design.netlist.nets) <= 6

@@ -1,0 +1,226 @@
+"""Analytical global-placement substrate tests (net models, QP, spreading,
+mixed-size placer)."""
+
+import numpy as np
+import pytest
+
+from repro.gp.mixed_size import (
+    MixedSizePlacer,
+    legalize_macros_greedy,
+    place_cells_with_fixed_macros,
+)
+from repro.gp.netmodel import build_quadratic_system
+from repro.gp.quadratic import solve_quadratic_placement
+from repro.gp.spreading import blocked_area_grid, spread_step
+from repro.eval.metrics import macro_overlap_area
+from repro.netlist.hpwl import FlatNetlist, hpwl
+from repro.netlist.model import (
+    Cell,
+    Design,
+    Macro,
+    Net,
+    Netlist,
+    Pin,
+    PlacementRegion,
+)
+
+
+def two_fixed_one_free() -> Netlist:
+    """free cell connected to fixed anchors at x=0 and x=10."""
+    nl = Netlist()
+    nl.add_node(Cell("a", 0, 0, x=0.0, y=0.0, fixed=True))
+    nl.add_node(Cell("b", 0, 0, x=10.0, y=4.0, fixed=True))
+    nl.add_node(Cell("free", 0, 0, x=99.0, y=99.0))
+    nl.add_net(Net("n0", pins=[Pin("a"), Pin("free")]))
+    nl.add_net(Net("n1", pins=[Pin("b"), Pin("free")]))
+    return nl
+
+
+class TestQuadraticSystem:
+    def test_free_node_lands_at_weighted_mean(self):
+        nl = two_fixed_one_free()
+        flat = FlatNetlist(nl)
+        movable = ~flat.fixed
+        solve_quadratic_placement(flat, movable, (5.0, 5.0))
+        assert flat.cx[2] == pytest.approx(5.0, abs=1e-4)
+        assert flat.cy[2] == pytest.approx(2.0, abs=1e-4)
+
+    def test_weights_shift_solution(self):
+        nl = two_fixed_one_free()
+        nl.nets[0].weight = 3.0  # pull 3x harder toward a at x=0
+        flat = FlatNetlist(nl)
+        solve_quadratic_placement(flat, ~flat.fixed, (5.0, 5.0))
+        assert flat.cx[2] == pytest.approx(10.0 / 4.0, abs=1e-6)
+
+    def test_disconnected_node_anchored_to_center(self):
+        nl = Netlist()
+        nl.add_node(Cell("island", 0, 0, x=77.0, y=77.0))
+        flat = FlatNetlist(nl)
+        solve_quadratic_placement(flat, ~flat.fixed, (5.0, 6.0))
+        assert flat.cx[0] == pytest.approx(5.0, abs=1e-3)
+        assert flat.cy[0] == pytest.approx(6.0, abs=1e-3)
+
+    def test_mask_shape_validated(self):
+        nl = two_fixed_one_free()
+        flat = FlatNetlist(nl)
+        with pytest.raises(ValueError):
+            build_quadratic_system(flat, np.ones(99, dtype=bool))
+
+    def test_star_and_clique_models_agree_for_symmetric_net(self):
+        """A star-decomposed high-degree net keeps the centroid solution."""
+
+        def make(threshold):
+            nl = Netlist()
+            for i, x in enumerate([0.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0]):
+                nl.add_node(Cell(f"f{i}", 0, 0, x=x, y=float(i), fixed=True))
+            nl.add_node(Cell("m", 0, 0))
+            nl.add_net(
+                Net("n", pins=[Pin(f"f{i}") for i in range(7)] + [Pin("m")])
+            )
+            flat = FlatNetlist(nl)
+            solve_quadratic_placement(
+                flat, ~flat.fixed, (12.0, 3.0), clique_threshold=threshold
+            )
+            return float(flat.cx[-1])
+
+        clique_x = make(threshold=20)
+        star_x = make(threshold=2)
+        assert clique_x == pytest.approx(star_x, abs=1e-4)
+
+    def test_anchor_pseudo_nets_pull(self):
+        nl = two_fixed_one_free()
+        flat = FlatNetlist(nl)
+        solve_quadratic_placement(
+            flat,
+            ~flat.fixed,
+            (5.0, 5.0),
+            anchor_weight=np.array([1e6]),
+            anchor_x=np.array([8.0]),
+            anchor_y=np.array([1.0]),
+        )
+        assert flat.cx[2] == pytest.approx(8.0, abs=1e-3)
+        assert flat.cy[2] == pytest.approx(1.0, abs=1e-3)
+
+    def test_solve_reduces_hpwl(self, small_design):
+        flat = FlatNetlist(small_design.netlist)
+        before = flat.total_hpwl()
+        solve_quadratic_placement(
+            flat,
+            ~flat.fixed,
+            (small_design.region.width / 2, small_design.region.height / 2),
+        )
+        assert flat.total_hpwl() < before
+
+
+class TestSpreading:
+    def test_blocked_area_grid_accounts_blocker(self):
+        region = PlacementRegion(0, 0, 100, 100)
+        blocked = blocked_area_grid(region, [Macro("m", 50, 50, x=0, y=0)], 4, 4)
+        assert blocked[0, 0] == pytest.approx(625.0)
+        assert blocked.sum() == pytest.approx(2500.0)
+
+    def test_spread_pushes_cells_apart(self):
+        region = PlacementRegion(0, 0, 100, 100)
+        n = 50
+        cx = np.full(n, 50.0) + np.linspace(-0.5, 0.5, n)
+        cy = np.full(n, 50.0) + np.linspace(-0.5, 0.5, n)
+        areas = np.full(n, 4.0)
+        blocked = np.zeros((4, 4))
+        sx, sy = spread_step(cx, cy, areas, region, blocked, eta=1.0)
+        assert sx.std() > cx.std()
+
+    def test_spread_avoids_blocked_bins(self):
+        region = PlacementRegion(0, 0, 100, 100)
+        n = 40
+        rng = np.random.default_rng(0)
+        cx = rng.uniform(0, 100, n)
+        cy = np.full(n, 50.0)
+        areas = np.full(n, 2.0)
+        blocked = np.zeros((4, 4))
+        blocked[:, 0] = 625.0  # left quarter fully blocked
+        sx, _sy = spread_step(cx, cy, areas, region, blocked, eta=1.0)
+        assert (sx > 20.0).mean() > 0.9
+
+    def test_damping_limits_motion(self):
+        region = PlacementRegion(0, 0, 100, 100)
+        cx = np.array([50.0, 50.1])
+        cy = np.array([50.0, 50.0])
+        areas = np.array([1.0, 1.0])
+        blocked = np.zeros((2, 2))
+        sx0, _ = spread_step(cx, cy, areas, region, blocked, eta=0.0)
+        np.testing.assert_allclose(sx0, cx)
+
+
+class TestMixedSizePlacer:
+    def test_reduces_hpwl(self, small_design):
+        before = hpwl(small_design.netlist)
+        result = MixedSizePlacer(n_iterations=2).place(small_design)
+        assert result.hpwl < before
+
+    def test_macros_legal_after_place(self, small_design):
+        result = MixedSizePlacer(n_iterations=2).place(small_design)
+        assert result.macro_overlap == 0.0
+        assert macro_overlap_area(small_design) < 1e-9
+
+    def test_everything_inside_region(self, small_design):
+        MixedSizePlacer(n_iterations=2).place(small_design)
+        for node in small_design.netlist:
+            if not node.fixed:
+                assert small_design.region.contains(node, tol=1e-6)
+
+    def test_cells_only_mode_keeps_macros(self, placed_design):
+        macro_pos = {
+            m.name: (m.x, m.y) for m in placed_design.netlist.macros
+        }
+        MixedSizePlacer(n_iterations=2).place(placed_design, move_macros=False)
+        for name, (x, y) in macro_pos.items():
+            node = placed_design.netlist[name]
+            assert (node.x, node.y) == (x, y)
+
+    def test_place_cells_with_fixed_macros_returns_hpwl(self, placed_design):
+        wl = place_cells_with_fixed_macros(placed_design, n_iterations=2)
+        assert wl == pytest.approx(hpwl(placed_design.netlist), rel=1e-9)
+        assert wl > 0
+
+    def test_deterministic(self, small_design):
+        import copy
+
+        d2 = copy.deepcopy(small_design)
+        r1 = MixedSizePlacer(n_iterations=2).place(small_design)
+        r2 = MixedSizePlacer(n_iterations=2).place(d2)
+        assert r1.hpwl == pytest.approx(r2.hpwl)
+
+
+class TestGreedyLegalizer:
+    def test_clears_overlap(self):
+        nl = Netlist()
+        for i in range(4):
+            nl.add_node(Macro(f"m{i}", 10, 10, x=5.0, y=5.0))
+        design = Design(netlist=nl, region=PlacementRegion(0, 0, 100, 100))
+        residual = legalize_macros_greedy(design)
+        assert residual == 0.0
+        assert macro_overlap_area(design) < 1e-9
+
+    def test_respects_preplaced(self):
+        nl = Netlist()
+        nl.add_node(Macro("pp", 20, 20, x=40.0, y=40.0, fixed=True))
+        nl.add_node(Macro("mv", 10, 10, x=45.0, y=45.0))
+        design = Design(netlist=nl, region=PlacementRegion(0, 0, 100, 100))
+        legalize_macros_greedy(design)
+        assert not nl["pp"].overlaps(nl["mv"])
+        assert (nl["pp"].x, nl["pp"].y) == (40.0, 40.0)
+
+    def test_no_macros_is_noop(self):
+        nl = Netlist()
+        nl.add_node(Cell("c", 1, 1))
+        design = Design(netlist=nl, region=PlacementRegion(0, 0, 10, 10))
+        assert legalize_macros_greedy(design) == 0.0
+
+    def test_stays_in_region(self):
+        nl = Netlist()
+        for i in range(6):
+            nl.add_node(Macro(f"m{i}", 30, 30, x=90.0, y=90.0))
+        design = Design(netlist=nl, region=PlacementRegion(0, 0, 100, 100))
+        legalize_macros_greedy(design)
+        for m in nl.macros:
+            assert design.region.contains(m, tol=1e-6)

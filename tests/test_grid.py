@@ -1,0 +1,127 @@
+"""GridPlan tests (ζ×ζ partition, Sec. II-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.plan import GridPlan
+from repro.netlist.model import Macro, PlacementRegion
+
+
+@pytest.fixture
+def plan() -> GridPlan:
+    return GridPlan(PlacementRegion(0, 0, 160, 160), zeta=16)
+
+
+class TestGeometry:
+    def test_cell_dimensions(self, plan):
+        assert plan.cell_width == 10.0
+        assert plan.cell_height == 10.0
+        assert plan.cell_area == 100.0
+        assert plan.n_grids == 256
+
+    def test_rejects_bad_zeta(self):
+        with pytest.raises(ValueError):
+            GridPlan(PlacementRegion(), zeta=0)
+
+    def test_flat_index_roundtrip(self, plan):
+        for flat in [0, 17, 255]:
+            r, c = plan.row_col(flat)
+            assert plan.flat_index(r, c) == flat
+
+    def test_flat_index_bounds(self, plan):
+        with pytest.raises(IndexError):
+            plan.flat_index(16, 0)
+        with pytest.raises(IndexError):
+            plan.row_col(256)
+
+    def test_origin_and_center(self, plan):
+        assert plan.origin(0, 0) == (0.0, 0.0)
+        assert plan.center(0, 0) == (5.0, 5.0)
+        assert plan.origin(2, 3) == (30.0, 20.0)  # (row→y, col→x)
+
+    def test_bounds(self, plan):
+        assert plan.bounds(1, 1) == (10.0, 10.0, 20.0, 20.0)
+
+    def test_grid_of_point(self, plan):
+        assert plan.grid_of_point(5.0, 5.0) == (0, 0)
+        assert plan.grid_of_point(15.0, 25.0) == (2, 1)
+
+    def test_grid_of_point_clamps(self, plan):
+        assert plan.grid_of_point(-10.0, -10.0) == (0, 0)
+        assert plan.grid_of_point(1e6, 1e6) == (15, 15)
+
+    def test_offset_region(self):
+        plan = GridPlan(PlacementRegion(100, 200, 40, 80), zeta=4)
+        assert plan.origin(0, 0) == (100.0, 200.0)
+        assert plan.grid_of_point(105.0, 205.0) == (0, 0)
+
+    @given(st.integers(0, 255))
+    def test_row_col_inverse_property(self, flat):
+        plan = GridPlan(PlacementRegion(0, 0, 160, 160), zeta=16)
+        r, c = plan.row_col(flat)
+        assert plan.flat_index(r, c) == flat
+
+
+class TestSpan:
+    def test_sub_grid_rectangle_spans_one(self, plan):
+        assert plan.span(9.0, 9.0) == (1, 1)
+
+    def test_exact_grid_spans_one(self, plan):
+        assert plan.span(10.0, 10.0) == (1, 1)
+
+    def test_slight_overflow_spans_two(self, plan):
+        assert plan.span(10.5, 9.0) == (1, 2)
+
+    def test_large_rectangle(self, plan):
+        assert plan.span(25.0, 35.0) == (4, 3)
+
+    def test_span_capped_at_zeta(self, plan):
+        assert plan.span(1e6, 1e6) == (16, 16)
+
+    def test_degenerate_rectangle(self, plan):
+        assert plan.span(0.0, 0.0) == (1, 1)
+
+
+class TestOccupancy:
+    def test_single_cell_full(self, plan):
+        occ = plan.occupancy([Macro("m", 10.0, 10.0, x=0.0, y=0.0)])
+        assert occ[0, 0] == pytest.approx(1.0)
+        assert occ.sum() == pytest.approx(1.0)
+
+    def test_partial_coverage(self, plan):
+        occ = plan.occupancy([Macro("m", 5.0, 10.0, x=0.0, y=0.0)])
+        assert occ[0, 0] == pytest.approx(0.5)
+
+    def test_straddling_rectangle(self, plan):
+        occ = plan.occupancy([Macro("m", 20.0, 10.0, x=5.0, y=0.0)])
+        assert occ[0, 0] == pytest.approx(0.5)
+        assert occ[0, 1] == pytest.approx(1.0)
+        assert occ[0, 2] == pytest.approx(0.5)
+
+    def test_outside_region_ignored(self, plan):
+        occ = plan.occupancy([Macro("m", 10.0, 10.0, x=-100.0, y=-100.0)])
+        assert occ.sum() == 0.0
+
+    def test_total_area_conserved_inside(self, plan):
+        nodes = [
+            Macro("a", 13.0, 27.0, x=3.0, y=8.0),
+            Macro("b", 8.0, 5.0, x=100.0, y=100.0),
+        ]
+        occ = plan.occupancy(nodes)
+        total_area = occ.sum() * plan.cell_area
+        assert total_area == pytest.approx(sum(n.area for n in nodes))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(1.0, 60.0),
+        st.floats(1.0, 60.0),
+        st.floats(0.0, 100.0),
+        st.floats(0.0, 100.0),
+    )
+    def test_occupancy_conservation_property(self, w, h, x, y):
+        """Rasterized area equals geometric area for fully-inside nodes."""
+        plan = GridPlan(PlacementRegion(0, 0, 160, 160), zeta=16)
+        occ = plan.occupancy([Macro("m", w, h, x=x, y=y)])
+        assert occ.sum() * plan.cell_area == pytest.approx(w * h, rel=1e-9)

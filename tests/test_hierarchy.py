@@ -1,0 +1,72 @@
+"""Hierarchy-path utility tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netlist.hierarchy import (
+    common_prefix,
+    common_prefix_depth,
+    depth,
+    parent,
+    split_path,
+)
+
+segment = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=4
+)
+path_st = st.lists(segment, min_size=0, max_size=5).map("/".join)
+
+
+class TestSplitAndDepth:
+    def test_split_simple(self):
+        assert split_path("top/cpu/alu") == ["top", "cpu", "alu"]
+
+    def test_split_ignores_empty_segments(self):
+        assert split_path("/top//cpu/") == ["top", "cpu"]
+
+    def test_depth(self):
+        assert depth("a/b/c") == 3
+        assert depth("") == 0
+
+    def test_parent(self):
+        assert parent("a/b/c") == "a/b"
+        assert parent("a") == ""
+        assert parent("") == ""
+
+
+class TestCommonPrefix:
+    def test_shared_prefix(self):
+        assert common_prefix_depth("top/cpu/alu", "top/cpu/fpu") == 2
+        assert common_prefix("top/cpu/alu", "top/cpu/fpu") == "top/cpu"
+
+    def test_identical_paths(self):
+        assert common_prefix_depth("a/b", "a/b") == 2
+
+    def test_no_overlap(self):
+        assert common_prefix_depth("a/b", "c/d") == 0
+        assert common_prefix("a/b", "c/d") == ""
+
+    def test_empty_path_shares_nothing(self):
+        assert common_prefix_depth("", "a/b") == 0
+        assert common_prefix_depth("a/b", "") == 0
+
+    def test_prefix_relation(self):
+        assert common_prefix_depth("a/b", "a/b/c") == 2
+
+    @given(path_st, path_st)
+    def test_symmetry(self, a, b):
+        assert common_prefix_depth(a, b) == common_prefix_depth(b, a)
+
+    @given(path_st)
+    def test_self_depth(self, a):
+        assert common_prefix_depth(a, a) == depth(a)
+
+    @given(path_st, path_st)
+    def test_bounded_by_min_depth(self, a, b):
+        assert common_prefix_depth(a, b) <= min(depth(a), depth(b))
+
+    @given(path_st, path_st)
+    def test_common_prefix_is_prefix_of_both(self, a, b):
+        cp = split_path(common_prefix(a, b))
+        assert split_path(a)[: len(cp)] == cp
+        assert split_path(b)[: len(cp)] == cp

@@ -1,0 +1,120 @@
+"""Cross-module integration tests: the claims the paper's experiments rest
+on, exercised end-to-end at miniature scale."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.agent.actorcritic import ActorCriticTrainer
+from repro.agent.network import NetworkConfig, PolicyValueNet
+from repro.agent.reward import calibrate_reward
+from repro.coarsen import coarsen_design
+from repro.core import MCTSGuidedPlacer, PlacerConfig
+from repro.env.placement_env import MacroGroupPlacementEnv
+from repro.eval.metrics import macro_overlap_area, out_of_region_area
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.grid.plan import GridPlan
+from repro.mcts.search import MCTSConfig, MCTSPlacer
+from repro.netlist.generator import GeneratorSpec, generate_design
+from repro.netlist.suites import make_iccad04_circuit, make_industrial_circuit
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """A shared trained mini-pipeline: coarse + env + calibrated reward +
+    briefly-trained network."""
+    design = generate_design(
+        GeneratorSpec(
+            name="integration", n_movable_macros=8, n_preplaced_macros=1,
+            n_pads=6, n_cells=60, n_nets=80, seed=21,
+        )
+    )
+    MixedSizePlacer(n_iterations=2).place(design)
+    plan = GridPlan(design.region, zeta=4)
+    coarse = coarsen_design(design, plan)
+    env = MacroGroupPlacementEnv(coarse, cell_place_iters=1)
+    reward_fn, samples = calibrate_reward(
+        lambda g: env.play_random_episode(g).wirelength, n_episodes=8, rng=1
+    )
+    net = PolicyValueNet(NetworkConfig(zeta=4, channels=8, res_blocks=1, seed=0))
+    trainer = ActorCriticTrainer(env, net, reward_fn, update_every=5, rng=0)
+    history = trainer.train(30)
+    return coarse, env, reward_fn, net, history, samples
+
+
+class TestGroupingReducesComplexity:
+    def test_macro_groups_no_more_than_macros(self, pipeline):
+        coarse = pipeline[0]
+        assert coarse.n_macro_groups <= len(
+            coarse.design.netlist.movable_macros
+        )
+
+    def test_coarse_nets_no_more_than_nets(self, pipeline):
+        coarse = pipeline[0]
+        assert len(coarse.coarse_nets) <= len(coarse.design.netlist.nets)
+
+
+class TestRewardCalibration:
+    def test_rewards_slightly_above_zero(self, pipeline):
+        """The Sec. III-E property: calibrated rewards hover above zero for
+        wirelengths inside the sampled band."""
+        _, _, reward_fn, _, history, samples = pipeline
+        for w in samples:
+            assert reward_fn(w) >= reward_fn.alpha - 1.0
+        mean_reward = float(np.mean([reward_fn(w) for w in samples]))
+        assert mean_reward == pytest.approx(reward_fn.alpha, abs=0.05)
+
+
+class TestMCTSOverRL:
+    def test_mcts_matches_or_beats_rl_average(self, pipeline):
+        """The Fig. 5 property at miniature scale: guided MCTS achieves a
+        wirelength no worse than the RL policy's recent average."""
+        coarse, env, reward_fn, net, history, _ = pipeline
+        result = MCTSPlacer(
+            env, net, reward_fn, MCTSConfig(explorations=24, seed=0)
+        ).run()
+        rl_recent = float(np.mean(history.wirelengths[-10:]))
+        best = min(result.wirelength, result.best_terminal_wirelength)
+        assert best <= rl_recent * 1.05
+
+    def test_mcts_beats_random_play(self, pipeline):
+        coarse, env, reward_fn, net, _, samples = pipeline
+        result = MCTSPlacer(
+            env, net, reward_fn, MCTSConfig(explorations=24, seed=1)
+        ).run()
+        assert min(result.wirelength, result.best_terminal_wirelength) < np.mean(
+            samples
+        )
+
+
+class TestSuiteFlows:
+    def test_flow_on_iccad04_circuit(self):
+        entry = make_iccad04_circuit("ibm06", scale=0.003, macro_scale=0.04)
+        result = MCTSGuidedPlacer(PlacerConfig.fast(seed=3)).place(entry.design)
+        assert result.hpwl > 0
+        assert macro_overlap_area(entry.design) < 1e-9
+        assert out_of_region_area(entry.design) < 1e-6
+
+    def test_flow_on_industrial_circuit(self):
+        entry = make_industrial_circuit("Cir1", scale=0.0005, macro_scale=0.25)
+        result = MCTSGuidedPlacer(PlacerConfig.fast(seed=3)).place(entry.design)
+        assert result.hpwl > 0
+        assert macro_overlap_area(entry.design) < 1e-9
+        # Hierarchy must have survived into the groups for Γ to see it.
+        assert any(g.hierarchy for g in result.coarse.macro_groups)
+
+
+class TestEndToEndDeterminism:
+    def test_same_seed_same_result(self):
+        spec = GeneratorSpec(
+            name="det", n_movable_macros=6, n_preplaced_macros=0,
+            n_pads=4, n_cells=40, n_nets=50, seed=5,
+        )
+        results = []
+        for _ in range(2):
+            design = generate_design(spec)
+            results.append(
+                MCTSGuidedPlacer(PlacerConfig.fast(seed=11)).place(design).hpwl
+            )
+        assert results[0] == pytest.approx(results[1])

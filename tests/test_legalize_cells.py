@@ -1,0 +1,117 @@
+"""Row-based cell legalizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.legalize.cells import CellLegalizationResult, legalize_cells
+from repro.netlist.model import (
+    Cell,
+    Design,
+    Macro,
+    Netlist,
+    PlacementRegion,
+)
+
+
+def cells_design(cells, macros=(), region=None) -> Design:
+    nl = Netlist()
+    for m in macros:
+        nl.add_node(m)
+    for c in cells:
+        nl.add_node(c)
+    return Design(
+        netlist=nl, region=region or PlacementRegion(0, 0, 20, 10)
+    )
+
+
+def assert_no_cell_overlap(design: Design) -> None:
+    cells = design.netlist.cells
+    for i in range(len(cells)):
+        for j in range(i + 1, len(cells)):
+            assert not cells[i].overlaps(cells[j]), (
+                f"{cells[i].name} overlaps {cells[j].name}"
+            )
+
+
+class TestBasicLegalization:
+    def test_stacked_cells_separate(self):
+        design = cells_design(
+            [Cell(f"c{i}", 2.0, 1.0, x=5.0, y=5.0) for i in range(4)]
+        )
+        result = legalize_cells(design)
+        assert result.success
+        assert_no_cell_overlap(design)
+
+    def test_cells_snap_to_rows(self):
+        design = cells_design(
+            [Cell("c0", 2.0, 1.0, x=3.3, y=4.7), Cell("c1", 2.0, 1.0, x=8.1, y=2.2)]
+        )
+        legalize_cells(design, row_height=1.0)
+        for c in design.netlist.cells:
+            assert c.y == pytest.approx(round(c.y))
+
+    def test_cells_avoid_macros(self):
+        macro = Macro("m", 8.0, 4.0, x=6.0, y=3.0)
+        design = cells_design(
+            [Cell(f"c{i}", 2.0, 1.0, x=9.0, y=4.0 + 0.1 * i) for i in range(3)],
+            macros=[macro],
+        )
+        result = legalize_cells(design, row_height=1.0)
+        assert result.success
+        for c in design.netlist.cells:
+            assert not c.overlaps(macro)
+
+    def test_displacement_reported(self):
+        design = cells_design([Cell("c0", 2.0, 1.0, x=3.0, y=5.0)])
+        result = legalize_cells(design, row_height=1.0)
+        assert result.total_displacement == pytest.approx(0.0)
+
+    def test_empty_design(self):
+        design = cells_design([])
+        result = legalize_cells(design)
+        assert result == CellLegalizationResult(0, 0, 0.0)
+
+    def test_overfull_region_reports_failures(self):
+        # 30 width-2 cells in a 4x2 region: only ~4 fit.
+        design = cells_design(
+            [Cell(f"c{i}", 2.0, 1.0, x=1.0, y=0.5) for i in range(30)],
+            region=PlacementRegion(0, 0, 4, 2),
+        )
+        result = legalize_cells(design, row_height=1.0)
+        assert result.failed > 0
+        assert result.placed + result.failed == 30
+
+    def test_cells_inside_region(self):
+        rng = np.random.default_rng(0)
+        design = cells_design(
+            [
+                Cell(f"c{i}", 1.0 + (i % 3), 1.0,
+                     x=float(rng.uniform(0, 18)), y=float(rng.uniform(0, 9)))
+                for i in range(25)
+            ]
+        )
+        result = legalize_cells(design, row_height=1.0)
+        assert result.success
+        for c in design.netlist.cells:
+            assert design.region.contains(c, tol=1e-9)
+
+
+class TestOnRealDesign:
+    def test_after_analytical_placement(self, small_design):
+        MixedSizePlacer(n_iterations=2).place(small_design)
+        result = legalize_cells(small_design, row_height=1.0)
+        assert result.success
+        assert_no_cell_overlap(small_design)
+        # No cell overlaps any macro.
+        for c in small_design.netlist.cells:
+            for m in small_design.netlist.macros:
+                assert not c.overlaps(m)
+
+    def test_displacement_is_moderate(self, small_design):
+        """Legalization should not teleport cells across the die."""
+        MixedSizePlacer(n_iterations=2).place(small_design)
+        result = legalize_cells(small_design, row_height=1.0)
+        diag = small_design.region.width + small_design.region.height
+        mean_disp = result.total_displacement / max(result.placed, 1)
+        assert mean_disp < diag * 0.25

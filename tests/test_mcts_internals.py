@@ -1,0 +1,142 @@
+"""White-box MCTS tests: backpropagation to root, tree reuse, priors."""
+
+import numpy as np
+import pytest
+
+from repro.agent.network import NetworkConfig, PolicyValueNet
+from repro.agent.reward import NormalizedReward
+from repro.env.placement_env import MacroGroupPlacementEnv
+from repro.mcts.node import Node
+from repro.mcts.search import MCTSConfig, MCTSPlacer
+
+
+@pytest.fixture
+def placer(coarse_small):
+    env = MacroGroupPlacementEnv(coarse_small, cell_place_iters=1)
+    net = PolicyValueNet(NetworkConfig(zeta=4, channels=4, res_blocks=1, seed=0))
+    reward_fn = NormalizedReward(w_max=2000.0, w_min=500.0, w_avg=1200.0)
+    return MCTSPlacer(env, net, reward_fn, MCTSConfig(explorations=6, seed=0))
+
+
+class TestBackpropagationToRoot:
+    def test_root_visits_grow_across_committed_steps(self, placer):
+        """The paper's Fig. 3 shows values propagating to s_0 even when the
+        target node is deep — root edge visits must keep increasing."""
+        from repro.agent.state import StateBuilder
+
+        env = placer.env
+        root = Node(depth=0)
+        builder = StateBuilder(env.coarse)
+        placer._expand(root, builder, [])
+
+        committed = []
+        committed_path = []
+        current = root
+
+        # Step 0 explorations: root visits accumulate.
+        for _ in range(4):
+            placer._explore(root, committed, committed_path, current)
+        visits_after_step0 = root.visit.sum()
+        assert visits_after_step0 == 4
+
+        idx = current.most_visited_index()
+        committed_path.append((current, idx))
+        committed.append(int(current.actions[idx]))
+        current = current.child_for(idx)
+
+        # Step 1 explorations from the committed child: each one must also
+        # bump the root's committed edge (backprop to s_0).
+        b = StateBuilder(env.coarse)
+        for a in committed:
+            b.apply(a)
+        placer._expand(current, b, list(committed))
+        for _ in range(3):
+            placer._explore(root, committed, committed_path, current)
+        assert root.visit.sum() == visits_after_step0 + 3
+
+    def test_explored_values_accumulate_on_path(self, placer):
+        from repro.agent.state import StateBuilder
+
+        env = placer.env
+        root = Node(depth=0)
+        builder = StateBuilder(env.coarse)
+        placer._expand(root, builder, [])
+        for _ in range(5):
+            placer._explore(root, [], [], root)
+        assert root.visit.sum() == 5
+        # W on visited edges is a sum of leaf values → Q is their mean.
+        visited = root.visit > 0
+        q = root.q_values()
+        assert np.isfinite(q[visited]).all()
+
+
+class TestPriors:
+    def test_expansion_priors_normalized(self, placer):
+        from repro.agent.state import StateBuilder
+
+        root = Node(depth=0)
+        builder = StateBuilder(placer.env.coarse)
+        placer._expand(root, builder, [])
+        assert root.prior.sum() == pytest.approx(1.0)
+        assert (root.prior >= 0).all()
+        assert len(root.actions) == len(root.prior)
+
+    def test_actions_are_valid_anchors(self, placer):
+        from repro.agent.state import StateBuilder
+
+        root = Node(depth=0)
+        builder = StateBuilder(placer.env.coarse)
+        state = builder.observe()
+        placer._expand(root, builder, [])
+        mask = state.action_mask
+        for a in root.actions:
+            assert mask[a] > 0
+
+
+class TestEvalDeterminism:
+    def test_network_eval_is_batch_independent(self):
+        """Eval-mode BN uses running stats: the same state must score the
+        same whether evaluated alone or within any batch."""
+        net = PolicyValueNet(NetworkConfig(zeta=4, channels=4, res_blocks=1, seed=0))
+        rng = np.random.default_rng(0)
+        # Populate BN running stats.
+        net.train(True)
+        net.forward(rng.random((8, 3, 4, 4)))
+        net.eval()
+        x1 = rng.random((1, 3, 4, 4))
+        x2 = np.concatenate([x1, rng.random((3, 3, 4, 4))])
+        logits_alone, v_alone = net.forward(x1)
+        logits_batch, v_batch = net.forward(x2)
+        np.testing.assert_allclose(logits_alone[0], logits_batch[0], rtol=1e-12)
+        np.testing.assert_allclose(v_alone[0], v_batch[0], rtol=1e-12)
+
+    def test_repeated_evaluate_identical(self):
+        net = PolicyValueNet(NetworkConfig(zeta=4, channels=4, res_blocks=1, seed=0))
+        s_p = np.random.default_rng(1).random((4, 4))
+        s_a = np.ones((4, 4))
+        p1, v1 = net.evaluate(s_p, s_a, 1, 5)
+        p2, v2 = net.evaluate(s_p, s_a, 1, 5)
+        np.testing.assert_allclose(p1, p2)
+        assert v1 == v2
+
+
+class TestPrincipalVariation:
+    def test_pv_matches_committed_assignment(self, placer):
+        from repro.mcts.search import principal_variation
+
+        result = placer.run()
+        pv = principal_variation(placer.last_root)
+        assert pv == result.assignment
+
+    def test_pv_of_unexpanded_root_is_empty(self):
+        from repro.mcts.node import Node
+        from repro.mcts.search import principal_variation
+
+        assert principal_variation(Node(depth=0)) == []
+
+    def test_pv_respects_max_depth(self, placer):
+        from repro.mcts.search import principal_variation
+
+        placer.run()
+        pv = principal_variation(placer.last_root, max_depth=2)
+        assert len(pv) <= 2

@@ -1,0 +1,155 @@
+"""Unit tests for the netlist data model."""
+
+import pytest
+
+from repro.netlist.model import (
+    Cell,
+    Design,
+    IOPad,
+    Macro,
+    Net,
+    Netlist,
+    NodeKind,
+    Pin,
+    PlacementRegion,
+)
+
+
+class TestNodeGeometry:
+    def test_area(self):
+        assert Macro("m", 4.0, 5.0).area == 20.0
+
+    def test_center_coordinates(self):
+        m = Macro("m", 10.0, 4.0, x=2.0, y=3.0)
+        assert m.cx == 7.0
+        assert m.cy == 5.0
+
+    def test_move_center_to(self):
+        m = Macro("m", 10.0, 4.0)
+        m.move_center_to(20.0, 10.0)
+        assert (m.x, m.y) == (15.0, 8.0)
+        assert (m.cx, m.cy) == (20.0, 10.0)
+
+    def test_overlaps_true(self):
+        a = Macro("a", 10.0, 10.0, x=0.0, y=0.0)
+        b = Macro("b", 10.0, 10.0, x=5.0, y=5.0)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+    def test_overlaps_false_when_touching(self):
+        a = Macro("a", 10.0, 10.0, x=0.0, y=0.0)
+        b = Macro("b", 10.0, 10.0, x=10.0, y=0.0)
+        assert not a.overlaps(b)
+
+    def test_overlap_area_value(self):
+        a = Macro("a", 10.0, 10.0, x=0.0, y=0.0)
+        b = Macro("b", 10.0, 10.0, x=6.0, y=8.0)
+        assert a.overlap_area(b) == pytest.approx(4.0 * 2.0)
+
+    def test_overlap_area_disjoint_is_zero(self):
+        a = Macro("a", 2.0, 2.0, x=0.0, y=0.0)
+        b = Macro("b", 2.0, 2.0, x=10.0, y=10.0)
+        assert a.overlap_area(b) == 0.0
+
+    def test_kinds(self):
+        assert Macro("m", 1, 1).kind is NodeKind.MACRO
+        assert Cell("c", 1, 1).kind is NodeKind.CELL
+        assert IOPad("p", 1, 1).kind is NodeKind.PAD
+
+    def test_pad_is_always_fixed(self):
+        assert IOPad("p", 1, 1, fixed=False).fixed is True
+
+
+class TestNetlist:
+    def test_duplicate_node_rejected(self):
+        nl = Netlist()
+        nl.add_node(Cell("c", 1, 1))
+        with pytest.raises(ValueError, match="duplicate"):
+            nl.add_node(Cell("c", 2, 2))
+
+    def test_net_with_unknown_node_rejected(self):
+        nl = Netlist()
+        with pytest.raises(KeyError):
+            nl.add_net(Net("n", pins=[Pin("ghost")]))
+
+    def test_index_of_is_insertion_order(self):
+        nl = Netlist()
+        for name in ["b", "a", "c"]:
+            nl.add_node(Cell(name, 1, 1))
+        assert [nl.index_of(n) for n in ["b", "a", "c"]] == [0, 1, 2]
+
+    def test_index_of_missing_raises(self):
+        with pytest.raises(KeyError):
+            Netlist().index_of("nope")
+
+    def test_iteration_order(self, tiny_design):
+        names = [n.name for n in tiny_design.netlist]
+        assert names == ["m0", "m1", "c0", "c1", "c2", "p0"]
+
+    def test_kind_views(self, tiny_design):
+        nl = tiny_design.netlist
+        assert [m.name for m in nl.macros] == ["m0", "m1"]
+        assert [c.name for c in nl.cells] == ["c0", "c1", "c2"]
+        assert [p.name for p in nl.pads] == ["p0"]
+
+    def test_movable_vs_preplaced_macros(self):
+        nl = Netlist()
+        nl.add_node(Macro("mv", 1, 1))
+        nl.add_node(Macro("pp", 1, 1, fixed=True))
+        assert [m.name for m in nl.movable_macros] == ["mv"]
+        assert [m.name for m in nl.preplaced_macros] == ["pp"]
+
+    def test_stats(self, tiny_design):
+        stats = tiny_design.netlist.stats()
+        assert stats == {
+            "movable_macros": 2,
+            "preplaced_macros": 0,
+            "pads": 1,
+            "cells": 3,
+            "nets": 3,
+        }
+
+    def test_contains(self, tiny_design):
+        assert "m0" in tiny_design.netlist
+        assert "zzz" not in tiny_design.netlist
+
+    def test_net_degree(self):
+        net = Net("n", pins=[Pin("a"), Pin("b"), Pin("c")])
+        assert net.degree == 3
+
+
+class TestPlacementRegion:
+    def test_contains_inside(self):
+        r = PlacementRegion(0, 0, 100, 100)
+        assert r.contains(Macro("m", 10, 10, x=5, y=5))
+
+    def test_contains_rejects_overflow(self):
+        r = PlacementRegion(0, 0, 100, 100)
+        assert not r.contains(Macro("m", 10, 10, x=95, y=5))
+
+    def test_clamp_pulls_node_inside(self):
+        r = PlacementRegion(0, 0, 100, 100)
+        m = Macro("m", 10, 10, x=120.0, y=-5.0)
+        r.clamp(m)
+        assert r.contains(m)
+        assert (m.x, m.y) == (90.0, 0.0)
+
+    def test_area_and_bounds(self):
+        r = PlacementRegion(10, 20, 30, 40)
+        assert r.area == 1200
+        assert r.x_max == 40
+        assert r.y_max == 60
+
+
+class TestDesignSnapshots:
+    def test_clone_restore_roundtrip(self, tiny_design: Design):
+        snap = tiny_design.clone_placement()
+        m = tiny_design.netlist["m0"]
+        m.x, m.y = 99.0, 99.0
+        tiny_design.restore_placement(snap)
+        assert (m.x, m.y) == (0.0, 0.0)
+
+    def test_snapshot_is_detached(self, tiny_design: Design):
+        snap = tiny_design.clone_placement()
+        tiny_design.netlist["m0"].x = 50.0
+        assert snap["m0"] == (0.0, 0.0)

@@ -1,0 +1,71 @@
+"""Additional reporting/infrastructure tests written against observed
+behaviours: comparison-table formatting details, stopwatch nesting, and
+config immutability."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import PlacerConfig
+from repro.eval.report import ComparisonTable
+from repro.utils.timer import Stopwatch
+
+
+class TestComparisonTableFormatting:
+    def test_value_format_respected(self):
+        t = ComparisonTable(methods=["a"], reference="a")
+        t.add("c", "a", 3.14159)
+        text = t.render(value_format="{:.3f}")
+        assert "3.142" in text
+
+    def test_column_order_is_method_order(self):
+        t = ComparisonTable(methods=["z", "a"], reference="a")
+        t.add("c", "z", 1.0)
+        t.add("c", "a", 2.0)
+        header = t.render().splitlines()[0]
+        assert header.index("z") < header.index("a")
+
+    def test_row_order_is_insertion_order(self):
+        t = ComparisonTable(methods=["a"], reference="a")
+        t.add("late", "a", 1.0)
+        t.add("early", "a", 1.0)
+        lines = t.render().splitlines()
+        assert lines.index(next(ln for ln in lines if ln.startswith("late"))) < \
+            lines.index(next(ln for ln in lines if ln.startswith("early")))
+
+    def test_zero_reference_skipped_in_normalization(self):
+        t = ComparisonTable(methods=["a", "r"], reference="r")
+        t.add("c1", "r", 0.0)  # degenerate reference
+        t.add("c1", "a", 5.0)
+        t.add("c2", "r", 1.0)
+        t.add("c2", "a", 2.0)
+        assert t.normalized()["a"] == pytest.approx(2.0)
+
+
+class TestStopwatchNesting:
+    def test_distinct_stages_tracked_separately(self):
+        sw = Stopwatch()
+        with sw.measure("outer"):
+            with sw.measure("inner"):
+                pass
+        assert sw.total("outer") >= sw.total("inner")
+        assert set(sw.totals) == {"outer", "inner"}
+
+
+class TestConfigImmutability:
+    def test_placer_config_is_frozen(self):
+        cfg = PlacerConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.zeta = 4  # type: ignore[misc]
+
+    def test_replace_produces_new_config(self):
+        cfg = PlacerConfig()
+        cfg2 = dataclasses.replace(cfg, episodes=7)
+        assert cfg.episodes != 7
+        assert cfg2.episodes == 7
+
+    def test_presets_are_independent(self):
+        a = PlacerConfig.fast(seed=1)
+        b = PlacerConfig.fast(seed=2)
+        assert a.seed != b.seed
+        assert a.network.seed != b.network.seed

@@ -1,0 +1,92 @@
+"""Benchmark-suite definition tests (Table II/III statistics)."""
+
+import pytest
+
+from repro.netlist.suites import (
+    ICCAD04_STATS,
+    INDUSTRIAL_STATS,
+    industrial_suite,
+    iccad04_suite,
+    make_iccad04_circuit,
+    make_industrial_circuit,
+)
+
+
+class TestICCAD04Suite:
+    def test_all_17_circuits_defined(self):
+        assert len(ICCAD04_STATS) == 17
+        assert "ibm05" not in ICCAD04_STATS  # no macros, excluded as in paper
+
+    def test_paper_counts_recorded(self):
+        assert ICCAD04_STATS["ibm01"] == (246, 12_000, 14_000)
+        assert ICCAD04_STATS["ibm10"] == (786, 68_000, 75_000)
+        assert ICCAD04_STATS["ibm18"] == (285, 210_000, 201_000)
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(KeyError, match="ibm05"):
+            make_iccad04_circuit("ibm05")
+
+    def test_scaling_proportionality(self):
+        small = make_iccad04_circuit("ibm03", scale=0.005, macro_scale=0.05)
+        large = make_iccad04_circuit("ibm03", scale=0.01, macro_scale=0.1)
+        assert len(large.design.netlist.cells) > len(small.design.netlist.cells)
+        assert len(large.design.netlist.movable_macros) > len(
+            small.design.netlist.movable_macros
+        )
+
+    def test_macro_ordering_matches_paper(self):
+        # ibm10 has the most macros, ibm06 the fewest — the Table IV claim.
+        entries = {n: ICCAD04_STATS[n][0] for n in ICCAD04_STATS}
+        assert max(entries, key=entries.get) == "ibm10"
+        assert min(entries, key=entries.get) == "ibm06"
+        e10 = make_iccad04_circuit("ibm10", macro_scale=0.05)
+        e06 = make_iccad04_circuit("ibm06", macro_scale=0.05)
+        assert len(e10.design.netlist.movable_macros) > len(
+            e06.design.netlist.movable_macros
+        )
+
+    def test_no_hierarchy_no_preplaced(self):
+        entry = make_iccad04_circuit("ibm01")
+        nl = entry.design.netlist
+        assert not nl.preplaced_macros
+        assert all(m.hierarchy == "" for m in nl.movable_macros)
+
+    def test_suite_subset_selection(self):
+        suite = iccad04_suite(circuits=["ibm01", "ibm06"])
+        assert [e.name for e in suite] == ["ibm01", "ibm06"]
+
+    def test_entries_are_deterministic(self):
+        a = make_iccad04_circuit("ibm02")
+        b = make_iccad04_circuit("ibm02")
+        assert [(n.x, n.y) for n in a.design.netlist] == [
+            (n.x, n.y) for n in b.design.netlist
+        ]
+
+    def test_paper_stats_attached(self):
+        entry = make_iccad04_circuit("ibm07")
+        assert entry.paper_macros == 507
+        assert entry.paper_cells == 45_000
+
+
+class TestIndustrialSuite:
+    def test_all_6_circuits_defined(self):
+        assert list(INDUSTRIAL_STATS) == [f"Cir{i}" for i in range(1, 7)]
+
+    def test_paper_counts_recorded(self):
+        assert INDUSTRIAL_STATS["Cir2"] == (71, 47, 365, 1_098_000, 1_126_000)
+
+    def test_hierarchy_and_preplaced_present(self):
+        entry = make_industrial_circuit("Cir1")
+        nl = entry.design.netlist
+        assert nl.preplaced_macros
+        assert any(m.hierarchy for m in nl.movable_macros)
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(KeyError):
+            make_industrial_circuit("Cir9")
+
+    def test_full_suite(self):
+        suite = industrial_suite(scale=0.001, macro_scale=0.3)
+        assert len(suite) == 6
+        for entry in suite:
+            assert entry.design.netlist.movable_macros

@@ -1,0 +1,140 @@
+"""Symmetry-augmentation tests: the mirrored transition must describe the
+same physical placement decision."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agent.state import StateBuilder
+from repro.agent.symmetry import (
+    OPS,
+    augment_transition,
+    transform_action,
+    transform_anchor_array,
+    transform_planes,
+)
+
+
+class TestPlaneTransforms:
+    def test_identity(self):
+        x = np.random.default_rng(0).random((3, 4, 4))
+        np.testing.assert_array_equal(transform_planes(x, "identity"), x)
+
+    def test_flips_are_involutions(self):
+        x = np.random.default_rng(0).random((3, 4, 4))
+        for op in ("flip_h", "flip_v", "rot180"):
+            np.testing.assert_array_equal(
+                transform_planes(transform_planes(x, op), op), x
+            )
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            transform_planes(np.zeros((1, 2, 2)), "rot90")
+
+
+class TestAnchorTransforms:
+    def test_identity(self):
+        v = np.arange(16.0)
+        np.testing.assert_array_equal(
+            transform_anchor_array(v, (1, 1), "identity"), v
+        )
+
+    def test_unit_span_matches_image_flip(self):
+        """For 1×1 spans the anchor map degenerates to the image flip."""
+        v = np.arange(16.0)
+        got = transform_anchor_array(v, (1, 1), "flip_h")
+        expected = v.reshape(4, 4)[:, ::-1].ravel()
+        np.testing.assert_array_equal(got, expected)
+
+    def test_involution_for_any_span(self):
+        rng = np.random.default_rng(1)
+        for span in [(1, 1), (1, 2), (2, 1), (2, 3)]:
+            rows, cols = span
+            v = np.zeros(16)
+            # Valid anchors only (others must be 0 for the involution).
+            for r in range(4 - rows + 1):
+                for c in range(4 - cols + 1):
+                    v[r * 4 + c] = rng.random()
+            for op in ("flip_h", "flip_v", "rot180"):
+                twice = transform_anchor_array(
+                    transform_anchor_array(v, span, op), span, op
+                )
+                np.testing.assert_allclose(twice, v)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            transform_anchor_array(np.zeros(15), (1, 1), "flip_h")
+
+
+class TestActionTransforms:
+    def test_flip_h_with_span(self):
+        # zeta=4, span cols=2: anchor c=0 -> c=2.
+        assert transform_action(0, (1, 2), "flip_h", 4) == 2
+
+    def test_flip_v_with_span(self):
+        # anchor r=0 -> r = 4 - rows - 0 = 2 for rows=2
+        assert transform_action(0, (2, 1), "flip_v", 4) == 2 * 4
+
+    def test_center_fixed_point(self):
+        # zeta=5, 1x1 span, center anchor (2,2) = 12 stays put under rot180.
+        assert transform_action(12, (1, 1), "rot180", 5) == 12
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 15), st.sampled_from(["flip_h", "flip_v", "rot180"]),
+           st.tuples(st.integers(1, 2), st.integers(1, 2)))
+    def test_involution(self, action, op, span):
+        rows, cols = span
+        r, c = divmod(action, 4)
+        # Only valid anchors participate.
+        if r > 4 - rows or c > 4 - cols:
+            return
+        once = transform_action(action, span, op, 4)
+        twice = transform_action(once, span, op, 4)
+        assert twice == action
+
+
+class TestPhysicalConsistency:
+    def test_mirrored_transition_mirrors_occupancy(self, coarse_small):
+        """Applying action a, then flipping the resulting s_p, equals
+        flipping the state and applying the flipped action."""
+        builder = StateBuilder(coarse_small)
+        if coarse_small.design.netlist.preplaced_macros:
+            pytest.skip("preplaced macros break exact die symmetry")
+        state = builder.observe()
+        span = builder.footprint(0).shape
+        action = int(np.flatnonzero(state.action_mask)[0])
+        builder.apply(action)
+        s_p_after = builder.s_p()
+
+        mirrored_action = transform_action(
+            action, span, "flip_h", coarse_small.plan.zeta
+        )
+        builder2 = StateBuilder(coarse_small)
+        builder2.apply(mirrored_action)
+        s_p_mirrored = builder2.s_p()
+        np.testing.assert_allclose(s_p_mirrored[:, ::-1], s_p_after, atol=1e-12)
+
+    def test_augment_transition_shapes(self):
+        planes = np.random.default_rng(0).random((3, 4, 4))
+        mask = np.ones(16)
+        p2, m2, a2 = augment_transition(planes, mask, 5, (1, 1), "rot180")
+        assert p2.shape == planes.shape
+        assert m2.shape == mask.shape
+        assert 0 <= a2 < 16
+
+    def test_trainer_with_augmentation_runs(self, coarse_small):
+        from repro.agent.actorcritic import ActorCriticTrainer
+        from repro.agent.network import NetworkConfig, PolicyValueNet
+        from repro.agent.reward import NormalizedReward
+        from repro.env.placement_env import MacroGroupPlacementEnv
+
+        env = MacroGroupPlacementEnv(coarse_small, cell_place_iters=1)
+        net = PolicyValueNet(NetworkConfig(zeta=4, channels=4, res_blocks=1, seed=0))
+        reward_fn = NormalizedReward(w_max=2000.0, w_min=500.0, w_avg=1200.0)
+        trainer = ActorCriticTrainer(
+            env, net, reward_fn, update_every=2, augment_symmetry=True, rng=0
+        )
+        history = trainer.train(4)
+        assert len(history.rewards) == 4
+        assert len(history.losses) == 2

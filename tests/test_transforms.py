@@ -1,0 +1,117 @@
+"""Netlist transform/analysis utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.model import Cell, Design, Macro, Net, Netlist, Pin, PlacementRegion
+from repro.netlist.transforms import (
+    connectivity_matrix,
+    macro_interface_netlist,
+    profile,
+    weight_nets_by_degree,
+)
+
+
+@pytest.fixture
+def mixed_netlist() -> Netlist:
+    nl = Netlist("t")
+    nl.add_node(Macro("m0", 4, 4, hierarchy="a"))
+    nl.add_node(Macro("m1", 2, 2, hierarchy="b"))
+    nl.add_node(Cell("c0", 1, 1))
+    nl.add_node(Cell("c1", 1, 1))
+    nl.add_net(Net("n0", pins=[Pin("m0"), Pin("c0")]))
+    nl.add_net(Net("n1", pins=[Pin("m0"), Pin("m1"), Pin("c1")]))
+    nl.add_net(Net("n2", pins=[Pin("c0"), Pin("c1")]))
+    return nl
+
+
+class TestProfile:
+    def test_counts(self, mixed_netlist):
+        p = profile(mixed_netlist)
+        assert p.n_nodes == 4
+        assert p.n_nets == 3
+        assert p.n_pins == 7
+        assert p.max_degree == 3
+
+    def test_mean_degree(self, mixed_netlist):
+        assert profile(mixed_netlist).mean_degree == pytest.approx(7 / 3)
+
+    def test_macro_area_fraction(self, mixed_netlist):
+        p = profile(mixed_netlist)
+        assert p.macro_area_fraction == pytest.approx(20 / 22)
+
+    def test_degree_histogram(self, mixed_netlist):
+        assert profile(mixed_netlist).degree_histogram == {2: 2, 3: 1}
+
+    def test_empty_netlist(self):
+        p = profile(Netlist())
+        assert p.n_nets == 0
+        assert p.mean_degree == 0.0
+
+    def test_str_renders(self, mixed_netlist):
+        assert "nodes" in str(profile(mixed_netlist))
+
+
+class TestNetWeighting:
+    def test_degree_exponent(self, mixed_netlist):
+        weight_nets_by_degree(mixed_netlist, exponent=-1.0, base=6.0)
+        weights = {n.name: n.weight for n in mixed_netlist.nets}
+        assert weights["n0"] == pytest.approx(3.0)  # degree 2
+        assert weights["n1"] == pytest.approx(2.0)  # degree 3
+
+    def test_zero_exponent_uniform(self, mixed_netlist):
+        weight_nets_by_degree(mixed_netlist, exponent=0.0, base=2.5)
+        assert all(n.weight == pytest.approx(2.5) for n in mixed_netlist.nets)
+
+
+class TestMacroInterface:
+    def test_cells_removed(self, mixed_netlist):
+        design = Design(netlist=mixed_netlist, region=PlacementRegion(0, 0, 10, 10))
+        mi = macro_interface_netlist(design)
+        assert len(mi.cells) == 0
+        assert len(mi.macros) == 2
+
+    def test_macro_to_macro_net_survives(self, mixed_netlist):
+        design = Design(netlist=mixed_netlist, region=PlacementRegion(0, 0, 10, 10))
+        mi = macro_interface_netlist(design)
+        assert len(mi.nets) == 1
+        assert sorted(p.node for p in mi.nets[0].pins) == ["m0", "m1"]
+
+    def test_duplicate_projections_merge_weight(self):
+        nl = Netlist()
+        nl.add_node(Macro("m0", 1, 1))
+        nl.add_node(Macro("m1", 1, 1))
+        nl.add_node(Cell("c", 1, 1))
+        nl.add_net(Net("a", pins=[Pin("m0"), Pin("m1"), Pin("c")], weight=2.0))
+        nl.add_net(Net("b", pins=[Pin("m0"), Pin("m1")], weight=3.0))
+        design = Design(netlist=nl, region=PlacementRegion(0, 0, 10, 10))
+        mi = macro_interface_netlist(design)
+        assert len(mi.nets) == 1
+        assert mi.nets[0].weight == pytest.approx(5.0)
+
+    def test_positions_preserved(self, mixed_netlist):
+        mixed_netlist["m0"].x = 7.5
+        design = Design(netlist=mixed_netlist, region=PlacementRegion(0, 0, 10, 10))
+        mi = macro_interface_netlist(design)
+        assert mi["m0"].x == 7.5
+
+
+class TestConnectivityMatrix:
+    def test_symmetric_and_correct(self, mixed_netlist):
+        groups = [["m0", "c0"], ["m1", "c1"]]
+        w = connectivity_matrix(mixed_netlist, groups)
+        # n1 touches both groups (weight 1); n2 touches both (weight 1).
+        assert w[0, 1] == pytest.approx(2.0)
+        np.testing.assert_allclose(w, w.T)
+
+    def test_intra_group_nets_ignored(self, mixed_netlist):
+        groups = [["m0", "m1", "c0", "c1"]]
+        w = connectivity_matrix(mixed_netlist, groups)
+        assert w[0, 0] == 0.0
+
+    def test_degree_cap(self, mixed_netlist):
+        groups = [["m0"], ["m1"], ["c0"], ["c1"]]
+        w_capped = connectivity_matrix(mixed_netlist, groups, degree_cap=2)
+        # n1 (degree 3) excluded: only n0 (m0-c0) and n2 (c0-c1) count.
+        assert w_capped[0, 1] == 0.0
+        assert w_capped[0, 2] == pytest.approx(1.0)

@@ -1,0 +1,78 @@
+"""Utility tests: RNG plumbing and stopwatch."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timer import Stopwatch, timed
+
+
+class TestRng:
+    def test_seed_deterministic(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(7)), np.random.Generator)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_independent_children(self):
+        parent = ensure_rng(0)
+        a, b = spawn_rng(parent, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_deterministic(self):
+        xs = [c.random() for c in spawn_rng(ensure_rng(5), 3)]
+        ys = [c.random() for c in spawn_rng(ensure_rng(5), 3)]
+        assert xs == ys
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(0), -1)
+
+    def test_spawn_zero_ok(self):
+        assert spawn_rng(ensure_rng(0), 0) == []
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw.measure("a"):
+            time.sleep(0.01)
+        with sw.measure("a"):
+            time.sleep(0.01)
+        assert sw.total("a") >= 0.02
+
+    def test_unknown_stage_zero(self):
+        assert Stopwatch().total("nope") == 0.0
+
+    def test_overall_sums(self):
+        sw = Stopwatch()
+        with sw.measure("a"):
+            pass
+        with sw.measure("b"):
+            pass
+        assert sw.overall() == pytest.approx(sw.total("a") + sw.total("b"))
+
+    def test_measure_survives_exception(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with sw.measure("x"):
+                raise RuntimeError("boom")
+        assert sw.total("x") > 0
+
+    def test_timed_elapsed(self):
+        with timed() as elapsed:
+            time.sleep(0.01)
+            assert elapsed() >= 0.01

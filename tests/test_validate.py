@@ -1,0 +1,137 @@
+"""Design-validation tests, plus a generator/Bookshelf fuzz round-trip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.generator import GeneratorSpec, generate_design
+from repro.netlist.model import (
+    Cell,
+    Design,
+    Macro,
+    Net,
+    Netlist,
+    Pin,
+    PlacementRegion,
+)
+from repro.netlist.validate import (
+    Severity,
+    ValidationError,
+    validate_design,
+)
+
+
+def design_of(nodes=(), nets=(), region=None) -> Design:
+    nl = Netlist()
+    for n in nodes:
+        nl.add_node(n)
+    for net in nets:
+        nl.add_net(net)
+    return Design(netlist=nl, region=region or PlacementRegion(0, 0, 100, 100))
+
+
+def codes(issues):
+    return {i.code for i in issues}
+
+
+class TestValidation:
+    def test_clean_design_no_issues(self, placed_design):
+        assert validate_design(placed_design) == []
+
+    def test_degenerate_region(self):
+        d = design_of(region=PlacementRegion(0, 0, 0, 10))
+        assert "region-degenerate" in codes(validate_design(d))
+
+    def test_oversized_macro(self):
+        d = design_of([Macro("m", 200, 10)])
+        assert "macro-oversized" in codes(validate_design(d))
+
+    def test_preplaced_outside(self):
+        d = design_of([Macro("m", 10, 10, x=500, y=500, fixed=True)])
+        assert "preplaced-outside" in codes(validate_design(d))
+
+    def test_over_capacity(self):
+        d = design_of(
+            [Cell(f"c{i}", 40, 40) for i in range(8)],
+            region=PlacementRegion(0, 0, 100, 100),
+        )
+        assert "over-capacity" in codes(validate_design(d))
+
+    def test_high_utilization_warning(self):
+        d = design_of(
+            [Cell(f"c{i}", 31, 31) for i in range(10)],  # 9610 / 10000
+            region=PlacementRegion(0, 0, 100, 100),
+        )
+        issues = validate_design(d)
+        assert "high-utilization" in codes(issues)
+        assert all(i.severity is Severity.WARNING for i in issues)
+
+    def test_duplicate_pin_warning(self):
+        d = design_of(
+            [Cell("c", 1, 1)],
+            [Net("n", pins=[Pin("c"), Pin("c")])],
+        )
+        assert "duplicate-pin" in codes(validate_design(d))
+
+    def test_negative_net_weight(self):
+        d = design_of(
+            [Cell("a", 1, 1), Cell("b", 1, 1)],
+            [Net("n", pins=[Pin("a"), Pin("b")], weight=-1.0)],
+        )
+        assert "negative-weight" in codes(validate_design(d))
+
+    def test_raise_on_error(self):
+        d = design_of([Macro("m", 200, 10)])
+        with pytest.raises(ValidationError, match="macro-oversized"):
+            validate_design(d, raise_on_error=True)
+
+    def test_warnings_do_not_raise(self):
+        d = design_of(
+            [Cell("c", 1, 1)],
+            [Net("n", pins=[Pin("c"), Pin("c")])],
+        )
+        validate_design(d, raise_on_error=True)  # warnings only: no raise
+
+    def test_issue_str(self):
+        d = design_of([Macro("m", 200, 10)])
+        issue = validate_design(d)[0]
+        assert "macro-oversized" in str(issue)
+
+
+class TestGeneratorFuzzRoundTrip:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(1, 6),
+        st.integers(0, 3),
+        st.integers(10, 40),
+        st.integers(15, 50),
+        st.integers(0, 10_000),
+    )
+    def test_generated_designs_validate_and_roundtrip(
+        self, n_macros, n_pre, n_cells, n_nets, seed
+    ):
+        """Any generated design is structurally valid and survives the
+        Bookshelf writer/parser with its statistics intact."""
+        import tempfile
+
+        from repro.netlist.bookshelf import read_aux, write_design
+
+        spec = GeneratorSpec(
+            name=f"fuzz{seed}",
+            n_movable_macros=n_macros,
+            n_preplaced_macros=n_pre,
+            n_pads=4,
+            n_cells=n_cells,
+            n_nets=n_nets,
+            seed=seed,
+        )
+        design = generate_design(spec)
+        errors = [
+            i for i in validate_design(design) if i.severity is Severity.ERROR
+        ]
+        assert errors == []
+
+        with tempfile.TemporaryDirectory() as tmp:
+            aux = write_design(design, tmp)
+            loaded = read_aux(aux)
+        assert loaded.netlist.stats() == design.netlist.stats()
