@@ -34,6 +34,9 @@ from repro.nn.functional import masked_softmax
 if TYPE_CHECKING:  # avoids the env <-> agent import cycle at runtime
     from repro.env.placement_env import MacroGroupPlacementEnv
 from repro.nn.optim import Adam, clip_gradients
+from repro.runtime import faults
+from repro.runtime.errors import PlacementError, TrainingDivergedError
+from repro.utils.events import EventLog
 from repro.utils.rng import ensure_rng
 
 
@@ -86,6 +89,10 @@ class ActorCriticTrainer:
         epochs_per_update: int = 1,
         augment_symmetry: bool = False,
         rng: int | np.random.Generator | None = None,
+        events: EventLog | None = None,
+        budget=None,
+        max_divergence_rollbacks: int = 8,
+        max_episode_failures: int = 8,
     ) -> None:
         if network.config.zeta != env.coarse.plan.zeta:
             raise ValueError(
@@ -103,6 +110,17 @@ class ActorCriticTrainer:
         self.optimizer = Adam(network.parameters(), lr=lr)
         self.rng = ensure_rng(rng)
         self._buffer: list[_Transition] = []
+        #: runtime plumbing (all optional): structured event log, wall-clock
+        #: budget polled at episode boundaries, and a hook the harness uses
+        #: to persist intra-stage snapshots (called as hook(trainer, hist)).
+        self.events = events if events is not None else EventLog()
+        self.budget = budget
+        self.checkpoint_hook = None
+        self.max_divergence_rollbacks = max_divergence_rollbacks
+        self.max_episode_failures = max_episode_failures
+        self.divergence_rollbacks = 0
+        self.episode_failures = 0
+        self._consecutive_divergences = 0
 
     # -- rollout --------------------------------------------------------------
     def play_episode(self, sample: bool = True) -> tuple[list[_Transition], float]:
@@ -204,12 +222,60 @@ class ActorCriticTrainer:
         )
         value_loss = float((advantages**2).mean())
         loss = policy_loss + value_loss  # Eq. 8
+        if faults.should_fire("trainer.nan_loss"):
+            loss = float("nan")
+            net.parameters()[0].data += float("nan")
 
         net.zero_grad()
         net.backward(dlogits, dvalues)
         norm = clip_gradients(net.parameters(), self.grad_clip)
         self.optimizer.step()
         return loss, norm
+
+    # -- guarded update (NaN/divergence watchdog) ------------------------------------
+    def _guarded_update(self, hist: "TrainingHistory") -> None:
+        """Run one parameter update; roll back when it diverges.
+
+        A non-finite loss, gradient norm, or parameter after the update
+        discards the batch, restores parameters / BN statistics / optimizer
+        moments to their pre-update values, and records a
+        ``divergence_rollback`` event instead of appending to the loss
+        history.  More than ``max_divergence_rollbacks`` *consecutive*
+        failures escalate to :class:`TrainingDivergedError`.
+        """
+        from repro.nn.serialization import optimizer_state, restore_optimizer
+
+        episode = len(hist.rewards)
+        guard = self.snapshot(episode)
+        guard_opt = optimizer_state(self.optimizer)
+        loss, norm = self._update()
+        healthy = (
+            np.isfinite(loss)
+            and np.isfinite(norm)
+            and all(np.isfinite(p.data).all() for p in self.network.parameters())
+        )
+        if healthy:
+            self._consecutive_divergences = 0
+            hist.losses.append(loss)
+            hist.grad_norms.append(norm)
+            return
+        self.restore(self.network, guard)
+        restore_optimizer(self.optimizer, guard_opt)
+        self.divergence_rollbacks += 1
+        self._consecutive_divergences += 1
+        self.events.emit(
+            "divergence_rollback",
+            stage="rl_training",
+            episode=episode,
+            loss=None if not np.isfinite(loss) else float(loss),
+        )
+        if self._consecutive_divergences > self.max_divergence_rollbacks:
+            raise TrainingDivergedError(
+                f"{self._consecutive_divergences} consecutive diverged "
+                "updates; parameters rolled back to last healthy state",
+                stage="rl_training",
+                episode=episode,
+            )
 
     # -- checkpoints ----------------------------------------------------------------
     def snapshot(self, episode: int) -> Snapshot:
@@ -240,6 +306,83 @@ class ActorCriticTrainer:
         self.restore(net, snap)
         return net
 
+    # -- full-state checkpoint/resume ------------------------------------------------
+    def export_state(self, history: "TrainingHistory") -> dict:
+        """Everything needed to resume training bit-for-bit at this point:
+        parameters, BN statistics, optimizer moments, RNG state, the
+        not-yet-consumed transition buffer, and the telemetry so far
+        (``history.snapshots`` excepted — Fig. 5 replay data, not resume
+        state)."""
+        from repro.nn.serialization import _batchnorms, optimizer_state
+
+        return {
+            "version": 1,
+            "params": [p.data.copy() for p in self.network.parameters()],
+            "bn": [
+                (bn.running_mean.copy(), bn.running_var.copy())
+                for bn in _batchnorms(self.network)
+            ],
+            "opt": optimizer_state(self.optimizer),
+            "rng": self.rng.bit_generator.state,
+            "buffer": [
+                {
+                    "planes": t.planes,
+                    "mask": t.mask,
+                    "action": t.action,
+                    "span": t.span,
+                    "reward": t.reward,
+                }
+                for t in self._buffer
+            ],
+            "history": {
+                "rewards": list(history.rewards),
+                "wirelengths": list(history.wirelengths),
+                "losses": list(history.losses),
+                "grad_norms": list(history.grad_norms),
+            },
+            "counters": {
+                "divergence_rollbacks": self.divergence_rollbacks,
+                "episode_failures": self.episode_failures,
+            },
+        }
+
+    def restore_state(self, state: dict) -> "TrainingHistory":
+        """Inverse of :meth:`export_state`; returns the restored history."""
+        from repro.nn.serialization import _batchnorms, restore_optimizer
+
+        for p, data in zip(self.network.parameters(), state["params"]):
+            p.data[...] = data
+        for bn, (mean, var) in zip(_batchnorms(self.network), state["bn"]):
+            bn.running_mean[...] = mean
+            bn.running_var[...] = var
+        restore_optimizer(self.optimizer, state["opt"])
+        self.rng.bit_generator.state = state["rng"]
+        self._buffer = [
+            _Transition(
+                planes=t["planes"],
+                mask=t["mask"],
+                action=t["action"],
+                span=tuple(t["span"]),
+                reward=t["reward"],
+            )
+            for t in state["buffer"]
+        ]
+        counters = state.get("counters", {})
+        self.divergence_rollbacks = counters.get("divergence_rollbacks", 0)
+        self.episode_failures = counters.get("episode_failures", 0)
+        h = state["history"]
+        return TrainingHistory(
+            rewards=list(h["rewards"]),
+            wirelengths=list(h["wirelengths"]),
+            losses=list(h["losses"]),
+            grad_norms=list(h["grad_norms"]),
+        )
+
+    def _take_checkpoint(self, hist: TrainingHistory, episode_index: int) -> None:
+        hist.snapshots.append(self.snapshot(episode_index))
+        if self.checkpoint_hook is not None:
+            self.checkpoint_hook(self, hist)
+
     # -- main loop ----------------------------------------------------------------
     def train(
         self,
@@ -247,14 +390,52 @@ class ActorCriticTrainer:
         checkpoint_every: int | None = None,
         history: TrainingHistory | None = None,
     ) -> TrainingHistory:
-        """Run *n_episodes* episodes, updating every ``update_every``.
+        """Train until the history holds *n_episodes* episodes, updating
+        every ``update_every``.
 
         With *checkpoint_every*, parameter snapshots are stored in the
-        history — the Fig. 5 experiment replays MCTS from each of them.
+        history — the Fig. 5 experiment replays MCTS from each of them —
+        and the final episode is always snapshotted even when it does not
+        land on a cadence boundary, so resume never loses the tail of
+        training.  Passing a partially-filled *history* (stage resume)
+        runs only the remaining episodes.  A wall-clock ``budget`` ends
+        training early with the best-so-far (anytime) history; episode
+        exceptions are skipped and non-finite updates rolled back, each
+        within its configured tolerance.
         """
         hist = history if history is not None else TrainingHistory()
-        for ep in range(n_episodes):
-            transitions, wirelength = self.play_episode(sample=True)
+        while len(hist.rewards) < n_episodes:
+            faults.check_kill("trainer.kill", stage="rl_training")
+            if self.budget is not None and self.budget.exhausted():
+                self.events.emit(
+                    "budget_exhausted",
+                    stage="rl_training",
+                    episode=len(hist.rewards),
+                    elapsed=round(self.budget.elapsed(), 3),
+                )
+                break
+            try:
+                if faults.should_fire("trainer.episode"):
+                    raise RuntimeError("injected episode fault")
+                transitions, wirelength = self.play_episode(sample=True)
+            except PlacementError:
+                raise
+            except Exception as exc:
+                self.episode_failures += 1
+                self.events.emit(
+                    "episode_failed",
+                    stage="rl_training",
+                    episode=len(hist.rewards) + 1,
+                    error=str(exc),
+                )
+                if self.episode_failures > self.max_episode_failures:
+                    raise TrainingDivergedError(
+                        f"{self.episode_failures} failed episodes exceed "
+                        "tolerance",
+                        stage="rl_training",
+                        last_error=str(exc),
+                    ) from exc
+                continue
             reward = float(self.reward_fn(wirelength))
             for t in transitions:
                 t.reward = reward  # r_t = r_n for every step (Sec. III-E)
@@ -264,9 +445,14 @@ class ActorCriticTrainer:
 
             episode_index = len(hist.rewards)
             if episode_index % self.update_every == 0:
-                loss, norm = self._update()
-                hist.losses.append(loss)
-                hist.grad_norms.append(norm)
+                self._guarded_update(hist)
             if checkpoint_every and episode_index % checkpoint_every == 0:
-                hist.snapshots.append(self.snapshot(episode_index))
+                self._take_checkpoint(hist, episode_index)
+        final_episode = len(hist.rewards)
+        if (
+            checkpoint_every
+            and final_episode
+            and (not hist.snapshots or hist.snapshots[-1].episode != final_episode)
+        ):
+            self._take_checkpoint(hist, final_episode)
         return hist

@@ -22,6 +22,7 @@ import copy
 import sys
 
 from repro.core import MCTSGuidedPlacer, PlacerConfig
+from repro.runtime.errors import PlacementError, UsageError
 
 
 def _load_design(args) -> tuple[str, "object"]:
@@ -45,7 +46,9 @@ def _load_design(args) -> tuple[str, "object"]:
         return name, make_industrial_circuit(
             name, scale=args.scale / 5.0, macro_scale=max(args.macro_scale * 5, 0.3)
         ).design
-    raise SystemExit(f"unknown circuit {name!r}; see 'python -m repro suites'")
+    raise UsageError(
+        f"unknown circuit {name!r}; see 'python -m repro suites'", circuit=name
+    )
 
 
 def _preset(name: str, seed: int) -> PlacerConfig:
@@ -55,7 +58,9 @@ def _preset(name: str, seed: int) -> PlacerConfig:
         "paper": lambda seed=0: PlacerConfig.paper(),
     }
     if name not in presets:
-        raise SystemExit(f"unknown preset {name!r}; choose from {sorted(presets)}")
+        raise UsageError(
+            f"unknown preset {name!r}; choose from {sorted(presets)}", preset=name
+        )
     return presets[name](seed=seed) if name != "paper" else PlacerConfig.paper()
 
 
@@ -67,8 +72,12 @@ def cmd_place(args) -> int:
     config = _preset(args.preset, args.seed)
     if getattr(args, "legal_cells", False):
         config = replace(config, legalize_cells=True)
+    if args.resume and not args.run_dir:
+        raise UsageError("--resume requires --run-dir")
     print(f"placing {name}: {design.netlist.stats()}")
-    result = MCTSGuidedPlacer(config).place(design)
+    result = MCTSGuidedPlacer(config).place(
+        design, run_dir=args.run_dir, resume=args.resume
+    )
     best = min(result.hpwl, result.search.best_terminal_wirelength)
     print(f"HPWL            : {result.hpwl:.1f} (best terminal {best:.1f})")
     if result.legal_hpwl is not None:
@@ -186,6 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_place.add_argument("--legal-cells", action="store_true",
                          dest="legal_cells",
                          help="snap cells onto rows after the final placement")
+    p_place.add_argument("--run-dir", default=None, dest="run_dir",
+                         help="persist stage checkpoints, the run manifest, "
+                              "and the event log into this directory")
+    p_place.add_argument("--resume", action="store_true",
+                         help="resume an interrupted run from --run-dir, "
+                              "skipping completed stages")
     p_place.set_defaults(func=cmd_place)
 
     p_cmp = sub.add_parser("compare", help="flow vs all baselines on one circuit")
@@ -206,9 +221,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Structured placement failures map to distinct exit codes (see
+    :mod:`repro.runtime.errors`): 10 generic, 11 calibration, 12 training
+    divergence, 13 solver infeasibility, 14 stage timeout, 15 injected
+    fault, 64 usage.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except PlacementError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
 
 
 if __name__ == "__main__":

@@ -42,6 +42,28 @@ class PlacerConfig:
     # MCTS (Sec. IV)
     mcts: MCTSConfig = field(default_factory=MCTSConfig)
 
+    # Fault-tolerant runtime (repro.runtime): stage checkpoint/resume,
+    # wall-clock budgets, and guard tolerances.
+    #: directory for the run manifest, stage artifacts, and the event log
+    #: (None disables persistence; ``place(..., run_dir=...)`` overrides)
+    run_dir: str | None = None
+    #: skip stages the run dir already completed and restore their artifacts
+    resume: bool = False
+    #: wall-clock budget of RL pre-training — training ends early with the
+    #: anytime best-so-far history (None = unlimited)
+    rl_budget_seconds: float | None = None
+    #: wall-clock budget of the MCTS stage — remaining groups are committed
+    #: by visit count / policy prior when it runs out (None = unlimited)
+    mcts_budget_seconds: float | None = None
+    #: default budget for every other stage; exceeding it raises
+    #: :class:`repro.runtime.errors.StageTimeoutError` at the next safe point
+    stage_budget_seconds: float | None = None
+    #: consecutive non-finite updates tolerated (each rolls parameters back)
+    #: before RL training raises ``TrainingDivergedError``
+    max_divergence_rollbacks: int = 8
+    #: total failed episodes tolerated before RL training gives up
+    max_episode_failures: int = 8
+
     # Terminal evaluation (Sec. II-B/II-C)
     cell_place_iterations: int = 3
     #: run the row-based cell legalizer after the final cell placement and

@@ -25,6 +25,9 @@ import numpy as np
 import scipy.optimize as sopt
 import scipy.sparse as sp
 
+from repro.runtime import faults
+from repro.runtime.errors import SolverInfeasibleError
+
 
 @dataclass
 class AxisNet:
@@ -63,25 +66,29 @@ def pack_longest_path(
     return pos
 
 
-def lp_legalize_axis(
+def lp_solve_axis(
     sizes: np.ndarray,
     edges: list[tuple[int, int]],
     lo: float,
     hi: float,
     nets: list[AxisNet],
-    fallback_clamp: bool = True,
 ) -> np.ndarray:
     """Solve the Eq. 3 LP for one axis; returns lower-left coordinates.
 
-    Falls back to :func:`pack_longest_path` when the problem is infeasible
-    or the solver errors; with *fallback_clamp* the packed positions are
-    clamped into ``[lo, hi]`` (overlap may then remain — the caller decides
-    how to handle residual overflow).
+    Raises :class:`SolverInfeasibleError` when the LP is infeasible or the
+    solver errors — use :func:`lp_legalize_axis` for the degrading wrapper
+    that falls back to greedy packing instead.  The fault-injection site
+    ``lp.solve`` simulates solver failure here.
     """
     sizes = np.asarray(sizes, dtype=float)
     n = len(sizes)
     if n == 0:
         return np.zeros(0)
+
+    if faults.should_fire("lp.solve"):
+        raise SolverInfeasibleError(
+            "injected LP solver failure", solver="linprog", status="injected"
+        )
 
     n_nets = len(nets)
     n_vars = n + 2 * n_nets  # p_0..p_{n-1}, then (u, l) per net
@@ -141,12 +148,54 @@ def lp_legalize_axis(
             bounds=bounds,
             method="highs",
         )
-    except ValueError:
-        res = None
+    except ValueError as exc:
+        raise SolverInfeasibleError(
+            f"LP solver raised: {exc}", solver="linprog", status="error"
+        ) from exc
 
-    if res is not None and res.success:
-        return np.asarray(res.x[:n], dtype=float)
+    if not res.success:
+        raise SolverInfeasibleError(
+            f"LP did not converge: {res.message}",
+            solver="linprog",
+            status=int(res.status),
+        )
+    return np.asarray(res.x[:n], dtype=float)
 
+
+def lp_legalize_axis(
+    sizes: np.ndarray,
+    edges: list[tuple[int, int]],
+    lo: float,
+    hi: float,
+    nets: list[AxisNet],
+    fallback_clamp: bool = True,
+    max_attempts: int = 2,
+    on_degrade=None,
+) -> np.ndarray:
+    """Retry-with-fallback wrapper around :func:`lp_solve_axis`.
+
+    The LP is attempted up to *max_attempts* times (solver failures are
+    occasionally transient); when all attempts fail the axis degrades to
+    :func:`pack_longest_path` — compaction toward ``lo`` honoring the
+    sequence-pair order — and *on_degrade* (if given) is called with the
+    terminal :class:`SolverInfeasibleError` so callers can record a
+    degradation event instead of crashing.  With *fallback_clamp* the
+    packed positions are clamped into ``[lo, hi]`` (overlap may then
+    remain — the caller decides how to handle residual overflow).
+    """
+    sizes = np.asarray(sizes, dtype=float)
+    if len(sizes) == 0:
+        return np.zeros(0)
+    error: SolverInfeasibleError | None = None
+    for _attempt in range(max(1, max_attempts)):
+        try:
+            return lp_solve_axis(sizes, edges, lo, hi, nets)
+        except SolverInfeasibleError as exc:
+            error = exc
+            if exc.details.get("status") != "error":
+                break  # deterministic infeasibility: retrying cannot help
+    if on_degrade is not None:
+        on_degrade(error)
     packed = pack_longest_path(sizes, edges, lo)
     if fallback_clamp:
         packed = np.minimum(packed, np.maximum(hi - sizes, lo))

@@ -31,6 +31,9 @@ from repro.legalize.lp_spread import AxisNet, lp_legalize_axis
 from repro.legalize.sequence_pair import extract_sequence_pair
 from repro.netlist.hpwl import FlatNetlist
 from repro.netlist.model import NodeKind
+from repro.runtime import faults
+from repro.runtime.errors import PlacementError, SolverInfeasibleError
+from repro.utils.events import EventLog
 
 
 @dataclass(frozen=True)
@@ -80,10 +83,42 @@ class MacroLegalizer:
         lp_net_limit: int = 200,
         cleanup: bool = True,
         qp_clique_threshold: int = 6,
+        events: EventLog | None = None,
     ) -> None:
         self.lp_net_limit = lp_net_limit
         self.cleanup = cleanup
         self.qp_clique_threshold = qp_clique_threshold
+        #: degradation events (solver fallbacks) are recorded here
+        self.events = events if events is not None else EventLog()
+
+    # -- solver guards ---------------------------------------------------------
+    def _guarded_qp(self, step: str, flat: FlatNetlist, movable, center) -> None:
+        """QP solve that degrades to a no-op on solver failure.
+
+        The placement positions feeding the QP are always valid (prototype /
+        scatter coordinates), so skipping the refinement is a sound — if
+        lower-quality — fallback; the LP/greedy overlap removal that follows
+        still produces a legal placement.  Fault site: ``qp.solve``.
+        """
+        try:
+            if faults.should_fire("qp.solve"):
+                raise SolverInfeasibleError(
+                    "injected QP solver failure", solver="qp", status="injected"
+                )
+            solve_quadratic_placement(
+                flat, movable, center, clique_threshold=self.qp_clique_threshold
+            )
+        except PlacementError as exc:
+            self.events.emit(
+                "degradation", stage=None, solver="qp", step=step, error=str(exc)
+            )
+            return
+        except (np.linalg.LinAlgError, ValueError) as exc:
+            self.events.emit(
+                "degradation", stage=None, solver="qp", step=step, error=str(exc)
+            )
+            return
+        flat.writeback()
 
     # -- step 1 ---------------------------------------------------------------
     def _place_cell_groups(
@@ -99,10 +134,7 @@ class MacroLegalizer:
         movable = ~flat.fixed
         region = coarse.design.region
         center = (region.x + region.width / 2.0, region.y + region.height / 2.0)
-        solve_quadratic_placement(
-            flat, movable, center, clique_threshold=self.qp_clique_threshold
-        )
-        flat.writeback()
+        self._guarded_qp("cell_groups", flat, movable, center)
         # Record solved centroids back onto the cell groups.
         n_mg = coarse.n_macro_groups
         for j, g in enumerate(coarse.cell_groups):
@@ -125,10 +157,7 @@ class MacroLegalizer:
             movable[i] = node.kind is NodeKind.MACRO and not node.fixed
         region = design.region
         center = (region.x + region.width / 2.0, region.y + region.height / 2.0)
-        solve_quadratic_placement(
-            flat, movable, center, clique_threshold=self.qp_clique_threshold
-        )
-        flat.writeback()
+        self._guarded_qp("macro_refine", flat, movable, center)
 
         # Confine each macro to its group's span rectangle.
         rect_of_macro: dict[str, SpanRect] = {}
@@ -204,16 +233,28 @@ class MacroLegalizer:
         sp_pair = extract_sequence_pair(xs, ys, ws, hs)
         h_edges, v_edges = sp_pair.relations()
 
+        def degrade(axis):
+            return lambda exc: self.events.emit(
+                "degradation",
+                solver="lp",
+                fallback="pack_longest_path",
+                axis=axis,
+                group=group_index,
+                error=str(exc),
+            )
+
         x_nets = self._axis_nets(coarse, member_index, "x")
         new_x = lp_legalize_axis(
-            ws, h_edges, rect.x, rect.x + rect.width, x_nets
+            ws, h_edges, rect.x, rect.x + rect.width, x_nets,
+            on_degrade=degrade("x"),
         )
         for k, m in enumerate(members):
             m.x = float(new_x[k])
 
         y_nets = self._axis_nets(coarse, member_index, "y")
         new_y = lp_legalize_axis(
-            hs, v_edges, rect.y, rect.y + rect.height, y_nets
+            hs, v_edges, rect.y, rect.y + rect.height, y_nets,
+            on_degrade=degrade("y"),
         )
         for k, m in enumerate(members):
             m.y = float(new_y[k])

@@ -33,6 +33,7 @@ from repro.env.placement_env import MacroGroupPlacementEnv
 from repro.mcts.search import MCTSConfig, MCTSPlacer
 from repro.nn.functional import masked_softmax
 from repro.nn.optim import Adam, clip_gradients
+from repro.utils.events import EventLog
 
 
 @dataclass
@@ -69,6 +70,8 @@ class IterativeMCTSTrainer:
         grad_clip: float = 5.0,
         train_epochs: int = 4,
         root_noise_frac: float = 0.25,
+        events: EventLog | None = None,
+        budget=None,
     ) -> None:
         self.env = env
         self.network = network
@@ -78,6 +81,10 @@ class IterativeMCTSTrainer:
         self.grad_clip = grad_clip
         self.train_epochs = train_epochs
         self.root_noise_frac = root_noise_frac
+        #: runtime plumbing: event log + wall-clock budget polled between
+        #: rounds (a round is the natural anytime boundary of this loop).
+        self.events = events if events is not None else EventLog()
+        self.budget = budget
 
     # -- sample generation ---------------------------------------------------
     def _collect_round(self, seed: int) -> tuple[list[_Sample], float, int]:
@@ -179,13 +186,31 @@ class IterativeMCTSTrainer:
 
     # -- main loop -----------------------------------------------------------------
     def train(self, n_rounds: int) -> IterativeHistory:
-        """Run *n_rounds* of generate-and-train; returns the telemetry."""
+        """Run *n_rounds* of generate-and-train; returns the telemetry.
+
+        A wall-clock ``budget`` ends the loop between rounds with the
+        anytime best-so-far history.
+        """
         history = IterativeHistory()
         for round_idx in range(n_rounds):
+            if self.budget is not None and self.budget.exhausted():
+                self.events.emit(
+                    "budget_exhausted",
+                    stage="iterative",
+                    round=round_idx,
+                    elapsed=round(self.budget.elapsed(), 3),
+                )
+                break
             samples, wirelength, n_term = self._collect_round(seed=round_idx)
             loss = self._train_on(samples)
             history.wirelengths.append(wirelength)
             history.rewards.append(float(self.reward_fn(wirelength)))
             history.losses.append(loss)
             history.terminal_evaluations.append(n_term)
+            self.events.emit(
+                "round_completed",
+                stage="iterative",
+                round=round_idx,
+                wirelength=wirelength,
+            )
         return history

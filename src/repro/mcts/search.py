@@ -28,6 +28,8 @@ from repro.agent.reward import RewardFunction
 from repro.agent.state import StateBuilder
 from repro.env.placement_env import MacroGroupPlacementEnv
 from repro.mcts.node import Node
+from repro.runtime import faults
+from repro.utils.events import EventLog
 from repro.utils.rng import ensure_rng
 
 
@@ -70,6 +72,9 @@ class MCTSPlacer:
         network: PolicyValueNet,
         reward_fn: RewardFunction,
         config: MCTSConfig = MCTSConfig(),
+        events: EventLog | None = None,
+        budget=None,
+        on_commit=None,
     ) -> None:
         self.env = env
         self.network = network
@@ -81,6 +86,12 @@ class MCTSPlacer:
         self.n_network_evaluations = 0
         self.best_terminal_assignment: list[int] | None = None
         self.best_terminal_wirelength = float("inf")
+        #: runtime plumbing (optional): event log, wall-clock budget polled
+        #: between explorations, and a per-commit checkpoint hook called as
+        #: ``on_commit(state_dict)`` with :meth:`export-compatible <run>` state.
+        self.events = events if events is not None else EventLog()
+        self.budget = budget
+        self.on_commit = on_commit
 
     # -- node expansion helpers ---------------------------------------------------
     def _expand(
@@ -175,42 +186,116 @@ class MCTSPlacer:
         for parent, idx in path:
             parent.record(idx, value)
 
+    # -- checkpoint/resume ---------------------------------------------------------------
+    def _export_state(
+        self,
+        step: int,
+        committed: list[int],
+        path: list[tuple[int, int]],
+        root: Node,
+    ) -> dict:
+        """Resumable search state after committing *step*'s move."""
+        return {
+            "version": 1,
+            "step": step,
+            "committed": list(committed),
+            "path": [tuple(p) for p in path],
+            "root": root,
+            "terminal_cache": dict(self._terminal_cache),
+            "best_terminal_assignment": self.best_terminal_assignment,
+            "best_terminal_wirelength": self.best_terminal_wirelength,
+            "n_terminal_evaluations": self.n_terminal_evaluations,
+            "n_network_evaluations": self.n_network_evaluations,
+            "rng": self.rng.bit_generator.state,
+        }
+
+    def _restore_state(
+        self, state: dict
+    ) -> tuple[Node, list[int], list[tuple[Node, int]], list[tuple[int, int]], Node, int]:
+        """Inverse of :meth:`_export_state`; rebuilds the committed path by
+        walking the restored tree."""
+        root = state["root"]
+        committed = list(state["committed"])
+        path = [tuple(p) for p in state["path"]]
+        self._terminal_cache = dict(state["terminal_cache"])
+        self.best_terminal_assignment = state["best_terminal_assignment"]
+        self.best_terminal_wirelength = state["best_terminal_wirelength"]
+        self.n_terminal_evaluations = state["n_terminal_evaluations"]
+        self.n_network_evaluations = state["n_network_evaluations"]
+        self.rng.bit_generator.state = state["rng"]
+        committed_path: list[tuple[Node, int]] = []
+        current = root
+        for action in committed:
+            idx = int(np.flatnonzero(current.actions == action)[0])
+            committed_path.append((current, idx))
+            current = current.children[action]
+        return root, committed, committed_path, path, current, state["step"] + 1
+
     # -- full placement ------------------------------------------------------------------
-    def run(self) -> SearchResult:
+    def run(self, resume_state: dict | None = None) -> SearchResult:
         """Place every macro group; returns the final traced-back result.
 
         The search tree's root survives on ``self.last_root`` for post-hoc
         analysis (:func:`principal_variation`, visit statistics).
+
+        *resume_state* (from :meth:`_export_state`, persisted by the run
+        harness at every committed move) continues an interrupted search
+        bit-for-bit.  When the wall-clock ``budget`` runs out mid-search the
+        remaining groups are committed anytime-style: by visit count where
+        explorations already happened, by policy prior otherwise.
         """
         env = self.env
         n_steps = env.n_steps
-        root = Node(depth=0)
+        if resume_state is not None:
+            (root, committed, committed_path, path, current, start_step) = (
+                self._restore_state(resume_state)
+            )
+        else:
+            root = Node(depth=0)
+            builder = StateBuilder(env.coarse)
+            if n_steps > 0:
+                self._expand(root, builder, [])
+                self._apply_root_noise(root)
+            committed = []
+            committed_path = []
+            path = []
+            current = root
+            start_step = 0
         self.last_root = root
+        exhausted = False
 
-        builder = StateBuilder(env.coarse)
-        if n_steps > 0:
-            self._expand(root, builder, [])
-            self._apply_root_noise(root)
-
-        committed: list[int] = []
-        committed_path: list[tuple[Node, int]] = []
-        current = root
-        path: list[tuple[int, int]] = []
-
-        for step in range(n_steps):
+        for step in range(start_step, n_steps):
+            faults.check_kill("mcts.kill", stage="mcts")
             if not current.expanded:
                 b = StateBuilder(env.coarse)
                 for a in committed:
                     b.apply(a)
                 self._expand(current, b, list(committed))
             for _ in range(self.config.explorations):
+                if not exhausted and self.budget is not None and self.budget.exhausted():
+                    exhausted = True
+                    self.events.emit(
+                        "budget_exhausted",
+                        stage="mcts",
+                        step=step,
+                        elapsed=round(self.budget.elapsed(), 3),
+                    )
+                if exhausted:
+                    break
                 self._explore(root, committed, committed_path, current)
-            idx = current.most_visited_index()
+            if current.visit.sum() > 0:
+                idx = current.most_visited_index()
+            else:
+                # anytime fallback: no exploration happened under this node
+                # (budget ran dry) — fall back to the policy prior.
+                idx = int(np.argmax(current.prior))
             action = int(current.actions[idx])
             path.append((step, action))
             committed_path.append((current, idx))
             committed.append(action)
             current = current.child_for(idx)
+            if self.on_commit is not None:
+                self.on_commit(self._export_state(step, committed, path, root))
 
         wirelength = env.evaluate_assignment(committed)
         return SearchResult(

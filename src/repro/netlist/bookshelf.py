@@ -35,24 +35,52 @@ from repro.netlist.model import (
     Pin,
     PlacementRegion,
 )
+from repro.runtime.errors import PlacementError
 
 
-class BookshelfError(ValueError):
-    """Raised on malformed Bookshelf input."""
+class BookshelfError(PlacementError, ValueError):
+    """Raised on malformed Bookshelf input.
+
+    Carries the offending ``file``, 1-based ``line`` number, and the raw
+    line text in ``details`` so a malformed benchmark bundle is diagnosable
+    from the message alone.  Subclasses ``ValueError`` for backward
+    compatibility and :class:`~repro.runtime.errors.PlacementError` so the
+    CLI maps it to a structured exit code.
+    """
 
 
-def _content_lines(path: str) -> list[str]:
-    """All non-empty, non-comment lines of a Bookshelf file."""
-    lines: list[str] = []
-    with open(path) as f:
-        for raw in f:
+def _content_lines(path: str) -> list[tuple[int, str]]:
+    """(line_number, text) for the non-empty, non-comment lines of a file."""
+    lines: list[tuple[int, str]] = []
+    try:
+        f = open(path)
+    except OSError as exc:
+        raise BookshelfError(
+            f"cannot open Bookshelf file: {exc}", file=path
+        ) from exc
+    with f:
+        for lineno, raw in enumerate(f, start=1):
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue
             if line.startswith("UCLA"):
                 continue
-            lines.append(line)
+            lines.append((lineno, line))
     return lines
+
+
+def _parse_float(
+    text: str, path: str, lineno: int, line: str, what: str
+) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise BookshelfError(
+            f"malformed {what} {text!r}",
+            file=path,
+            line=lineno,
+            text=line,
+        ) from None
 
 
 @dataclass
@@ -65,14 +93,19 @@ class _RawNode:
 
 def _parse_nodes(path: str) -> list[_RawNode]:
     nodes: list[_RawNode] = []
-    for line in _content_lines(path):
+    for lineno, line in _content_lines(path):
         if line.startswith("NumNodes") or line.startswith("NumTerminals"):
             continue
         parts = line.split()
         if len(parts) < 3:
-            raise BookshelfError(f"bad .nodes line: {line!r}")
+            raise BookshelfError(
+                "bad .nodes line: expected 'name width height [terminal]'",
+                file=path, line=lineno, text=line,
+            )
         terminal = len(parts) > 3 and parts[3].lower().startswith("terminal")
-        nodes.append(_RawNode(parts[0], float(parts[1]), float(parts[2]), terminal))
+        w = _parse_float(parts[1], path, lineno, line, "node width")
+        h = _parse_float(parts[2], path, lineno, line, "node height")
+        nodes.append(_RawNode(parts[0], w, h, terminal))
     return nodes
 
 
@@ -81,7 +114,7 @@ def _parse_nets(path: str) -> list[Net]:
     current: Net | None = None
     remaining = 0
     net_counter = 0
-    for line in _content_lines(path):
+    for lineno, line in _content_lines(path):
         if line.startswith("NumNets") or line.startswith("NumPins"):
             continue
         if line.startswith("NetDegree"):
@@ -89,8 +122,17 @@ def _parse_nets(path: str) -> list[Net]:
             del head
             fields = tail.split()
             if not fields:
-                raise BookshelfError(f"bad NetDegree line: {line!r}")
-            degree = int(fields[0])
+                raise BookshelfError(
+                    "bad NetDegree line: expected 'NetDegree : n [name]'",
+                    file=path, line=lineno, text=line,
+                )
+            try:
+                degree = int(fields[0])
+            except ValueError:
+                raise BookshelfError(
+                    f"malformed net degree {fields[0]!r}",
+                    file=path, line=lineno, text=line,
+                ) from None
             name = fields[1] if len(fields) > 1 else f"n{net_counter}"
             net_counter += 1
             current = Net(name=name)
@@ -98,15 +140,18 @@ def _parse_nets(path: str) -> list[Net]:
             remaining = degree
             continue
         if current is None or remaining <= 0:
-            raise BookshelfError(f"pin line outside a net: {line!r}")
+            raise BookshelfError(
+                "pin line outside a net (check the preceding NetDegree count)",
+                file=path, line=lineno, text=line,
+            )
         parts = line.split()
         node_name = parts[0]
         dx = dy = 0.0
         if ":" in parts:
             colon = parts.index(":")
             if len(parts) > colon + 2:
-                dx = float(parts[colon + 1])
-                dy = float(parts[colon + 2])
+                dx = _parse_float(parts[colon + 1], path, lineno, line, "pin offset")
+                dy = _parse_float(parts[colon + 2], path, lineno, line, "pin offset")
         current.pins.append(Pin(node=node_name, dx=dx, dy=dy))
         remaining -= 1
     return nets
@@ -115,11 +160,13 @@ def _parse_nets(path: str) -> list[Net]:
 def _parse_pl(path: str) -> dict[str, tuple[float, float, bool]]:
     """name -> (x, y, fixed)."""
     placements: dict[str, tuple[float, float, bool]] = {}
-    for line in _content_lines(path):
+    for lineno, line in _content_lines(path):
         parts = line.split()
         if len(parts) < 3:
             continue
-        name, x, y = parts[0], float(parts[1]), float(parts[2])
+        name = parts[0]
+        x = _parse_float(parts[1], path, lineno, line, "placement x")
+        y = _parse_float(parts[2], path, lineno, line, "placement y")
         fixed = "/FIXED" in line.upper()
         placements[name] = (x, y, fixed)
     return placements
@@ -138,7 +185,7 @@ def _parse_scl(path: str) -> _Rows:
     coordinate = height = None
     subrow_origin = num_sites = site_width = None
     in_row = False
-    for line in _content_lines(path):
+    for lineno, line in _content_lines(path):
         token = line.split()[0].lower()
         if token == "numrows":
             continue
@@ -152,21 +199,38 @@ def _parse_scl(path: str) -> _Rows:
         lowered = line.lower().replace(":", " : ")
         fields = lowered.split()
         if fields[0] == "coordinate":
-            coordinate = float(fields[-1])
+            coordinate = _parse_float(fields[-1], path, lineno, line, "row coordinate")
         elif fields[0] == "height":
-            height = float(fields[-1])
+            height = _parse_float(fields[-1], path, lineno, line, "row height")
         elif fields[0] == "sitewidth":
-            site_width = float(fields[-1])
+            site_width = _parse_float(fields[-1], path, lineno, line, "site width")
         elif fields[0] == "subroworigin":
             # "SubrowOrigin : x NumSites : n" on one line
             for i, f in enumerate(fields):
                 if f == "subroworigin":
-                    subrow_origin = float(fields[i + 2])
+                    subrow_origin = _parse_float(
+                        fields[i + 2], path, lineno, line, "subrow origin"
+                    )
                 if f == "numsites":
-                    num_sites = float(fields[i + 2])
+                    num_sites = _parse_float(
+                        fields[i + 2], path, lineno, line, "site count"
+                    )
         elif fields[0] == "end":
             if None in (coordinate, height, subrow_origin, num_sites):
-                raise BookshelfError("incomplete CoreRow block in .scl")
+                missing = [
+                    key
+                    for key, val in (
+                        ("Coordinate", coordinate),
+                        ("Height", height),
+                        ("SubrowOrigin", subrow_origin),
+                        ("NumSites", num_sites),
+                    )
+                    if val is None
+                ]
+                raise BookshelfError(
+                    "incomplete CoreRow block in .scl",
+                    file=path, line=lineno, missing=missing,
+                )
             y_min = min(y_min, coordinate)
             y_max = max(y_max, coordinate + height)
             x_min = min(x_min, subrow_origin)
@@ -174,7 +238,7 @@ def _parse_scl(path: str) -> _Rows:
             row_height = max(row_height, height)
             in_row = False
     if y_min == float("inf"):
-        raise BookshelfError("no CoreRow blocks found in .scl")
+        raise BookshelfError("no CoreRow blocks found in .scl", file=path)
     region = PlacementRegion(x=x_min, y=y_min, width=x_max - x_min, height=y_max - y_min)
     return _Rows(region=region, row_height=row_height)
 
@@ -182,16 +246,24 @@ def _parse_scl(path: str) -> _Rows:
 def read_aux(aux_path: str) -> Design:
     """Read a full Bookshelf design via its ``.aux`` manifest."""
     base_dir = os.path.dirname(os.path.abspath(aux_path))
-    with open(aux_path) as f:
-        content = f.read()
+    try:
+        with open(aux_path) as f:
+            content = f.read()
+    except OSError as exc:
+        raise BookshelfError(
+            f"cannot open .aux manifest: {exc}", file=aux_path
+        ) from exc
     _, _, tail = content.partition(":")
     file_names = tail.split()
     if not file_names:
-        raise BookshelfError(f"empty .aux manifest: {aux_path!r}")
+        raise BookshelfError(f"empty .aux manifest: {aux_path!r}", file=aux_path)
     by_ext = {os.path.splitext(n)[1]: os.path.join(base_dir, n) for n in file_names}
     for ext in (".nodes", ".nets", ".pl", ".scl"):
         if ext not in by_ext:
-            raise BookshelfError(f".aux manifest missing a {ext} file")
+            raise BookshelfError(
+                f".aux manifest missing a {ext} file",
+                file=aux_path, listed=file_names,
+            )
     return read_design(
         nodes=by_ext[".nodes"],
         nets=by_ext[".nets"],

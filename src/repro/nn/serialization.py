@@ -49,6 +49,35 @@ def load_params(layer: Layer, path: str) -> None:
             bn.running_var[...] = data[f"bn{j}_var"]
 
 
+def optimizer_state(opt) -> dict:
+    """Snapshot an optimizer's moment estimates for checkpoint/resume.
+
+    Supports the Adam/SGD classes of :mod:`repro.nn.optim`; returns deep
+    copies so later steps cannot mutate a stored snapshot.
+    """
+    state: dict = {}
+    if hasattr(opt, "_m"):
+        state["m"] = [m.copy() for m in opt._m]
+        state["v"] = [v.copy() for v in opt._v]
+        state["t"] = opt._t
+    if hasattr(opt, "_velocity"):
+        state["velocity"] = [v.copy() for v in opt._velocity]
+    return state
+
+
+def restore_optimizer(opt, state: dict) -> None:
+    """Restore a snapshot from :func:`optimizer_state` (same topology)."""
+    if "m" in state:
+        for dst, src in zip(opt._m, state["m"]):
+            dst[...] = src
+        for dst, src in zip(opt._v, state["v"]):
+            dst[...] = src
+        opt._t = state["t"]
+    if "velocity" in state:
+        for dst, src in zip(opt._velocity, state["velocity"]):
+            dst[...] = src
+
+
 def copy_params(src: Layer, dst: Layer) -> None:
     """Copy parameters and BN stats from *src* into *dst* (same topology)."""
     src_params = src.parameters()

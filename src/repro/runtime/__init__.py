@@ -1,0 +1,41 @@
+"""Fault-tolerant flow runtime.
+
+Wraps the Algorithm 1 flow with stage checkpoint/resume (run dirs +
+manifests), a structured exception hierarchy, wall-clock budgets with
+anytime results, solver/trainer guards with graceful degradation, and a
+deterministic fault-injection harness for exercising every recovery
+path.  See ``docs/architecture.md`` ("Runtime, checkpoints & failure
+handling") for the run-dir layout and the degradation ladder.
+"""
+
+from repro.runtime.budget import StageBudget
+from repro.runtime.checkpoint import STAGES, RunDir, config_fingerprint
+from repro.runtime.errors import (
+    CalibrationError,
+    FaultInjected,
+    PlacementError,
+    SolverInfeasibleError,
+    StageTimeoutError,
+    TrainingDivergedError,
+    UsageError,
+)
+from repro.runtime.faults import Fault, FaultPlan, inject
+from repro.runtime.harness import RunContext
+
+__all__ = [
+    "STAGES",
+    "CalibrationError",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "PlacementError",
+    "RunContext",
+    "RunDir",
+    "SolverInfeasibleError",
+    "StageBudget",
+    "StageTimeoutError",
+    "TrainingDivergedError",
+    "UsageError",
+    "config_fingerprint",
+    "inject",
+]

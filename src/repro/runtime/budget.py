@@ -1,0 +1,50 @@
+"""Per-stage wall-clock budgets.
+
+A :class:`StageBudget` is polled at safe points (episode boundaries,
+MCTS explorations) by the anytime stages, which stop early and return
+their best-so-far result when it reads exhausted; non-anytime stages
+raise :class:`~repro.runtime.errors.StageTimeoutError` instead.  The
+fault site ``budget.<stage>`` forces exhaustion deterministically so the
+early-exit paths are testable without real waiting.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.runtime import faults
+from repro.runtime.errors import StageTimeoutError
+
+
+class StageBudget:
+    """Wall-clock allowance for one flow stage; starts on construction."""
+
+    def __init__(self, stage: str, seconds: float | None) -> None:
+        self.stage = stage
+        self.seconds = seconds
+        self._start = time.perf_counter()
+        self._forced = False
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def remaining(self) -> float:
+        if self.seconds is None:
+            return float("inf")
+        return self.seconds - self.elapsed()
+
+    def exhausted(self) -> bool:
+        """True once the budget is spent (sticky when fault-forced)."""
+        if self._forced or faults.should_fire(f"budget.{self.stage}"):
+            self._forced = True
+            return True
+        return self.seconds is not None and self.remaining() <= 0.0
+
+    def check(self) -> None:
+        """Raise :class:`StageTimeoutError` when exhausted (hard stages)."""
+        if self.exhausted():
+            raise StageTimeoutError(
+                f"stage exceeded its {self.seconds}s budget",
+                stage=self.stage,
+                elapsed=round(self.elapsed(), 3),
+            )

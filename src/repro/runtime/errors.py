@@ -1,0 +1,82 @@
+"""Structured exception hierarchy of the fault-tolerant runtime.
+
+Every failure the flow can surface derives from :class:`PlacementError`,
+which carries the flow *stage* it occurred in plus arbitrary keyword
+``details`` (episode index, solver status, budget seconds, ...) so a
+supervisor — the CLI, a batch driver, a test — can decide whether to
+resume, degrade, or abort without parsing message strings.  Each subclass
+maps to a distinct process exit code (``repro.cli`` returns them), in the
+spirit of sysexits: anything ≥ 10 is a placement-runtime failure, 64 is
+bad usage (EX_USAGE).
+"""
+
+from __future__ import annotations
+
+
+class PlacementError(Exception):
+    """Base class of all structured placement-flow failures."""
+
+    #: process exit code the CLI maps this class to
+    exit_code = 10
+
+    def __init__(self, message: str, *, stage: str | None = None, **details):
+        super().__init__(message)
+        self.message = message
+        self.stage = stage
+        self.details = details
+
+    def __str__(self) -> str:
+        prefix = f"[{self.stage}] " if self.stage else ""
+        suffix = ""
+        if self.details:
+            pairs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.details.items()))
+            suffix = f" ({pairs})"
+        return f"{prefix}{self.message}{suffix}"
+
+
+class UsageError(PlacementError):
+    """Bad CLI input / run-dir mismatch — the EX_USAGE class of failures."""
+
+    exit_code = 64
+
+
+class CalibrationError(PlacementError):
+    """Reward calibration produced unusable statistics (Eq. 9 undefined)."""
+
+    exit_code = 11
+
+
+class TrainingDivergedError(PlacementError):
+    """RL training could not recover (repeated NaN/inf updates or episode
+    failures beyond the configured tolerance)."""
+
+    exit_code = 12
+
+
+class SolverInfeasibleError(PlacementError):
+    """An LP/QP solve failed or reported infeasibility.
+
+    Raised by the *inner* solver helpers; the legalization pipeline
+    normally catches it and degrades to the greedy sequence-pair packing,
+    so callers only see it when degradation is impossible too.
+    """
+
+    exit_code = 13
+
+
+class StageTimeoutError(PlacementError):
+    """A stage exceeded its wall-clock budget and has no anytime result."""
+
+    exit_code = 14
+
+
+class FaultInjected(PlacementError):
+    """Deliberate failure raised by the fault-injection harness.
+
+    Used by tests and the resume smoke-drill to simulate a killed process
+    at a deterministic point; it deliberately subclasses
+    :class:`PlacementError` so stage guards re-raise it instead of
+    swallowing it like an ordinary episode exception.
+    """
+
+    exit_code = 15

@@ -1,0 +1,292 @@
+"""The fault-tolerant run context threaded through the flow.
+
+:class:`RunContext` is what turns ``MCTSGuidedPlacer.place`` from a
+monolithic all-or-nothing call into a resumable pipeline: it owns the
+run dir (when one is given), the structured event log, the per-stage
+wall-clock budgets, and the save/load logic for every stage artifact.
+Without a run dir it degrades to a pure in-memory observer — the flow
+code is identical either way.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.runtime.budget import StageBudget
+from repro.runtime.checkpoint import RunDir
+from repro.runtime.errors import PlacementError
+from repro.utils.events import EventLog
+
+TRAINING_SNAPSHOT = "training_snapshot.pkl"
+MCTS_SNAPSHOT = "mcts_snapshot.pkl"
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    return rng.bit_generator.state
+
+
+def restore_rng(rng: np.random.Generator, state: dict) -> None:
+    rng.bit_generator.state = state
+
+
+class RunContext:
+    """Per-run state: manifest, events, budgets, artifacts."""
+
+    def __init__(
+        self,
+        run_dir: str | None,
+        config,
+        design,
+        resume: bool = False,
+        fault_plan=None,
+    ) -> None:
+        self.config = config
+        self.fault_plan = fault_plan
+        self.dir = RunDir(run_dir) if run_dir else None
+        self.events = EventLog(self.dir.events_path if self.dir else None)
+        if self.dir is not None:
+            self.manifest = self.dir.init_manifest(config, design, resume)
+            if not resume:
+                # a fresh run must not pick up a previous run's leftovers
+                self.manifest["stages"] = {}
+                self.dir.write_manifest(self.manifest)
+                self.dir.remove(TRAINING_SNAPSHOT)
+                self.dir.remove(MCTS_SNAPSHOT)
+        else:
+            self.manifest = {"stages": {}}
+        self.resume = resume
+
+    # -- fault plan -----------------------------------------------------------
+    @contextmanager
+    def activate_faults(self):
+        from repro.runtime import faults
+
+        if self.fault_plan is None:
+            yield
+        else:
+            with faults.inject(self.fault_plan):
+                yield
+
+    # -- stage bookkeeping ----------------------------------------------------
+    def completed(self, stage: str) -> bool:
+        return bool(self.manifest["stages"].get(stage, {}).get("completed"))
+
+    def mark(self, stage: str, **meta) -> None:
+        entry = {"completed": True}
+        entry.update(meta)
+        self.manifest["stages"][stage] = entry
+        if self.dir is not None:
+            self.dir.write_manifest(self.manifest)
+        self.events.emit("stage_completed", stage=stage, **meta)
+
+    def skip(self, stage: str) -> None:
+        self.events.emit("stage_skipped", stage=stage, reason="resumed")
+
+    @contextmanager
+    def guard(self, stage: str):
+        """Tag/record failures of one stage; re-raises everything."""
+        self.events.emit("stage_start", stage=stage)
+        try:
+            yield
+        except PlacementError as exc:
+            if exc.stage is None:
+                exc.stage = stage
+            self.events.emit("stage_failed", stage=stage, error=str(exc),
+                             kind=type(exc).__name__)
+            raise
+        except Exception as exc:
+            self.events.emit("stage_failed", stage=stage, error=str(exc),
+                             kind=type(exc).__name__)
+            raise
+
+    def budget(self, stage: str) -> StageBudget:
+        cfg = self.config
+        if stage == "rl_training":
+            seconds = getattr(cfg, "rl_budget_seconds", None)
+        elif stage == "mcts":
+            seconds = getattr(cfg, "mcts_budget_seconds", None)
+        else:
+            seconds = None
+        if seconds is None:
+            seconds = getattr(cfg, "stage_budget_seconds", None)
+        return StageBudget(stage, seconds)
+
+    # -- positions ------------------------------------------------------------
+    def save_positions(self, name: str, design) -> None:
+        if self.dir is not None:
+            self.dir.save_positions(name, design)
+
+    def load_positions(self, name: str, design) -> None:
+        self.dir.load_positions(name, design)
+
+    # -- calibration ----------------------------------------------------------
+    def save_calibration(self, reward_fn, rng) -> None:
+        if self.dir is None:
+            return
+        self.dir.save_json(
+            "calibration.json",
+            {
+                "w_max": reward_fn.w_max,
+                "w_min": reward_fn.w_min,
+                "w_avg": reward_fn.w_avg,
+                "alpha": reward_fn.alpha,
+                "rng_state": rng_state(rng),
+            },
+        )
+
+    def load_calibration(self, rng):
+        from repro.agent.reward import NormalizedReward
+
+        payload = self.dir.load_json("calibration.json")
+        if payload is None:
+            raise PlacementError(
+                "calibration marked complete but calibration.json is missing",
+                stage="calibration", run_dir=self.dir.path,
+            )
+        restore_rng(rng, payload["rng_state"])
+        return NormalizedReward(
+            w_max=payload["w_max"],
+            w_min=payload["w_min"],
+            w_avg=payload["w_avg"],
+            alpha=payload["alpha"],
+        )
+
+    # -- RL training ----------------------------------------------------------
+    def save_training(self, network, history, rng) -> None:
+        if self.dir is None:
+            return
+        from repro.nn.serialization import save_params
+
+        save_params(network, self.dir.file("network.npz"))
+        self.dir.save_json(
+            "training.json",
+            {
+                "rewards": history.rewards,
+                "wirelengths": history.wirelengths,
+                "losses": history.losses,
+                "grad_norms": history.grad_norms,
+                "rng_state": rng_state(rng),
+            },
+        )
+        self.dir.remove(TRAINING_SNAPSHOT)
+
+    def load_training(self, network, rng):
+        from repro.agent.actorcritic import TrainingHistory
+        from repro.nn.serialization import load_params
+
+        payload = self.dir.load_json("training.json")
+        if payload is None:
+            raise PlacementError(
+                "rl_training marked complete but training.json is missing",
+                stage="rl_training", run_dir=self.dir.path,
+            )
+        load_params(network, self.dir.file("network.npz"))
+        restore_rng(rng, payload["rng_state"])
+        return TrainingHistory(
+            rewards=list(payload["rewards"]),
+            wirelengths=list(payload["wirelengths"]),
+            losses=list(payload["losses"]),
+            grad_norms=list(payload["grad_norms"]),
+        )
+
+    def save_training_snapshot(self, trainer, history) -> None:
+        if self.dir is None:
+            return
+        self.dir.save_pickle(TRAINING_SNAPSHOT, trainer.export_state(history))
+        self.events.emit(
+            "checkpoint", stage="rl_training", episode=len(history.rewards)
+        )
+
+    def load_training_snapshot(self, trainer):
+        """Restore an intra-stage RL snapshot into *trainer*; returns the
+        restored :class:`TrainingHistory` (or None when no snapshot)."""
+        if self.dir is None:
+            return None
+        state = self.dir.load_pickle(TRAINING_SNAPSHOT)
+        if state is None:
+            return None
+        history = trainer.restore_state(state)
+        self.events.emit(
+            "resume", stage="rl_training", episode=len(history.rewards)
+        )
+        return history
+
+    # -- MCTS ------------------------------------------------------------------
+    def save_mcts_snapshot(self, state: dict) -> None:
+        if self.dir is None:
+            return
+        self.dir.save_pickle(MCTS_SNAPSHOT, state)
+        self.events.emit("checkpoint", stage="mcts", step=state["step"])
+
+    def load_mcts_snapshot(self) -> dict | None:
+        if self.dir is None:
+            return None
+        state = self.dir.load_pickle(MCTS_SNAPSHOT)
+        if state is not None:
+            self.events.emit("resume", stage="mcts", step=state["step"])
+        return state
+
+    def save_search(self, result) -> None:
+        if self.dir is None:
+            return
+        best_w = result.best_terminal_wirelength
+        self.dir.save_json(
+            "search.json",
+            {
+                "assignment": result.assignment,
+                "wirelength": result.wirelength,
+                "reward": result.reward,
+                "path": [list(p) for p in result.path],
+                "n_terminal_evaluations": result.n_terminal_evaluations,
+                "n_network_evaluations": result.n_network_evaluations,
+                "best_terminal_assignment": result.best_terminal_assignment,
+                "best_terminal_wirelength": (
+                    None if best_w == float("inf") else best_w
+                ),
+            },
+        )
+        self.dir.remove(MCTS_SNAPSHOT)
+
+    def load_search(self):
+        from repro.mcts.search import SearchResult
+
+        payload = self.dir.load_json("search.json")
+        if payload is None:
+            raise PlacementError(
+                "mcts marked complete but search.json is missing",
+                stage="mcts", run_dir=self.dir.path,
+            )
+        best_w = payload["best_terminal_wirelength"]
+        return SearchResult(
+            assignment=list(payload["assignment"]),
+            wirelength=payload["wirelength"],
+            reward=payload["reward"],
+            path=[tuple(p) for p in payload["path"]],
+            n_terminal_evaluations=payload["n_terminal_evaluations"],
+            n_network_evaluations=payload["n_network_evaluations"],
+            best_terminal_assignment=payload["best_terminal_assignment"],
+            best_terminal_wirelength=(
+                float("inf") if best_w is None else best_w
+            ),
+        )
+
+    # -- final -----------------------------------------------------------------
+    def save_final(self, design, hpwl: float, legal_hpwl: float | None) -> None:
+        if self.dir is None:
+            return
+        self.dir.save_positions("final_positions", design)
+        self.dir.save_json(
+            "final.json", {"hpwl": hpwl, "legal_hpwl": legal_hpwl}
+        )
+
+    def load_final(self, design) -> tuple[float, float | None]:
+        payload = self.dir.load_json("final.json")
+        if payload is None:
+            raise PlacementError(
+                "final marked complete but final.json is missing",
+                stage="final", run_dir=self.dir.path,
+            )
+        self.dir.load_positions("final_positions", design)
+        return payload["hpwl"], payload.get("legal_hpwl")

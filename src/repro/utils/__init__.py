@@ -1,6 +1,7 @@
 """Shared utilities: deterministic RNG handling, timing, and light logging."""
 
+from repro.utils.events import Event, EventLog
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.timer import Stopwatch, timed
 
-__all__ = ["ensure_rng", "spawn_rng", "Stopwatch", "timed"]
+__all__ = ["Event", "EventLog", "ensure_rng", "spawn_rng", "Stopwatch", "timed"]

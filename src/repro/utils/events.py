@@ -1,0 +1,77 @@
+"""Structured JSONL event log.
+
+Every noteworthy runtime occurrence — stage transitions, checkpoints,
+degradations, divergence rollbacks, budget exhaustion — is recorded as
+one :class:`Event` and, when the log is backed by a file, appended as a
+single JSON line so a crashed run leaves a complete, machine-readable
+trace.  The in-memory list always exists, so library code can emit
+unconditionally and tests can assert on what happened without a run dir.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Event:
+    """One structured occurrence."""
+
+    name: str
+    stage: str | None = None
+    ts: float = 0.0
+    data: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        record = {"ts": round(self.ts, 6), "event": self.name}
+        if self.stage is not None:
+            record["stage"] = self.stage
+        record.update(self.data)
+        return record
+
+
+class EventLog:
+    """Append-only event sink, optionally mirrored to a JSONL file."""
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self.events: list[Event] = []
+
+    def emit(self, name: str, stage: str | None = None, **data) -> Event:
+        """Record (and persist, if file-backed) one event."""
+        event = Event(name=name, stage=stage, ts=time.time(), data=data)
+        self.events.append(event)
+        if self.path is not None:
+            with open(self.path, "a") as f:
+                f.write(json.dumps(event.to_json(), sort_keys=True) + "\n")
+                f.flush()
+                os.fsync(f.fileno())
+        return event
+
+    def of(self, name: str) -> list[Event]:
+        """All recorded events called *name*."""
+        return [e for e in self.events if e.name == name]
+
+    def count(self, name: str) -> int:
+        return len(self.of(name))
+
+    @staticmethod
+    def read(path: str) -> list[dict]:
+        """Parse a JSONL event file back into dicts (tolerates a torn tail
+        line, which a kill mid-write can leave behind)."""
+        records: list[dict] = []
+        if not os.path.exists(path):
+            return records
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+        return records

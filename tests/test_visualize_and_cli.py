@@ -70,8 +70,8 @@ class TestCli:
         assert args.command == "place"
 
     def test_unknown_circuit_fails(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["place", "--circuit", "zzz99"])
+        assert main(["place", "--circuit", "zzz99"]) == 64
+        assert "unknown circuit" in capsys.readouterr().err
 
     def test_suites_lists_all(self, capsys):
         assert main(["suites"]) == 0
