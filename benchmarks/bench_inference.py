@@ -1,0 +1,280 @@
+#!/usr/bin/env python
+"""Microbenchmark for the batched inference engine.
+
+Measures, on one synthetic design:
+
+- **forwards/sec** — states evaluated per second through the policy/value
+  network, sequentially (B=1, the pre-batching path) and via
+  ``evaluate_batch`` at B ∈ {8, 32};
+- **RL episodes/sec** — rollout throughput of ``ActorCriticTrainer`` at
+  ``n_envs`` 1 vs 8 (synchronized vectorized episodes);
+- **MCTS explorations/sec** — search throughput at ``leaf_batch`` 1 vs 8
+  (virtual-loss leaf batching + the transposition eval cache);
+- **equivalence** — batched-vs-sequential agreement checks; these are the
+  only thing that can fail the script (exit 1).  Throughput numbers are
+  reported, never gated, so slow CI machines cannot flake the job.
+
+Writes everything to a JSON report (default ``BENCH_pr2.json``)::
+
+    python benchmarks/bench_inference.py --quick --output BENCH_pr2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.agent.actorcritic import ActorCriticTrainer
+from repro.agent.network import NetworkConfig, PlaneView, PolicyValueNet
+from repro.agent.reward import NormalizedReward
+from repro.coarsen import coarsen_design
+from repro.env.placement_env import MacroGroupPlacementEnv
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.grid.plan import GridPlan
+from repro.mcts.search import MCTSConfig, MCTSPlacer
+from repro.netlist.generator import GeneratorSpec, generate_design
+
+REWARD = NormalizedReward(w_max=2000.0, w_min=500.0, w_avg=1200.0)
+
+
+def build_problem(zeta: int = 8, seed: int = 7):
+    # Small cell count keeps the terminal legalize-and-place calls cheap, so
+    # the RL/MCTS arms measure the inference engine rather than the QP
+    # solver (which batching cannot help and which dominates wall-clock on
+    # cell-heavy designs).
+    spec = GeneratorSpec(
+        name="bench",
+        n_movable_macros=10,
+        n_pads=12,
+        n_cells=48,
+        n_nets=70,
+        hierarchy_depth=2,
+        hierarchy_branching=2,
+        seed=seed,
+    )
+    design = generate_design(spec)
+    MixedSizePlacer(n_iterations=2).place(design)
+    return coarsen_design(design, GridPlan(design.region, zeta=zeta))
+
+
+def random_states(zeta: int, n: int, seed: int = 0) -> list[PlaneView]:
+    rng = np.random.default_rng(seed)
+    states = []
+    for i in range(n):
+        s_a = rng.random((zeta, zeta))
+        s_a[s_a < 0.3] = 0.0
+        states.append(PlaneView(rng.random((zeta, zeta)), s_a, i % 8, 8))
+    return states
+
+
+def _rate(n_items: int, seconds: float) -> float:
+    return n_items / seconds if seconds > 0 else float("inf")
+
+
+def bench_forwards(net: PolicyValueNet, zeta: int, n_states: int) -> dict:
+    """states/sec sequentially vs batched at B ∈ {8, 32}."""
+    states = random_states(zeta, n_states)
+    # warmup (fills im2col scratch buffers)
+    net.evaluate_batch(states[:32])
+    for s in states[:2]:
+        net.evaluate(s.s_p, s.s_a, s.t, s.total_steps)
+
+    out = {}
+    started = time.perf_counter()
+    for s in states:
+        net.evaluate(s.s_p, s.s_a, s.t, s.total_steps)
+    out["b1_per_sec"] = _rate(n_states, time.perf_counter() - started)
+
+    for b in (8, 32):
+        started = time.perf_counter()
+        for lo in range(0, n_states, b):
+            net.evaluate_batch(states[lo : lo + b])
+        out[f"b{b}_per_sec"] = _rate(n_states, time.perf_counter() - started)
+
+    out["speedup_b8"] = out["b8_per_sec"] / out["b1_per_sec"]
+    out["speedup_b32"] = out["b32_per_sec"] / out["b1_per_sec"]
+    return out
+
+
+def bench_rl(coarse, net_cfg: NetworkConfig, n_episodes: int) -> dict:
+    """episodes/sec with sequential (n_envs=1) vs vectorized (n_envs=8)
+    rollouts.  Fresh trainer per arm so Adam/buffer state cannot leak."""
+    out = {}
+    for n_envs in (1, 8):
+        env = MacroGroupPlacementEnv(coarse, cell_place_iters=1)
+        trainer = ActorCriticTrainer(
+            env, PolicyValueNet(net_cfg), REWARD,
+            update_every=10**9,  # measure rollouts, not updates
+            rng=0, n_envs=n_envs,
+        )
+        done = 0
+        started = time.perf_counter()
+        while done < n_episodes:
+            wave = min(n_envs, n_episodes - done)
+            trainer.play_episodes(wave)
+            done += wave
+        out[f"envs{n_envs}_eps_per_sec"] = _rate(
+            done, time.perf_counter() - started
+        )
+    out["speedup"] = out["envs8_eps_per_sec"] / out["envs1_eps_per_sec"]
+    return out
+
+
+def bench_mcts(coarse, net_cfg: NetworkConfig, explorations: int) -> dict:
+    """explorations/sec at leaf_batch 1 vs 8 (same γ budget).
+
+    ``c_puct=5`` keeps selection diversified so both arms expand a fresh
+    leaf on most explorations — the network-bound regime leaf batching
+    targets.  (At the paper's 1.05, a high-Q path funnels the sequential
+    search into already-evaluated nodes and neither arm is network-bound.)
+    Note the arms do *different real work* at equal γ: virtual loss spreads
+    a wave's descents, so k=8 evaluates more distinct leaves; the
+    per-network-evaluation rate isolates the batching gain itself.
+    """
+    out = {}
+    for k in (1, 8):
+        env = MacroGroupPlacementEnv(coarse, cell_place_iters=1)
+        placer = MCTSPlacer(
+            env, PolicyValueNet(net_cfg), REWARD,
+            MCTSConfig(
+                explorations=explorations, leaf_batch=k, c_puct=5.0, seed=0
+            ),
+        )
+        started = time.perf_counter()
+        result = placer.run()
+        seconds = time.perf_counter() - started
+        total = explorations * env.n_steps
+        out[f"k{k}_explorations_per_sec"] = _rate(total, seconds)
+        out[f"k{k}_network_evaluations"] = result.n_network_evaluations
+        out[f"k{k}_net_evals_per_sec"] = _rate(
+            result.n_network_evaluations, result.seconds_evaluation
+        )
+        out[f"k{k}_eval_cache_hits"] = result.n_eval_cache_hits
+        out[f"k{k}_seconds_selection"] = result.seconds_selection
+        out[f"k{k}_seconds_evaluation"] = result.seconds_evaluation
+        out[f"k{k}_seconds_terminal"] = result.seconds_terminal
+        out[f"k{k}_wirelength"] = result.wirelength
+    out["speedup"] = (
+        out["k8_explorations_per_sec"] / out["k1_explorations_per_sec"]
+    )
+    out["speedup_per_eval"] = (
+        out["k8_net_evals_per_sec"] / out["k1_net_evals_per_sec"]
+    )
+    return out
+
+
+def check_equivalence(coarse, net_cfg: NetworkConfig, zeta: int) -> dict:
+    """The regression gates: batched paths must agree with sequential ones."""
+    import copy
+
+    checks = {}
+
+    # 1. evaluate_batch == per-state evaluate (to float32 precision).
+    net = PolicyValueNet(net_cfg)
+    states = random_states(zeta, 16, seed=3)
+    probs_b, values_b = net.evaluate_batch(states)
+    ok = True
+    for i, s in enumerate(states):
+        p, v = net.evaluate(s.s_p, s.s_a, s.t, s.total_steps)
+        ok &= bool(np.allclose(probs_b[i], p, rtol=1e-4, atol=1e-7))
+        ok &= bool(np.isclose(values_b[i], v, rtol=1e-3, atol=1e-6))
+    checks["batch_matches_sequential"] = ok
+
+    # 2. n_envs=1 wave is bitwise the sequential rollout (same RNG stream).
+    def trainer(seed):
+        env = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=1)
+        return ActorCriticTrainer(
+            env, PolicyValueNet(net_cfg), REWARD, rng=seed, n_envs=1
+        )
+
+    a, b = trainer(11), trainer(11)
+    ta, wa = a.play_episode()
+    [(tb, wb)] = b.play_episodes(1)
+    checks["rollout_n1_bitwise"] = bool(
+        wa == wb and [t.action for t in ta] == [t.action for t in tb]
+    )
+
+    # 3. K=1 search is deterministic across placer instances (the committed
+    #    path never depends on wave bookkeeping).
+    def search(k):
+        env = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=1)
+        return MCTSPlacer(
+            env, PolicyValueNet(net_cfg), REWARD,
+            MCTSConfig(explorations=8, leaf_batch=k, seed=0),
+        ).run()
+
+    checks["mcts_k1_deterministic"] = bool(
+        search(1).assignment == search(1).assignment
+    )
+    checks["all_passed"] = all(checks.values())
+    return checks
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: fewer states/episodes/explorations",
+    )
+    parser.add_argument("--output", default="BENCH_pr2.json")
+    args = parser.parse_args(argv)
+
+    zeta = 8
+    # The repo's default CPU-sized network: per-state compute is small, so
+    # the B=1 path is dominated by per-call dispatch — exactly the overhead
+    # the batched engine amortizes.
+    net_cfg = NetworkConfig(zeta=zeta, channels=16, res_blocks=2, seed=0)
+    if args.quick:
+        n_states, n_episodes, explorations = 128, 8, 16
+    else:
+        n_states, n_episodes, explorations = 512, 24, 48
+
+    coarse = build_problem(zeta=zeta)
+    report = {
+        "config": {
+            "quick": args.quick,
+            "zeta": zeta,
+            "channels": net_cfg.channels,
+            "res_blocks": net_cfg.res_blocks,
+            "n_states": n_states,
+            "rl_episodes": n_episodes,
+            "mcts_explorations": explorations,
+        },
+    }
+
+    print("== forwards/sec (policy/value network) ==")
+    report["forwards"] = bench_forwards(PolicyValueNet(net_cfg), zeta, n_states)
+    for key, value in report["forwards"].items():
+        print(f"  {key:16s} {value:10.2f}")
+
+    print("== RL rollout episodes/sec ==")
+    report["rl"] = bench_rl(coarse, net_cfg, n_episodes)
+    for key, value in report["rl"].items():
+        print(f"  {key:22s} {value:10.3f}")
+
+    print("== MCTS explorations/sec ==")
+    report["mcts"] = bench_mcts(coarse, net_cfg, explorations)
+    for key, value in report["mcts"].items():
+        print(f"  {key:26s} {value:10.2f}")
+
+    print("== equivalence checks ==")
+    report["equivalence"] = check_equivalence(coarse, net_cfg, zeta)
+    for key, value in report["equivalence"].items():
+        print(f"  {key:26s} {value}")
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+    print(f"report -> {args.output}")
+
+    if not report["equivalence"]["all_passed"]:
+        print("EQUIVALENCE REGRESSION", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,10 +22,12 @@ Adaptations from the paper (documented in DESIGN.md):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.nn.blocks import ResTower
+from repro.nn.dtype import default_dtype, resolve_dtype
 from repro.nn.layers import (
     BatchNorm2D,
     Conv2D,
@@ -52,12 +54,24 @@ class NetworkConfig:
     #: so the default is an unbounded linear head; the tanh variant is kept
     #: for ablation.
     value_tanh: bool = False
+    #: parameter/activation dtype ("float32"/"float64"); ``None`` uses the
+    #: library default from :mod:`repro.nn.dtype` (float32).
+    dtype: str | None = None
     seed: int = 0
 
     @classmethod
     def paper(cls) -> "NetworkConfig":
         """The full Table I configuration (ζ=16, 128 channels, 10 blocks)."""
         return cls(zeta=16, channels=128, res_blocks=10, value_hidden=16)
+
+
+class PlaneView(NamedTuple):
+    """Minimal state view the packing/evaluation batch APIs accept."""
+
+    s_p: np.ndarray
+    s_a: np.ndarray
+    t: int
+    total_steps: int
 
 
 class PolicyValueNet(Layer):
@@ -68,37 +82,40 @@ class PolicyValueNet(Layer):
 
     def __init__(self, config: NetworkConfig = NetworkConfig()) -> None:
         self.config = config
+        self.dtype = resolve_dtype(config.dtype)
         g = ensure_rng(config.seed)
         zeta = config.zeta
         ch = config.channels
 
-        self.trunk = Sequential(
-            Conv2D(self.IN_PLANES, ch, kernel=3, bias=False, rng=g),
-            BatchNorm2D(ch),
-            ReLU(),
-            ResTower(ch, config.res_blocks, rng=g),
-        )
-        self.policy_head = Sequential(
-            Conv2D(ch, 2, kernel=1, bias=False, rng=g),
-            BatchNorm2D(2),
-            ReLU(),
-            Flatten(),
-            Linear(2 * zeta * zeta, zeta * zeta, rng=g),
-        )
-        # Value head consumes trunk output ++ s_p ++ t-plane.
-        self.value_conv = Sequential(
-            Conv2D(ch + 2, 1, kernel=1, bias=False, rng=g),
-            BatchNorm2D(1),
-            ReLU(),
-            Flatten(),
-        )
-        self.value_mlp = Sequential(
-            Linear(zeta * zeta, config.value_hidden, rng=g),
-            ReLU(),
-            Linear(config.value_hidden, zeta * zeta, rng=g),
-            ReLU(),
-            Linear(zeta * zeta, 1, rng=g),
-        )
+        # All layers allocate their parameters in this network's dtype.
+        with default_dtype(self.dtype):
+            self.trunk = Sequential(
+                Conv2D(self.IN_PLANES, ch, kernel=3, bias=False, rng=g),
+                BatchNorm2D(ch),
+                ReLU(),
+                ResTower(ch, config.res_blocks, rng=g),
+            )
+            self.policy_head = Sequential(
+                Conv2D(ch, 2, kernel=1, bias=False, rng=g),
+                BatchNorm2D(2),
+                ReLU(),
+                Flatten(),
+                Linear(2 * zeta * zeta, zeta * zeta, rng=g),
+            )
+            # Value head consumes trunk output ++ s_p ++ t-plane.
+            self.value_conv = Sequential(
+                Conv2D(ch + 2, 1, kernel=1, bias=False, rng=g),
+                BatchNorm2D(1),
+                ReLU(),
+                Flatten(),
+            )
+            self.value_mlp = Sequential(
+                Linear(zeta * zeta, config.value_hidden, rng=g),
+                ReLU(),
+                Linear(config.value_hidden, zeta * zeta, rng=g),
+                ReLU(),
+                Linear(zeta * zeta, 1, rng=g),
+            )
         self._cache: tuple | None = None
 
     def children(self) -> list[Layer]:
@@ -111,14 +128,29 @@ class PolicyValueNet(Layer):
     def pack_planes(
         self, s_p: np.ndarray, s_a: np.ndarray, t: int, total_steps: int
     ) -> np.ndarray:
-        """Stack one state into a (1, 3, ζ, ζ) input tensor."""
+        """Stack one state into a (1, 3, ζ, ζ) input tensor (network dtype)."""
+        return self.pack_planes_batch([PlaneView(s_p, s_a, t, total_steps)])
+
+    def pack_planes_batch(self, states) -> np.ndarray:
+        """Pack B states into one (B, 3, ζ, ζ) NCHW tensor.
+
+        *states* is any sequence of objects carrying ``s_p``, ``s_a``,
+        ``t`` and ``total_steps`` (:class:`repro.agent.state.EnvState`,
+        :class:`PlaneView`, ...).  The tensor is allocated in the network
+        dtype so one forward serves the whole batch without upcasting.
+        """
         zeta = self.config.zeta
-        if s_p.shape != (zeta, zeta) or s_a.shape != (zeta, zeta):
-            raise ValueError(
-                f"state planes must be {zeta}x{zeta}, got {s_p.shape}/{s_a.shape}"
-            )
-        t_plane = np.full((zeta, zeta), t / max(total_steps, 1))
-        return np.stack([s_p, s_a, t_plane])[None]
+        x = np.empty((len(states), self.IN_PLANES, zeta, zeta), dtype=self.dtype)
+        for i, s in enumerate(states):
+            if s.s_p.shape != (zeta, zeta) or s.s_a.shape != (zeta, zeta):
+                raise ValueError(
+                    f"state planes must be {zeta}x{zeta}, "
+                    f"got {s.s_p.shape}/{s.s_a.shape}"
+                )
+            x[i, 0] = s.s_p
+            x[i, 1] = s.s_a
+            x[i, 2] = s.t / max(s.total_steps, 1)
+        return x
 
     # -- forward / backward ---------------------------------------------------------
     def forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -159,18 +191,42 @@ class PolicyValueNet(Layer):
         """Inference for one state: (masked probabilities (ζ²,), value).
 
         Uses eval-mode batch-norm statistics and restores the previous mode.
+        Delegates to :meth:`evaluate_batch` with B=1, so the single-state
+        and batched paths cannot drift apart.
+        """
+        probs, values = self.evaluate_batch([PlaneView(s_p, s_a, t, total_steps)])
+        return probs[0], float(values[0])
+
+    def evaluate_batch(self, states) -> tuple[np.ndarray, np.ndarray]:
+        """Batched inference: (masked probabilities (B, ζ²), values (B,)).
+
+        Packs *states* (see :meth:`pack_planes_batch`) into one NCHW tensor
+        and runs a single eval-mode forward — the im2col matmuls amortize
+        across the batch instead of re-dispatching per state.  Each row's
+        policy is softmaxed under that state's availability mask
+        (``s_a > 0``; an all-masked row falls back to the plain softmax,
+        matching the single-state path).  The previous train/eval mode is
+        restored on exit.
         """
         from repro.nn.functional import masked_softmax
 
+        zeta = self.config.zeta
+        if len(states) == 0:
+            return np.zeros((0, zeta * zeta)), np.zeros(0)
+        x = self.pack_planes_batch(states)
         was_training = self.training
-        self.eval()
+        if was_training:  # avoid two full layer-tree walks per call when
+            self.eval()  # the network already sits in eval mode
         try:
-            x = self.pack_planes(s_p, s_a, t, total_steps)
             logits, v = self.forward(x)
         finally:
-            self.train(was_training)
-        mask = (s_a > 0).ravel().astype(float)
-        if not mask.any():
-            mask = np.ones_like(mask)
-        probs = masked_softmax(logits[0], mask)
-        return probs, float(v[0])
+            if was_training:
+                self.train(True)
+        masks = np.empty((len(states), zeta * zeta))
+        for i, s in enumerate(states):
+            mask = (s.s_a > 0).ravel().astype(float)
+            if not mask.any():
+                mask = np.ones_like(mask)
+            masks[i] = mask
+        probs = masked_softmax(logits, masks, axis=1)
+        return probs, np.asarray(v, dtype=np.float64)

@@ -85,12 +85,19 @@ class StateBuilder:
         self._footprints = [
             group_utilization(self.plan, w, h) for (w, h) in self._shapes
         ]
+        self._fallback_masks = [
+            self._build_fallback_mask(i) for i in range(len(self._footprints))
+        ]
         blockers = list(coarse.design.netlist.preplaced_macros)
         self._base_occupancy = (
             self.plan.occupancy(blockers) if blockers else np.zeros((self.plan.zeta,) * 2)
         )
         self.occupancy = self._base_occupancy.copy()
         self.t = 0
+        #: grid-mutation counter: bumped by apply/reset, so cached
+        #: observations can tell whether the occupancy they saw is current.
+        self._version = 0
+        self._obs_cache: tuple[int, EnvState] | None = None
 
     @property
     def n_steps(self) -> int:
@@ -99,6 +106,28 @@ class StateBuilder:
     def reset(self) -> None:
         self.occupancy = self._base_occupancy.copy()
         self.t = 0
+        self._version += 1
+
+    def clone(self) -> "StateBuilder":
+        """A cheap copy at the current (occupancy, t) point.
+
+        Footprints, fallback masks, and the base occupancy are shared
+        (immutable after construction); only the live grid is copied.  MCTS
+        uses this to avoid replaying the committed prefix action-by-action
+        for every selection descent.
+        """
+        twin = StateBuilder.__new__(StateBuilder)
+        twin.coarse = self.coarse
+        twin.plan = self.plan
+        twin._shapes = self._shapes
+        twin._footprints = self._footprints
+        twin._fallback_masks = self._fallback_masks
+        twin._base_occupancy = self._base_occupancy
+        twin.occupancy = self.occupancy.copy()
+        twin.t = self.t
+        twin._version = 0
+        twin._obs_cache = None
+        return twin
 
     def footprint(self, index: int) -> np.ndarray:
         """The s_m matrix of macro group *index*."""
@@ -110,7 +139,12 @@ class StateBuilder:
         return np.minimum(self.occupancy, 1.0)
 
     def availability(self, index: int) -> np.ndarray:
-        """s_a for macro group *index* over all ζ×ζ anchors (Eq. 4)."""
+        """s_a for macro group *index* over all ζ×ζ anchors (Eq. 4).
+
+        Vectorized over anchors with a sliding-window view: every window
+        product reduces the same elements in the same (row-major) order the
+        reference per-anchor loop did, so the values are unchanged.
+        """
         zeta = self.plan.zeta
         s_p = self.s_p()
         s_m = self._footprints[index]
@@ -118,30 +152,47 @@ class StateBuilder:
         n = rows * cols
         one_minus_m = np.clip(1.0 - s_m, 0.0, None)
         s_a = np.zeros((zeta, zeta))
+        if rows > zeta or cols > zeta:
+            return s_a
         one_minus_p = np.clip(1.0 - s_p, 0.0, None)
-        for r in range(zeta - rows + 1):
-            for c in range(zeta - cols + 1):
-                window = one_minus_p[r : r + rows, c : c + cols]
-                prod = float(np.prod(window * one_minus_m))
-                if prod <= 0.0:
-                    continue
-                s_a[r, c] = prod ** (1.0 / n)
+        windows = np.lib.stride_tricks.sliding_window_view(
+            one_minus_p, (rows, cols)
+        )  # (ζ−rows+1, ζ−cols+1, rows, cols)
+        prods = np.prod(windows * one_minus_m, axis=(2, 3))
+        np.power(
+            prods,
+            1.0 / n,
+            out=s_a[: zeta - rows + 1, : zeta - cols + 1],
+            where=prods > 0.0,
+        )
         return s_a
 
-    def fallback_mask(self, index: int) -> np.ndarray:
-        """Anchors whose span stays inside the die, availability ignored."""
+    def _build_fallback_mask(self, index: int) -> np.ndarray:
         zeta = self.plan.zeta
         rows, cols = self._footprints[index].shape
         mask = np.zeros((zeta, zeta), dtype=bool)
         mask[: zeta - rows + 1, : zeta - cols + 1] = True
         return mask
 
+    def fallback_mask(self, index: int) -> np.ndarray:
+        """Anchors whose span stays inside the die, availability ignored."""
+        return self._fallback_masks[index].copy()
+
     def observe(self) -> EnvState:
-        """State for the group about to be placed (``self.t``)."""
+        """State for the group about to be placed (``self.t``).
+
+        Observations are cached against the grid-mutation counter: calling
+        ``observe`` again before the next :meth:`apply`/:meth:`reset`
+        returns the cached state instead of recomputing the s_p and
+        availability planes (the planes are fresh snapshot arrays either
+        way — later grid mutations never alias into them).
+        """
         if self.t >= self.n_steps:
             raise IndexError("episode already complete")
+        if self._obs_cache is not None and self._obs_cache[0] == self._version:
+            return self._obs_cache[1]
         s_a = self.availability(self.t)
-        return EnvState(
+        state = EnvState(
             s_p=self.s_p(),
             s_a=s_a,
             t=self.t,
@@ -149,6 +200,8 @@ class StateBuilder:
             mask=s_a > 0.0,
             fallback_mask=self.fallback_mask(self.t),
         )
+        self._obs_cache = (self._version, state)
+        return state
 
     def apply(self, action: int) -> None:
         """Commit the current group to flat anchor *action* and advance t."""
@@ -162,6 +215,7 @@ class StateBuilder:
         c = min(c, zeta - cols)
         self.occupancy[r : r + rows, c : c + cols] += s_m
         self.t += 1
+        self._version += 1
 
     def done(self) -> bool:
         return self.t >= self.n_steps

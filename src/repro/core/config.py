@@ -38,6 +38,10 @@ class PlacerConfig:
     entropy_coef: float = 0.0
     epochs_per_update: int = 1
     checkpoint_every: int | None = None
+    #: synchronized episodes rolled out per batched network forward during
+    #: RL pre-training (1 = the sequential rollout path, bit-identical to
+    #: the pre-batching trainer)
+    rollout_envs: int = 1
 
     # MCTS (Sec. IV)
     mcts: MCTSConfig = field(default_factory=MCTSConfig)

@@ -166,6 +166,7 @@ class MCTSGuidedPlacer:
             budget=budget,
             max_divergence_rollbacks=cfg.max_divergence_rollbacks,
             max_episode_failures=cfg.max_episode_failures,
+            n_envs=cfg.rollout_envs,
         )
 
     def optimize(

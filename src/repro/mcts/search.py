@@ -15,10 +15,22 @@ the most-visited edge.  Each exploration:
    cached per assignment.
 4. **Backpropagation** — N/W/Q updated along the whole path to the root
    (Eq. 12).
+
+Throughput extensions (``MCTSConfig.leaf_batch`` / ``virtual_loss``):
+explorations run in *waves* of up to K selection descents.  Each descent
+pre-charges a virtual loss along its path (N+vl, W−vl) so the following
+descents in the wave spread to different leaves; the wave's distinct
+non-terminal leaves are then evaluated in **one**
+:meth:`PolicyValueNet.evaluate_batch` forward, the virtual losses are
+reverted, and every descent backpropagates its real value.  A
+transposition-keyed evaluation cache (assignment-prefix key) lets repeated
+states skip the network entirely.  K=1 disables virtual loss and
+reproduces the sequential search's committed paths exactly.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,6 +51,13 @@ class MCTSConfig:
 
     c_puct: float = 1.05
     explorations: int = 40  # γ
+    #: leaf-batch wave size K: selection descents collected per batched
+    #: network evaluation.  1 keeps the sequential search (virtual loss is
+    #: skipped entirely, so the committed path is reproduced exactly).
+    leaf_batch: int = 1
+    #: virtual-loss magnitude pre-charged along in-flight descent paths
+    #: (only applied when ``leaf_batch`` > 1).
+    virtual_loss: float = 1.0
     #: Dirichlet root noise (0 disables; the paper does not use noise, but
     #: the ablation benches expose it).
     root_noise_frac: float = 0.0
@@ -61,6 +80,16 @@ class SearchResult:
     #: anytime byproduct; the committed path is the paper-faithful result.
     best_terminal_assignment: list[int] | None = None
     best_terminal_wirelength: float = float("inf")
+    #: transposition-cache hits (network evaluations avoided)
+    n_eval_cache_hits: int = 0
+    #: batched evaluation waves issued and leaves evaluated across them
+    n_waves: int = 0
+    n_wave_leaves: int = 0
+    #: wall-clock seconds by stage (selection+backprop / network forward /
+    #: terminal legalize-and-place)
+    seconds_selection: float = 0.0
+    seconds_evaluation: float = 0.0
+    seconds_terminal: float = 0.0
 
 
 class MCTSPlacer:
@@ -82,8 +111,18 @@ class MCTSPlacer:
         self.config = config
         self.rng = ensure_rng(config.seed)
         self._terminal_cache: dict[tuple[int, ...], float] = {}
+        #: transposition-keyed evaluation cache: the assignment prefix
+        #: (group order is fixed, so it determines the state exactly) maps
+        #: to the network's (masked probs, value) for that state.
+        self._eval_cache: dict[tuple[int, ...], tuple[np.ndarray, float]] = {}
         self.n_terminal_evaluations = 0
         self.n_network_evaluations = 0
+        self.n_eval_cache_hits = 0
+        self.n_waves = 0
+        self.n_wave_leaves = 0
+        self.seconds_selection = 0.0
+        self.seconds_evaluation = 0.0
+        self.seconds_terminal = 0.0
         self.best_terminal_assignment: list[int] | None = None
         self.best_terminal_wirelength = float("inf")
         #: runtime plumbing (optional): event log, wall-clock budget polled
@@ -94,20 +133,8 @@ class MCTSPlacer:
         self.on_commit = on_commit
 
     # -- node expansion helpers ---------------------------------------------------
-    def _expand(
-        self, node: Node, builder: StateBuilder, prefix: list[int]
-    ) -> float:
-        """Expand *node* (state = builder's current) and return its value.
-
-        *prefix* is the action sequence leading to *node* — unused by the
-        value-network evaluation here, but rollout-based variants (the
-        Sec. IV-B3 ablation) need it to complete assignments.
-        """
-        state = builder.observe()
-        probs, value = self.network.evaluate(
-            state.s_p, state.s_a, state.t, state.total_steps
-        )
-        self.n_network_evaluations += 1
+    def _attach(self, node: Node, state, probs: np.ndarray) -> None:
+        """Create *node*'s edges (N=W=Q=0, P=π_θ restricted to the mask)."""
         mask = state.action_mask
         actions = np.flatnonzero(mask > 0)
         prior = probs[actions]
@@ -118,6 +145,32 @@ class MCTSPlacer:
         node.visit = np.zeros(len(actions))
         node.total_value = np.zeros(len(actions))
         node.expanded = True
+
+    def _expand(
+        self, node: Node, builder: StateBuilder, prefix: list[int]
+    ) -> float:
+        """Expand *node* (state = builder's current) and return its value.
+
+        *prefix* is the action sequence leading to *node*; it keys the
+        transposition evaluation cache, which is consulted before the
+        network (rollout-based variants — the Sec. IV-B3 ablation — also
+        need it to complete assignments).
+        """
+        state = builder.observe()
+        key = tuple(prefix)
+        hit = self._eval_cache.get(key)
+        if hit is not None:
+            probs, value = hit
+            self.n_eval_cache_hits += 1
+        else:
+            started = time.perf_counter()
+            probs, value = self.network.evaluate(
+                state.s_p, state.s_a, state.t, state.total_steps
+            )
+            self.seconds_evaluation += time.perf_counter() - started
+            self.n_network_evaluations += 1
+            self._eval_cache[key] = (probs, value)
+        self._attach(node, state, probs)
         return value
 
     def _terminal_value(self, assignment: list[int]) -> float:
@@ -125,7 +178,9 @@ class MCTSPlacer:
         cached = self._terminal_cache.get(key)
         if cached is not None:
             return cached
+        started = time.perf_counter()
         wirelength = self.env.evaluate_assignment(assignment)
+        self.seconds_terminal += time.perf_counter() - started
         self.n_terminal_evaluations += 1
         if wirelength < self.best_terminal_wirelength:
             self.best_terminal_wirelength = wirelength
@@ -143,23 +198,30 @@ class MCTSPlacer:
         )
         node.prior = (1 - frac) * node.prior + frac * noise
 
-    # -- one exploration --------------------------------------------------------------
+    # -- explorations --------------------------------------------------------------
     def _explore(
         self,
         root: Node,
         committed: list[int],
         path_to_target: list[tuple[Node, int]],
         target: Node,
+        prefix_builder: StateBuilder | None = None,
     ) -> None:
         """One selection→expansion→evaluation→backpropagation pass.
 
         *path_to_target* holds (node, action_index) pairs for the committed
         prefix so backpropagation can run all the way to the root, as the
-        paper's Fig. 3 shows.
+        paper's Fig. 3 shows.  Leaf evaluation goes through :meth:`_expand`
+        so subclasses overriding it (the Sec. IV-B3 rollout ablation) keep
+        working; no virtual loss is involved.
         """
-        builder = StateBuilder(self.env.coarse)
-        for a in committed:
-            builder.apply(a)
+        started = time.perf_counter()
+        if prefix_builder is not None:
+            builder = prefix_builder.clone()
+        else:
+            builder = StateBuilder(self.env.coarse)
+            for a in committed:
+                builder.apply(a)
 
         path: list[tuple[Node, int]] = list(path_to_target)
         node = target
@@ -172,6 +234,7 @@ class MCTSPlacer:
             actions_taken.append(int(node.actions[idx]))
             builder.apply(int(node.actions[idx]))
             node = node.child_for(idx)
+        self.seconds_selection += time.perf_counter() - started
 
         # Evaluation (+ expansion for non-terminals).
         if builder.done():
@@ -183,8 +246,117 @@ class MCTSPlacer:
             value = self._expand(node, builder, actions_taken)
 
         # Backpropagation to the root (Eq. 12).
+        started = time.perf_counter()
         for parent, idx in path:
             parent.record(idx, value)
+        self.seconds_selection += time.perf_counter() - started
+
+    def _explore_wave(
+        self,
+        root: Node,
+        committed: list[int],
+        path_to_target: list[tuple[Node, int]],
+        target: Node,
+        k: int,
+        prefix_builder: StateBuilder | None = None,
+    ) -> None:
+        """Up to *k* virtual-loss selection descents sharing one batched
+        network evaluation.
+
+        Each descent pre-charges ``config.virtual_loss`` along its path so
+        later descents in the wave diversify; the wave's distinct
+        non-terminal leaves (cache misses only) go through **one**
+        :meth:`PolicyValueNet.evaluate_batch` call, then every virtual loss
+        is reverted and every descent backpropagates its real value to the
+        root (Eq. 12).  At k=1 virtual loss is skipped — float add/subtract
+        round-trips are not bitwise identities — so the sequential search
+        is reproduced exactly.
+        """
+        k = max(1, int(k))
+        if k == 1:
+            self._explore(root, committed, path_to_target, target, prefix_builder)
+            return
+        vl = self.config.virtual_loss
+        if prefix_builder is None:
+            prefix_builder = StateBuilder(self.env.coarse)
+            for a in committed:
+                prefix_builder.apply(a)
+
+        started = time.perf_counter()
+        # descent := [path, vl_edges, node, actions_taken, state | None, value | None]
+        descents: list[list] = []
+        for _ in range(k):
+            builder = prefix_builder.clone()
+            path: list[tuple[Node, int]] = list(path_to_target)
+            vl_edges: list[tuple[Node, int]] = []
+            node = target
+            actions_taken = list(committed)
+
+            # Selection: descend through expanded nodes.
+            while node.expanded and not node.terminal:
+                idx = node.select_child_index(self.config.c_puct)
+                path.append((node, idx))
+                if vl:
+                    node.apply_virtual_loss(idx, vl)
+                    vl_edges.append((node, idx))
+                action = int(node.actions[idx])
+                actions_taken.append(action)
+                builder.apply(action)
+                node = node.child_for(idx)
+
+            if builder.done():
+                node.terminal = True
+                if node.terminal_value is None:
+                    # keep the legalize-and-place call out of the selection
+                    # timer — it already bills to seconds_terminal
+                    self.seconds_selection += time.perf_counter() - started
+                    node.terminal_value = self._terminal_value(actions_taken)
+                    started = time.perf_counter()
+                descents.append(
+                    [path, vl_edges, node, actions_taken, None, node.terminal_value]
+                )
+            else:
+                descents.append(
+                    [path, vl_edges, node, actions_taken, builder.observe(), None]
+                )
+        self.seconds_selection += time.perf_counter() - started
+
+        # One batched evaluation for the wave's distinct uncached leaves.
+        miss_keys: list[tuple[int, ...]] = []
+        miss_states: list = []
+        seen: set[tuple[int, ...]] = set()
+        for _, _, _, actions_taken, state, _ in descents:
+            if state is None:
+                continue
+            key = tuple(actions_taken)
+            if key in self._eval_cache or key in seen:
+                self.n_eval_cache_hits += 1
+            else:
+                seen.add(key)
+                miss_keys.append(key)
+                miss_states.append(state)
+        if miss_states:
+            started = time.perf_counter()
+            probs_batch, values = self.network.evaluate_batch(miss_states)
+            self.seconds_evaluation += time.perf_counter() - started
+            self.n_network_evaluations += len(miss_states)
+            self.n_waves += 1
+            self.n_wave_leaves += len(miss_states)
+            for i, key in enumerate(miss_keys):
+                self._eval_cache[key] = (probs_batch[i], float(values[i]))
+
+        # Expansion, virtual-loss revert, backpropagation (Eq. 12).
+        started = time.perf_counter()
+        for path, vl_edges, node, actions_taken, state, value in descents:
+            if state is not None:
+                probs, value = self._eval_cache[tuple(actions_taken)]
+                if not node.expanded:
+                    self._attach(node, state, probs)
+            for parent, idx in vl_edges:
+                parent.revert_virtual_loss(idx, vl)
+            for parent, idx in path:
+                parent.record(idx, value)
+        self.seconds_selection += time.perf_counter() - started
 
     # -- checkpoint/resume ---------------------------------------------------------------
     def _export_state(
@@ -202,10 +374,17 @@ class MCTSPlacer:
             "path": [tuple(p) for p in path],
             "root": root,
             "terminal_cache": dict(self._terminal_cache),
+            "eval_cache": dict(self._eval_cache),
             "best_terminal_assignment": self.best_terminal_assignment,
             "best_terminal_wirelength": self.best_terminal_wirelength,
             "n_terminal_evaluations": self.n_terminal_evaluations,
             "n_network_evaluations": self.n_network_evaluations,
+            "n_eval_cache_hits": self.n_eval_cache_hits,
+            "n_waves": self.n_waves,
+            "n_wave_leaves": self.n_wave_leaves,
+            "seconds_selection": self.seconds_selection,
+            "seconds_evaluation": self.seconds_evaluation,
+            "seconds_terminal": self.seconds_terminal,
             "rng": self.rng.bit_generator.state,
         }
 
@@ -218,10 +397,18 @@ class MCTSPlacer:
         committed = list(state["committed"])
         path = [tuple(p) for p in state["path"]]
         self._terminal_cache = dict(state["terminal_cache"])
+        # .get defaults keep snapshots from before the batching engine loadable
+        self._eval_cache = dict(state.get("eval_cache", {}))
         self.best_terminal_assignment = state["best_terminal_assignment"]
         self.best_terminal_wirelength = state["best_terminal_wirelength"]
         self.n_terminal_evaluations = state["n_terminal_evaluations"]
         self.n_network_evaluations = state["n_network_evaluations"]
+        self.n_eval_cache_hits = state.get("n_eval_cache_hits", 0)
+        self.n_waves = state.get("n_waves", 0)
+        self.n_wave_leaves = state.get("n_wave_leaves", 0)
+        self.seconds_selection = state.get("seconds_selection", 0.0)
+        self.seconds_evaluation = state.get("seconds_evaluation", 0.0)
+        self.seconds_terminal = state.get("seconds_terminal", 0.0)
         self.rng.bit_generator.state = state["rng"]
         committed_path: list[tuple[Node, int]] = []
         current = root
@@ -250,11 +437,14 @@ class MCTSPlacer:
             (root, committed, committed_path, path, current, start_step) = (
                 self._restore_state(resume_state)
             )
+            prefix_builder = StateBuilder(env.coarse)
+            for a in committed:
+                prefix_builder.apply(a)
         else:
             root = Node(depth=0)
-            builder = StateBuilder(env.coarse)
+            prefix_builder = StateBuilder(env.coarse)
             if n_steps > 0:
-                self._expand(root, builder, [])
+                self._expand(root, prefix_builder, [])
                 self._apply_root_noise(root)
             committed = []
             committed_path = []
@@ -267,11 +457,10 @@ class MCTSPlacer:
         for step in range(start_step, n_steps):
             faults.check_kill("mcts.kill", stage="mcts")
             if not current.expanded:
-                b = StateBuilder(env.coarse)
-                for a in committed:
-                    b.apply(a)
-                self._expand(current, b, list(committed))
-            for _ in range(self.config.explorations):
+                self._expand(current, prefix_builder.clone(), list(committed))
+            remaining = int(self.config.explorations)
+            wave_size = max(1, int(self.config.leaf_batch))
+            while remaining > 0:
                 if not exhausted and self.budget is not None and self.budget.exhausted():
                     exhausted = True
                     self.events.emit(
@@ -282,7 +471,12 @@ class MCTSPlacer:
                     )
                 if exhausted:
                     break
-                self._explore(root, committed, committed_path, current)
+                k = min(wave_size, remaining)
+                self._explore_wave(
+                    root, committed, committed_path, current, k,
+                    prefix_builder=prefix_builder,
+                )
+                remaining -= k
             if current.visit.sum() > 0:
                 idx = current.most_visited_index()
             else:
@@ -293,11 +487,24 @@ class MCTSPlacer:
             path.append((step, action))
             committed_path.append((current, idx))
             committed.append(action)
+            prefix_builder.apply(action)
             current = current.child_for(idx)
             if self.on_commit is not None:
                 self.on_commit(self._export_state(step, committed, path, root))
 
         wirelength = env.evaluate_assignment(committed)
+        self.events.emit(
+            "search_stats",
+            stage="mcts",
+            network_evaluations=self.n_network_evaluations,
+            terminal_evaluations=self.n_terminal_evaluations,
+            eval_cache_hits=self.n_eval_cache_hits,
+            waves=self.n_waves,
+            wave_leaves=self.n_wave_leaves,
+            seconds_selection=round(self.seconds_selection, 6),
+            seconds_evaluation=round(self.seconds_evaluation, 6),
+            seconds_terminal=round(self.seconds_terminal, 6),
+        )
         return SearchResult(
             assignment=committed,
             wirelength=wirelength,
@@ -307,6 +514,12 @@ class MCTSPlacer:
             n_network_evaluations=self.n_network_evaluations,
             best_terminal_assignment=self.best_terminal_assignment,
             best_terminal_wirelength=self.best_terminal_wirelength,
+            n_eval_cache_hits=self.n_eval_cache_hits,
+            n_waves=self.n_waves,
+            n_wave_leaves=self.n_wave_leaves,
+            seconds_selection=self.seconds_selection,
+            seconds_evaluation=self.seconds_evaluation,
+            seconds_terminal=self.seconds_terminal,
         )
 
 

@@ -11,6 +11,12 @@ remain constructible).
 Layout convention is NCHW throughout.
 """
 
+from repro.nn.dtype import (
+    default_dtype,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
 from repro.nn.layers import (
     BatchNorm2D,
     Conv2D,
@@ -39,6 +45,10 @@ __all__ = [
     "SGD",
     "Sequential",
     "clip_gradients",
+    "default_dtype",
+    "get_default_dtype",
     "load_params",
+    "resolve_dtype",
     "save_params",
+    "set_default_dtype",
 ]

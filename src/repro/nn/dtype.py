@@ -1,0 +1,64 @@
+"""Global numeric-precision policy for the nn substrate.
+
+Every :class:`~repro.nn.layers.Parameter` (and the batch-norm running
+statistics) is allocated in the *default dtype* configured here — float32
+unless changed.  float32 halves memory traffic and roughly doubles the
+throughput of the im2col matmuls that dominate inference; the accuracy
+impact on this workload is negligible because the policy is renormalized
+by a masked softmax and the value head feeds a reward on the order of 1
+(see docs/architecture.md, "Performance").
+
+Loss/advantage arithmetic and gradient-norm accumulation stay in float64
+regardless of the parameter dtype, and checkpoints saved under one dtype
+load under any other (values are cast on assignment).
+
+Code that needs full double precision — e.g. numerical gradient checks —
+switches temporarily::
+
+    with default_dtype("float64"):
+        net = PolicyValueNet(config)
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+_ALLOWED = (np.dtype(np.float32), np.dtype(np.float64))
+_default = np.dtype(np.float32)
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype newly-constructed parameters and buffers use."""
+    return _default
+
+
+def set_default_dtype(dtype: str | type | np.dtype) -> None:
+    """Set the process-wide default parameter dtype (float32 or float64)."""
+    global _default
+    d = np.dtype(dtype)
+    if d not in _ALLOWED:
+        raise ValueError(f"unsupported parameter dtype {d}; use float32 or float64")
+    _default = d
+
+
+def resolve_dtype(dtype: str | type | np.dtype | None) -> np.dtype:
+    """*dtype* itself (validated), or the current default when ``None``."""
+    if dtype is None:
+        return _default
+    d = np.dtype(dtype)
+    if d not in _ALLOWED:
+        raise ValueError(f"unsupported parameter dtype {d}; use float32 or float64")
+    return d
+
+
+@contextlib.contextmanager
+def default_dtype(dtype: str | type | np.dtype):
+    """Temporarily switch the default dtype (restored on exit)."""
+    previous = get_default_dtype()
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)

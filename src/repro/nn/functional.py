@@ -5,20 +5,31 @@ from __future__ import annotations
 import numpy as np
 
 
-def im2col(x: np.ndarray, kernel: int, pad: int) -> np.ndarray:
+def im2col(
+    x: np.ndarray, kernel: int, pad: int, out: np.ndarray | None = None
+) -> np.ndarray:
     """Unfold NCHW input into convolution columns (stride 1).
 
     Returns shape (N, C·k·k, H·W): each output column holds the receptive
     field of one spatial position, so convolution becomes a single matmul.
+
+    *out* optionally supplies a reusable scratch array of the exact return
+    shape and dtype (a previous return value): the unfold writes into it
+    instead of allocating, which is what makes repeated same-shape
+    inference calls allocation-free.  A mismatched *out* is ignored.
     """
     n, c, h, w = x.shape
     xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    shape = (n, c * kernel * kernel, h * w)
+    if out is not None and out.shape == shape and out.dtype == x.dtype:
+        cols = out.reshape(n, c, kernel, kernel, h, w)
+    else:
+        cols = np.empty((n, c, kernel, kernel, h, w), dtype=x.dtype)
     # Gather k*k shifted views; stride-1 same-size output.
-    cols = np.empty((n, c, kernel, kernel, h, w), dtype=x.dtype)
     for i in range(kernel):
         for j in range(kernel):
             cols[:, :, i, j] = xp[:, :, i : i + h, j : j + w]
-    return cols.reshape(n, c * kernel * kernel, h * w)
+    return cols.reshape(*shape)
 
 
 def col2im(cols: np.ndarray, x_shape: tuple, kernel: int, pad: int) -> np.ndarray:

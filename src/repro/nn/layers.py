@@ -10,15 +10,26 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import resolve_dtype
 from repro.nn.functional import col2im, im2col
 from repro.utils.rng import ensure_rng
 
 
 class Parameter:
-    """A trainable array plus its accumulated gradient."""
+    """A trainable array plus its accumulated gradient.
 
-    def __init__(self, data: np.ndarray, name: str = "") -> None:
-        self.data = np.ascontiguousarray(data, dtype=np.float64)
+    Allocated in the library's default dtype (float32 unless
+    :func:`repro.nn.dtype.set_default_dtype` says otherwise); pass *dtype*
+    to pin a specific precision.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        name: str = "",
+        dtype: str | type | np.dtype | None = None,
+    ) -> None:
+        self.data = np.ascontiguousarray(data, dtype=resolve_dtype(dtype))
         self.grad = np.zeros_like(self.data)
         self.name = name
 
@@ -84,6 +95,11 @@ class Conv2D(Layer):
         )
         self.bias = Parameter(np.zeros(out_channels), name="conv.bias") if bias else None
         self._cache: tuple | None = None
+        #: inference-only im2col scratch, keyed by (input shape, dtype).
+        #: Reused only in eval mode: training keeps a fresh cols array per
+        #: forward because ``backward`` reads it after later forwards may
+        #: have run, and batch shapes vary update-to-update.
+        self._scratch: dict[tuple, np.ndarray] = {}
 
     def parameters(self) -> list[Parameter]:
         return [self.weight] + ([self.bias] if self.bias is not None else [])
@@ -92,8 +108,16 @@ class Conv2D(Layer):
         n, c, h, w = x.shape
         if c != self.in_channels:
             raise ValueError(f"expected {self.in_channels} channels, got {c}")
-        cols = im2col(x, self.kernel, self.pad)  # (N, C*k*k, H*W)
-        y = np.einsum("of,nfs->nos", self.weight.data, cols)
+        if self.training:
+            cols = im2col(x, self.kernel, self.pad)  # (N, C*k*k, H*W)
+        else:
+            key = (x.shape, x.dtype.str)
+            cols = im2col(x, self.kernel, self.pad, out=self._scratch.get(key))
+            self._scratch[key] = cols
+        # (O, F) @ (N, F, S) broadcasts to one BLAS gemm per sample — far
+        # faster than an un-optimized einsum, and each sample's result is
+        # independent of what else is in the batch.
+        y = np.matmul(self.weight.data, cols)  # (N, O, S)
         if self.bias is not None:
             y += self.bias.data[None, :, None]
         self._cache = (x.shape, cols)
@@ -103,10 +127,10 @@ class Conv2D(Layer):
         x_shape, cols = self._cache
         n, _, h, w = x_shape
         dy2 = dy.reshape(n, self.out_channels, h * w)
-        self.weight.grad += np.einsum("nos,nfs->of", dy2, cols)
+        self.weight.grad += np.matmul(dy2, cols.transpose(0, 2, 1)).sum(axis=0)
         if self.bias is not None:
             self.bias.grad += dy2.sum(axis=(0, 2))
-        dcols = np.einsum("of,nos->nfs", self.weight.data, dy2)
+        dcols = np.matmul(self.weight.data.T, dy2)
         return col2im(dcols, x_shape, self.kernel, self.pad)
 
 
@@ -119,8 +143,8 @@ class BatchNorm2D(Layer):
         self.eps = eps
         self.gamma = Parameter(np.ones(channels), name="bn.gamma")
         self.beta = Parameter(np.zeros(channels), name="bn.beta")
-        self.running_mean = np.zeros(channels)
-        self.running_var = np.ones(channels)
+        self.running_mean = np.zeros(channels, dtype=self.gamma.data.dtype)
+        self.running_var = np.ones(channels, dtype=self.gamma.data.dtype)
         self._cache: tuple | None = None
 
     def parameters(self) -> list[Parameter]:
@@ -128,8 +152,10 @@ class BatchNorm2D(Layer):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.training:
-            mean = x.mean(axis=(0, 2, 3))
-            var = x.var(axis=(0, 2, 3))
+            # Moments accumulate in float64 (stable for large N·H·W even
+            # under float32 activations), then drop back to the layer dtype.
+            mean = x.mean(axis=(0, 2, 3), dtype=np.float64).astype(x.dtype)
+            var = x.var(axis=(0, 2, 3), dtype=np.float64).astype(x.dtype)
             self.running_mean += self.momentum * (mean - self.running_mean)
             self.running_var += self.momentum * (var - self.running_var)
         else:

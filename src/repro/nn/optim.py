@@ -10,11 +10,13 @@ from repro.nn.layers import Parameter
 def clip_gradients(params: list[Parameter], max_norm: float) -> float:
     """Scale gradients so their global L2 norm is at most *max_norm*.
 
-    Returns the pre-clip norm (useful for training diagnostics).
+    Returns the pre-clip norm (useful for training diagnostics).  The
+    squared norm accumulates in float64 regardless of the parameter dtype,
+    so float32 networks report the same diagnostics a float64 run would.
     """
     total = 0.0
     for p in params:
-        total += float((p.grad**2).sum())
+        total += float((p.grad.astype(np.float64, copy=False) ** 2).sum())
     norm = float(np.sqrt(total))
     if norm > max_norm and norm > 0.0:
         scale = max_norm / norm
@@ -51,7 +53,12 @@ class SGD:
 
 
 class Adam:
-    """Adam (Kingma & Ba) with bias correction."""
+    """Adam (Kingma & Ba) with bias correction.
+
+    Moment estimates are allocated with ``zeros_like`` and therefore follow
+    each parameter's dtype — a float32 network carries float32 optimizer
+    state (and checkpoints restore across dtypes by casting on assignment).
+    """
 
     def __init__(
         self,

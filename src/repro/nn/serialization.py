@@ -34,7 +34,13 @@ def save_params(layer: Layer, path: str) -> None:
 
 
 def load_params(layer: Layer, path: str) -> None:
-    """Restore parameters saved by :func:`save_params` (shapes must match)."""
+    """Restore parameters saved by :func:`save_params` (shapes must match).
+
+    Checkpoints are dtype-portable: arrays saved from a float64 network
+    load into a float32 one and vice versa — values are cast into each
+    parameter's existing buffer, so the live network keeps the precision
+    it was constructed with (see :mod:`repro.nn.dtype`).
+    """
     with np.load(path) as data:
         for i, p in enumerate(layer.parameters()):
             arr = data[f"p{i}"]

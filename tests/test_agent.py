@@ -177,8 +177,14 @@ class TestPolicyValueNet:
         assert cfg.res_blocks == 10
 
     def test_grad_check_through_both_heads(self):
-        """Finite-difference check of d(loss)/d(params) through the full net."""
-        net = PolicyValueNet(NetworkConfig(zeta=3, channels=3, res_blocks=1, seed=3))
+        """Finite-difference check of d(loss)/d(params) through the full net.
+
+        float64 explicitly: central differences at eps=1e-6 are meaningless
+        at float32 precision.
+        """
+        net = PolicyValueNet(
+            NetworkConfig(zeta=3, channels=3, res_blocks=1, seed=3, dtype="float64")
+        )
         rng = np.random.default_rng(0)
         x = rng.random((2, 3, 3, 3))
         dlogits = rng.normal(size=(2, 9))

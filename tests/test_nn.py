@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.nn.blocks import ResBlock, ResTower
+from repro.nn.dtype import default_dtype
 from repro.nn.functional import col2im, im2col, masked_softmax, softmax
 from repro.nn.layers import (
     BatchNorm2D,
@@ -20,6 +21,14 @@ from repro.nn.optim import SGD, Adam, clip_gradients
 from repro.nn.serialization import copy_params, load_params, save_params
 
 RNG = np.random.default_rng(42)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _float64_substrate():
+    """Numeric grad checks (eps=1e-6) and the 1e-9-tight optimizer
+    assertions need float64 parameters; the library default is float32."""
+    with default_dtype("float64"):
+        yield
 
 
 def numeric_grad_check(net, x, n_param_probes=4, eps=1e-6, tol=1e-4):
