@@ -1,0 +1,432 @@
+#!/usr/bin/env python
+"""Microbenchmark for parallel pure terminal evaluation (PR 3).
+
+Measures, on one synthetic design:
+
+- **purity** — ``evaluate_assignment`` is history-independent: a fresh
+  environment, a history-laden one, and a pool worker all return the
+  bitwise-identical HPWL for the same assignment;
+- **terminal evaluations/sec** — raw legalize-and-place throughput of
+  :class:`~repro.parallel.TerminalEvaluationPool` across worker counts;
+- **MCTS explorations/sec** — end-to-end search throughput with pooled
+  terminal dispatch at each worker count, gated on the pooled searches
+  committing the *identical* assignment/wirelength as the no-pool run;
+- **RL finalization** — ``play_episodes`` throughput with pooled episode
+  finalization, gated bitwise against the in-process path;
+- **eval-cache transpositions** — the state-keyed network cache must
+  record hits when a wave's descents collide (the PR 2 cache never hit);
+- **overlap check** — the vectorized ``any_pairwise_overlap`` vs the old
+  O(n²) Python loop, gated on agreeing over random rectangle sets.
+
+Equivalence/purity gates are the only thing that can fail the script
+(exit 1).  Throughput is reported, never gated — with one exception: in
+full (non ``--quick``) mode, when the host actually has at least as many
+cores as a pooled arm uses (``host_cores`` in the report), that arm's
+raw-throughput speedup is expected to clear ``--min-speedup``.  On fewer
+cores the pool degrades to time-slicing and no honest speedup exists, so
+the gate is skipped (and recorded as skipped); ``--quick`` (the CI mode)
+always gates equivalence only.
+
+Writes a JSON report (default ``BENCH_pr3.json``)::
+
+    python benchmarks/bench_terminal.py --quick --output BENCH_pr3.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.agent.actorcritic import ActorCriticTrainer
+from repro.agent.network import NetworkConfig, PolicyValueNet
+from repro.agent.reward import NormalizedReward
+from repro.coarsen import coarsen_design
+from repro.env.placement_env import MacroGroupPlacementEnv
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.grid.plan import GridPlan
+from repro.legalize.pipeline import any_pairwise_overlap
+from repro.mcts.search import MCTSConfig, MCTSPlacer
+from repro.netlist.generator import GeneratorSpec, generate_design
+from repro.netlist.model import Node
+from repro.parallel import TerminalEvaluationPool
+
+REWARD = NormalizedReward(w_max=2000.0, w_min=500.0, w_avg=1200.0)
+
+
+def build_problem(zeta: int = 8, seed: int = 7):
+    # Cell-heavy relative to bench_inference: terminal evaluation (QP
+    # legalize + cell placement) should dominate, because that is the work
+    # the pool moves off-process.
+    spec = GeneratorSpec(
+        name="bench-terminal",
+        n_movable_macros=12,
+        n_pads=12,
+        n_cells=160,
+        n_nets=220,
+        hierarchy_depth=2,
+        hierarchy_branching=2,
+        seed=seed,
+    )
+    design = generate_design(spec)
+    MixedSizePlacer(n_iterations=2).place(design)
+    return coarsen_design(design, GridPlan(design.region, zeta=zeta))
+
+
+def make_env(coarse, fresh: bool = True) -> MacroGroupPlacementEnv:
+    return MacroGroupPlacementEnv(
+        copy.deepcopy(coarse) if fresh else coarse, cell_place_iters=1
+    )
+
+
+def random_assignments(env, n: int, seed: int = 0) -> list[list[int]]:
+    rng = np.random.default_rng(seed)
+    return [
+        [int(a) for a in rng.integers(0, env.n_actions, env.n_steps)]
+        for _ in range(n)
+    ]
+
+
+def _rate(n_items: int, seconds: float) -> float:
+    return n_items / seconds if seconds > 0 else float("inf")
+
+
+def check_purity(coarse) -> dict:
+    """History independence: fresh env == reused env == pool worker."""
+    env = make_env(coarse)
+    assignments = random_assignments(env, 4, seed=1)
+
+    fresh = [make_env(coarse).evaluate_assignment(a) for a in assignments]
+    # One reused env, evaluating in reverse after a random episode has
+    # already dirtied the coarse netlist — the history the purity fix
+    # must erase.
+    reused_env = make_env(coarse)
+    reused_env.play_random_episode(3)
+    reused = [
+        reused_env.evaluate_assignment(a) for a in reversed(assignments)
+    ][::-1]
+    with TerminalEvaluationPool(make_env(coarse), workers=2) as pool:
+        pooled = pool.evaluate_many(assignments)
+        pool_was_parallel = pool.parallel
+
+    return {
+        "fresh_vs_reused_bitwise": fresh == reused,
+        "fresh_vs_pool_bitwise": fresh == pooled,
+        "pool_was_parallel": pool_was_parallel,
+    }
+
+
+def bench_raw_throughput(coarse, workers_list, n_evals: int) -> dict:
+    """Raw terminal evaluations/sec per worker count (steady-state)."""
+    out = {}
+    base_env = make_env(coarse)
+    assignments = random_assignments(base_env, n_evals, seed=2)
+    for workers in workers_list:
+        env = make_env(coarse)
+        with TerminalEvaluationPool(env, workers=workers) as pool:
+            pool.warm_up(assignments[0], timeout=120.0)
+            started = time.perf_counter()
+            results = pool.evaluate_many(assignments)
+            seconds = time.perf_counter() - started
+        out[f"w{workers}_evals_per_sec"] = _rate(n_evals, seconds)
+        out[f"w{workers}_seconds"] = seconds
+        if workers == workers_list[0]:
+            reference = results
+        else:
+            out[f"w{workers}_matches_w{workers_list[0]}"] = (
+                results == reference
+            )
+    base = out[f"w{workers_list[0]}_evals_per_sec"]
+    for workers in workers_list[1:]:
+        out[f"w{workers}_speedup"] = out[f"w{workers}_evals_per_sec"] / base
+    return out
+
+
+def bench_mcts(coarse, net_cfg, workers_list, explorations: int) -> dict:
+    """End-to-end MCTS with pooled terminal dispatch, per worker count.
+
+    Every arm must commit the identical assignment/wirelength — pooled
+    terminal evaluation is an execution detail, not a search change.
+    """
+    out = {}
+    arms = {}
+    for workers in workers_list:
+        env = make_env(coarse)
+        pool = None
+        if workers > 1:
+            pool = TerminalEvaluationPool(env, workers=workers)
+            pool.warm_up([0] * env.n_steps, timeout=120.0)
+        placer = MCTSPlacer(
+            env, PolicyValueNet(net_cfg), REWARD,
+            MCTSConfig(explorations=explorations, leaf_batch=4, seed=0),
+            terminal_pool=pool,
+        )
+        try:
+            started = time.perf_counter()
+            result = placer.run()
+            seconds = time.perf_counter() - started
+        finally:
+            if pool is not None:
+                pool.close()
+        arms[workers] = result
+        total = explorations * env.n_steps
+        out[f"w{workers}_explorations_per_sec"] = _rate(total, seconds)
+        out[f"w{workers}_seconds"] = seconds
+        out[f"w{workers}_seconds_terminal"] = result.seconds_terminal
+        out[f"w{workers}_terminal_evaluations"] = result.n_terminal_evaluations
+        out[f"w{workers}_terminal_cache_hits"] = result.n_terminal_cache_hits
+        out[f"w{workers}_wirelength"] = result.wirelength
+    base = arms[workers_list[0]]
+    out["equivalent_across_workers"] = all(
+        r.assignment == base.assignment
+        and r.wirelength == base.wirelength
+        and r.best_terminal_wirelength == base.best_terminal_wirelength
+        for r in arms.values()
+    )
+    for workers in workers_list[1:]:
+        out[f"w{workers}_speedup"] = (
+            out[f"w{workers}_explorations_per_sec"]
+            / out[f"w{workers_list[0]}_explorations_per_sec"]
+        )
+    return out
+
+
+def bench_rl(coarse, net_cfg, n_episodes: int, workers: int) -> dict:
+    """RL rollout throughput with pooled vs in-process finalization."""
+    out = {}
+    n_envs = 8
+    for pooled in (False, True):
+        env = make_env(coarse)
+        pool = (
+            TerminalEvaluationPool(env, workers=workers) if pooled else None
+        )
+        if pool is not None:
+            pool.warm_up([0] * env.n_steps, timeout=120.0)
+        trainer = ActorCriticTrainer(
+            env, PolicyValueNet(net_cfg), REWARD,
+            update_every=10**9, rng=0, n_envs=n_envs, terminal_pool=pool,
+        )
+        try:
+            episodes = []
+            done = 0
+            started = time.perf_counter()
+            while done < n_episodes:
+                wave = min(n_envs, n_episodes - done)
+                episodes.extend(trainer.play_episodes(wave))
+                done += wave
+            seconds = time.perf_counter() - started
+        finally:
+            if pool is not None:
+                pool.close()
+        key = "pooled" if pooled else "in_process"
+        out[f"{key}_eps_per_sec"] = _rate(done, seconds)
+        out[f"{key}_wirelengths"] = [w for _, w in episodes]
+    out["pooled_bitwise_in_process"] = (
+        out["pooled_wirelengths"] == out["in_process_wirelengths"]
+    )
+    out["speedup"] = out["pooled_eps_per_sec"] / out["in_process_eps_per_sec"]
+    return out
+
+
+def check_eval_cache(coarse, net_cfg) -> dict:
+    """The state-keyed network cache must hit on colliding descents.
+
+    ``virtual_loss=0`` makes every descent of a wave identical, so a
+    leaf_batch=8 wave is guaranteed to revisit states — the configuration
+    under which the PR 2 prefix-keyed cache still recorded zero hits.
+    """
+    env = make_env(coarse)
+    placer = MCTSPlacer(
+        env, PolicyValueNet(net_cfg), REWARD,
+        MCTSConfig(explorations=16, leaf_batch=8, virtual_loss=0.0, seed=0),
+    )
+    result = placer.run()
+    return {
+        "eval_cache_hits": result.n_eval_cache_hits,
+        "nonzero": result.n_eval_cache_hits > 0,
+    }
+
+
+def bench_overlap(n_rects: int, repeats: int) -> dict:
+    """Vectorized pairwise-overlap check vs the old O(n²) Python loop."""
+
+    def loop_reference(nodes) -> bool:
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                if a.overlaps(b):
+                    return True
+        return False
+
+    rng = np.random.default_rng(5)
+    # Sparse so no pair overlaps: the worst case, where the loop cannot
+    # exit early and the full O(n²) cost shows.
+    nodes = [
+        Node(
+            name=f"m{i}",
+            width=1.0,
+            height=1.0,
+            x=float(3 * i),
+            y=float(rng.uniform(0, 1000)),
+        )
+        for i in range(n_rects)
+    ]
+    started = time.perf_counter()
+    for _ in range(repeats):
+        vec = any_pairwise_overlap(nodes)
+    vec_seconds = (time.perf_counter() - started) / repeats
+    started = time.perf_counter()
+    for _ in range(repeats):
+        ref = loop_reference(nodes)
+    loop_seconds = (time.perf_counter() - started) / repeats
+
+    # Agreement over random dense sets (overlaps likely) and the sparse set.
+    agree = vec == ref
+    for trial in range(20):
+        trial_rng = np.random.default_rng(100 + trial)
+        dense = [
+            Node(
+                name=f"d{i}",
+                width=float(trial_rng.uniform(1, 8)),
+                height=float(trial_rng.uniform(1, 8)),
+                x=float(trial_rng.uniform(0, 40)),
+                y=float(trial_rng.uniform(0, 40)),
+            )
+            for i in range(12)
+        ]
+        agree &= any_pairwise_overlap(dense) == loop_reference(dense)
+
+    return {
+        "n_rects": n_rects,
+        "vectorized_seconds": vec_seconds,
+        "loop_seconds": loop_seconds,
+        "speedup": loop_seconds / vec_seconds if vec_seconds > 0 else float("inf"),
+        "agrees_with_loop": agree,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: workers {1,2}, fewer evaluations/explorations",
+    )
+    parser.add_argument("--output", default="BENCH_pr3.json")
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.5,
+        help="raw-throughput speedup gate, applied only to pooled arms the "
+             "host has enough cores for",
+    )
+    args = parser.parse_args(argv)
+
+    zeta = 8
+    net_cfg = NetworkConfig(zeta=zeta, channels=16, res_blocks=2, seed=0)
+    if args.quick:
+        workers_list, n_evals, explorations, rl_episodes = [1, 2], 16, 12, 8
+    else:
+        workers_list, n_evals, explorations, rl_episodes = [1, 2, 4], 48, 24, 16
+
+    host_cores = os.cpu_count() or 1
+    coarse = build_problem(zeta=zeta)
+    report = {
+        "config": {
+            "quick": args.quick,
+            "zeta": zeta,
+            "workers": workers_list,
+            "n_evals": n_evals,
+            "mcts_explorations": explorations,
+            "rl_episodes": rl_episodes,
+            "min_speedup": args.min_speedup,
+        },
+        "host_cores": host_cores,
+    }
+
+    print(f"host cores: {host_cores}")
+    print("== purity (history independence) ==")
+    report["purity"] = check_purity(coarse)
+    for key, value in report["purity"].items():
+        print(f"  {key:28s} {value}")
+
+    print("== raw terminal evaluations/sec ==")
+    report["raw"] = bench_raw_throughput(coarse, workers_list, n_evals)
+    for key, value in report["raw"].items():
+        print(f"  {key:28s} {value}")
+
+    print("== MCTS explorations/sec (pooled terminal dispatch) ==")
+    report["mcts"] = bench_mcts(coarse, net_cfg, workers_list, explorations)
+    for key, value in report["mcts"].items():
+        print(f"  {key:30s} {value}")
+
+    print("== RL finalization ==")
+    report["rl"] = bench_rl(
+        coarse, net_cfg, rl_episodes, workers=max(workers_list)
+    )
+    for key, value in report["rl"].items():
+        if key.endswith("_wirelengths"):
+            continue
+        print(f"  {key:28s} {value}")
+
+    print("== eval-cache transpositions ==")
+    report["eval_cache"] = check_eval_cache(coarse, net_cfg)
+    for key, value in report["eval_cache"].items():
+        print(f"  {key:28s} {value}")
+
+    print("== pairwise overlap check ==")
+    report["overlap"] = bench_overlap(
+        n_rects=120 if args.quick else 300, repeats=3
+    )
+    for key, value in report["overlap"].items():
+        print(f"  {key:28s} {value}")
+
+    # -- gates ----------------------------------------------------------------
+    gates = {
+        "purity": all(report["purity"].values()),
+        "raw_results_match": all(
+            v for k, v in report["raw"].items() if "_matches_" in k
+        ),
+        "mcts_equivalent": report["mcts"]["equivalent_across_workers"],
+        "rl_bitwise": report["rl"]["pooled_bitwise_in_process"],
+        "eval_cache_hits_nonzero": report["eval_cache"]["nonzero"],
+        "overlap_agrees": report["overlap"]["agrees_with_loop"],
+    }
+    # Honest speedup gating: only in full mode (CI's --quick gates nothing
+    # but equivalence — shared runners can't promise real parallelism) and
+    # only for arms the host can truly parallelize.
+    speedup_gates = {}
+    if not args.quick:
+        for workers in workers_list[1:]:
+            if host_cores >= workers:
+                speedup_gates[f"raw_w{workers}"] = (
+                    report["raw"][f"w{workers}_speedup"] >= args.min_speedup
+                )
+    report["speedup_gates"] = speedup_gates or {
+        "skipped": (
+            "quick mode gates equivalence only"
+            if args.quick
+            else f"host has {host_cores} core(s); no pooled arm fits"
+        )
+    }
+    gates.update({k: v for k, v in speedup_gates.items()})
+    gates["all_passed"] = all(gates.values())
+    report["gates"] = gates
+
+    print("== gates ==")
+    for key, value in gates.items():
+        print(f"  {key:28s} {value}")
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+    print(f"report -> {args.output}")
+
+    if not gates["all_passed"]:
+        print("EQUIVALENCE REGRESSION", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,6 +72,8 @@ def cmd_place(args) -> int:
     config = _preset(args.preset, args.seed)
     if getattr(args, "legal_cells", False):
         config = replace(config, legalize_cells=True)
+    if getattr(args, "terminal_workers", None):
+        config = replace(config, terminal_workers=args.terminal_workers)
     if args.resume and not args.run_dir:
         raise UsageError("--resume requires --run-dir")
     print(f"placing {name}: {design.netlist.stats()}")
@@ -195,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_place.add_argument("--legal-cells", action="store_true",
                          dest="legal_cells",
                          help="snap cells onto rows after the final placement")
+    p_place.add_argument("--terminal-workers", type=int, default=None,
+                         dest="terminal_workers",
+                         help="worker processes for terminal legalize-and-"
+                              "place evaluations (results are bitwise-"
+                              "identical for every count; default 1 = "
+                              "in-process)")
     p_place.add_argument("--run-dir", default=None, dest="run_dir",
                          help="persist stage checkpoints, the run manifest, "
                               "and the event log into this directory")

@@ -114,6 +114,44 @@ class CoarseNetlist:
             nl.add_net(net)
         return nl
 
+    # -- canonical start state -------------------------------------------------
+    def capture_canonical(self) -> None:
+        """Snapshot the current node positions and group geometry.
+
+        The snapshot is the *canonical start* of every terminal evaluation:
+        :meth:`restore_canonical` rewinds to it before each legalization, so
+        ``evaluate_assignment`` is a pure function of the assignment —
+        bitwise-identical HPWL regardless of what was evaluated before
+        (which is what makes results cacheable and worker-pool evaluation
+        equivalent to in-process evaluation).
+        """
+        self._canonical = (
+            {node.name: (node.x, node.y) for node in self.design.netlist},
+            [(g.cx, g.cy, g.bbox) for g in self.all_groups],
+        )
+
+    def restore_canonical(self) -> None:
+        """Rewind node positions and group geometry to the canonical start.
+
+        Captures the snapshot lazily on the first call, so a coarse netlist
+        built without :func:`coarsen_design` still gets purity from its
+        first legalization onward.
+        """
+        canonical = getattr(self, "_canonical", None)
+        if canonical is None:
+            self.capture_canonical()
+            return
+        positions, groups = canonical
+        nl = self.design.netlist
+        for name, (x, y) in positions.items():
+            node = nl[name]
+            node.x = x
+            node.y = y
+        for g, (cx, cy, bbox) in zip(self.all_groups, groups):
+            g.cx = cx
+            g.cy = cy
+            g.bbox = bbox
+
     # -- decomposition ---------------------------------------------------------
     def scatter_macro_group(
         self, index: int, cx: float, cy: float
@@ -198,4 +236,5 @@ def coarsen_design(
         for name in g.members:
             group_index_of_node[name] = i
     coarse.coarse_nets = _project_nets(nl.nets, group_index_of_node)
+    coarse.capture_canonical()
     return coarse

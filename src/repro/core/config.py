@@ -70,6 +70,12 @@ class PlacerConfig:
 
     # Terminal evaluation (Sec. II-B/II-C)
     cell_place_iterations: int = 3
+    #: worker processes for terminal legalize-and-place evaluations
+    #: (``repro.parallel``); 1 evaluates in-process.  Results are
+    #: bitwise-identical for every worker count (terminal evaluation is a
+    #: pure function of the assignment), so this is an execution knob, not
+    #: a result knob — it is excluded from the run-dir config fingerprint.
+    terminal_workers: int = 1
     #: run the row-based cell legalizer after the final cell placement and
     #: report the legalized HPWL as well (an extension beyond the paper,
     #: which measures the analytical cell placement directly).

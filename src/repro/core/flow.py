@@ -39,6 +39,11 @@ from repro.grid.plan import GridPlan
 from repro.legalize.pipeline import MacroLegalizer
 from repro.mcts.search import MCTSPlacer, SearchResult
 from repro.netlist.model import Design
+from repro.parallel import (
+    TerminalCache,
+    TerminalEvaluationPool,
+    environment_fingerprint,
+)
 from repro.runtime.errors import CalibrationError
 from repro.runtime.harness import RunContext
 from repro.utils.events import EventLog
@@ -150,7 +155,7 @@ class MCTSGuidedPlacer:
         return reward_fn, samples
 
     def _build_trainer(
-        self, env, network, reward_fn, rng, budget=None
+        self, env, network, reward_fn, rng, budget=None, terminal_pool=None
     ) -> ActorCriticTrainer:
         cfg = self.config
         return ActorCriticTrainer(
@@ -167,6 +172,7 @@ class MCTSGuidedPlacer:
             max_divergence_rollbacks=cfg.max_divergence_rollbacks,
             max_episode_failures=cfg.max_episode_failures,
             n_envs=cfg.rollout_envs,
+            terminal_pool=terminal_pool,
         )
 
     def optimize(
@@ -273,78 +279,104 @@ class MCTSGuidedPlacer:
 
         network = PolicyValueNet(cfg.network)
 
-        # -- stage 4: RL pre-training --------------------------------------------
-        if ctx.completed("rl_training"):
-            history = ctx.load_training(network, rng)
-            ctx.skip("rl_training")
-        else:
-            trainer = self._build_trainer(
-                env, network, reward_fn, rng, budget=ctx.budget("rl_training")
+        # Terminal evaluation infrastructure: the cross-run wirelength
+        # cache (persisted to the run dir when there is one) and, when
+        # configured, the process pool.  Both are execution accelerators —
+        # every stage below produces bitwise-identical results with or
+        # without them.
+        terminal_cache = TerminalCache(
+            environment_fingerprint(env), path=ctx.terminal_cache_path()
+        )
+        terminal_pool = None
+        if cfg.terminal_workers > 1:
+            terminal_pool = TerminalEvaluationPool(
+                env, workers=cfg.terminal_workers, events=events
             )
-            history = ctx.load_training_snapshot(trainer)
-            trainer.checkpoint_hook = (
-                lambda t, h: ctx.save_training_snapshot(t, h)
-            )
-            with ctx.guard("rl_training"):
-                with stopwatch.measure("rl_training"):
-                    history = trainer.train(
-                        cfg.episodes,
-                        checkpoint_every=cfg.checkpoint_every,
-                        history=history,
+        try:
+            # -- stage 4: RL pre-training ----------------------------------------
+            if ctx.completed("rl_training"):
+                history = ctx.load_training(network, rng)
+                ctx.skip("rl_training")
+            else:
+                trainer = self._build_trainer(
+                    env,
+                    network,
+                    reward_fn,
+                    rng,
+                    budget=ctx.budget("rl_training"),
+                    terminal_pool=terminal_pool,
+                )
+                history = ctx.load_training_snapshot(trainer)
+                trainer.checkpoint_hook = (
+                    lambda t, h: ctx.save_training_snapshot(t, h)
+                )
+                with ctx.guard("rl_training"):
+                    with stopwatch.measure("rl_training"):
+                        history = trainer.train(
+                            cfg.episodes,
+                            checkpoint_every=cfg.checkpoint_every,
+                            history=history,
+                        )
+                    ctx.save_training(network, history, rng)
+                    ctx.mark(
+                        "rl_training",
+                        episodes=len(history.rewards),
+                        seconds=round(stopwatch.total("rl_training"), 3),
                     )
-                ctx.save_training(network, history, rng)
-                ctx.mark(
-                    "rl_training",
-                    episodes=len(history.rewards),
-                    seconds=round(stopwatch.total("rl_training"), 3),
+
+            # -- stage 5: MCTS ----------------------------------------------------
+            if ctx.completed("mcts"):
+                search = ctx.load_search()
+                ctx.skip("mcts")
+            else:
+                placer = MCTSPlacer(
+                    env,
+                    network,
+                    reward_fn,
+                    cfg.mcts,
+                    events=events,
+                    budget=ctx.budget("mcts"),
+                    on_commit=(
+                        ctx.save_mcts_snapshot if ctx.dir is not None else None
+                    ),
+                    terminal_pool=terminal_pool,
+                    terminal_cache=terminal_cache,
                 )
+                resume_state = ctx.load_mcts_snapshot()
+                with ctx.guard("mcts"):
+                    with stopwatch.measure("mcts"):
+                        search = placer.run(resume_state=resume_state)
+                    ctx.save_search(search)
+                    ctx.mark(
+                        "mcts",
+                        wirelength=search.wirelength,
+                        seconds=round(stopwatch.total("mcts"), 3),
+                    )
 
-        # -- stage 5: MCTS --------------------------------------------------------
-        if ctx.completed("mcts"):
-            search = ctx.load_search()
-            ctx.skip("mcts")
-        else:
-            placer = MCTSPlacer(
-                env,
-                network,
-                reward_fn,
-                cfg.mcts,
-                events=events,
-                budget=ctx.budget("mcts"),
-                on_commit=(
-                    ctx.save_mcts_snapshot if ctx.dir is not None else None
-                ),
-            )
-            resume_state = ctx.load_mcts_snapshot()
-            with ctx.guard("mcts"):
-                with stopwatch.measure("mcts"):
-                    search = placer.run(resume_state=resume_state)
-                ctx.save_search(search)
-                ctx.mark(
-                    "mcts",
-                    wirelength=search.wirelength,
-                    seconds=round(stopwatch.total("mcts"), 3),
-                )
+            # -- stage 6: final placement ----------------------------------------
+            legal_hpwl = None
+            cell_result = None
+            if ctx.completed("final"):
+                hpwl, legal_hpwl = ctx.load_final(design)
+                ctx.skip("final")
+            else:
+                with ctx.guard("final"):
+                    # deliberately in-process: the design object must carry
+                    # the final coordinates
+                    with stopwatch.measure("final"):
+                        hpwl = env.evaluate_assignment(search.assignment)
+                    if cfg.legalize_cells:
+                        from repro.legalize.cells import legalize_cells
+                        from repro.netlist.hpwl import FlatNetlist
 
-        # -- stage 6: final placement --------------------------------------------
-        legal_hpwl = None
-        cell_result = None
-        if ctx.completed("final"):
-            hpwl, legal_hpwl = ctx.load_final(design)
-            ctx.skip("final")
-        else:
-            with ctx.guard("final"):
-                with stopwatch.measure("final"):
-                    hpwl = env.evaluate_assignment(search.assignment)
-                if cfg.legalize_cells:
-                    from repro.legalize.cells import legalize_cells
-                    from repro.netlist.hpwl import FlatNetlist
-
-                    with stopwatch.measure("cell_legalization"):
-                        cell_result = legalize_cells(design)
-                        legal_hpwl = FlatNetlist(design.netlist).total_hpwl()
-                ctx.save_final(design, hpwl, legal_hpwl)
-                ctx.mark("final", hpwl=hpwl)
+                        with stopwatch.measure("cell_legalization"):
+                            cell_result = legalize_cells(design)
+                            legal_hpwl = FlatNetlist(design.netlist).total_hpwl()
+                    ctx.save_final(design, hpwl, legal_hpwl)
+                    ctx.mark("final", hpwl=hpwl)
+        finally:
+            if terminal_pool is not None:
+                terminal_pool.close()
 
         events.emit("run_completed", hpwl=hpwl)
         return FlowResult(

@@ -266,12 +266,18 @@ class MacroLegalizer:
         Mutates macro positions in ``coarse.design``.  Cell positions are
         also touched (pinned at their group centroids) — the flow's final
         cell-placement step re-places them properly afterwards.
+
+        Every call first rewinds the coarse netlist to its canonical start
+        (:meth:`CoarseNetlist.restore_canonical`), so the result is a pure
+        function of *assignment*: bitwise-identical no matter what was
+        legalized before.
         """
         if len(assignment) != coarse.n_macro_groups:
             raise ValueError(
                 f"assignment covers {len(assignment)} groups, "
                 f"expected {coarse.n_macro_groups}"
             )
+        coarse.restore_canonical()
         rects = [
             span_rect(coarse, i, int(flat_grid))
             for i, flat_grid in enumerate(assignment)
@@ -282,15 +288,33 @@ class MacroLegalizer:
             self._legalize_region(coarse, i, rect)
         if self.cleanup:
             design = coarse.design
-            macros = design.netlist.movable_macros
-            has_overlap = False
-            blockers = macros + design.netlist.preplaced_macros
-            for i in range(len(blockers)):
-                for j in range(i + 1, len(blockers)):
-                    if blockers[i].overlaps(blockers[j]):
-                        has_overlap = True
-                        break
-                if has_overlap:
-                    break
-            if has_overlap:
+            blockers = (
+                design.netlist.movable_macros + design.netlist.preplaced_macros
+            )
+            if any_pairwise_overlap(blockers):
                 legalize_macros_greedy(design)
+
+
+def any_pairwise_overlap(nodes) -> bool:
+    """True when any two of *nodes* share positive interior area.
+
+    Vectorized replacement for the quadratic pure-Python
+    ``Node.overlaps`` double loop: one broadcast comparison per axis with
+    the same strict-inequality semantics (edge-touching rectangles do not
+    overlap).
+    """
+    n = len(nodes)
+    if n < 2:
+        return False
+    x = np.array([m.x for m in nodes])
+    y = np.array([m.y for m in nodes])
+    x2 = x + np.array([m.width for m in nodes])
+    y2 = y + np.array([m.height for m in nodes])
+    over = (
+        (x[:, None] < x2[None, :])
+        & (x[None, :] < x2[:, None])
+        & (y[:, None] < y2[None, :])
+        & (y[None, :] < y2[:, None])
+    )
+    np.fill_diagonal(over, False)
+    return bool(over.any())

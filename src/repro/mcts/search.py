@@ -23,9 +23,21 @@ descents in the wave spread to different leaves; the wave's distinct
 non-terminal leaves are then evaluated in **one**
 :meth:`PolicyValueNet.evaluate_batch` forward, the virtual losses are
 reverted, and every descent backpropagates its real value.  A
-transposition-keyed evaluation cache (assignment-prefix key) lets repeated
-states skip the network entirely.  K=1 disables virtual loss and
-reproduces the sequential search's committed paths exactly.
+transposition-keyed evaluation cache — keyed on the canonical state
+content ``(t, s_p)``, so different action orders reaching the same
+placement condition genuinely share one entry — lets repeated states skip
+the network entirely.  K=1 disables virtual loss and reproduces the
+sequential search's committed paths exactly.
+
+Terminal evaluations (the real legalize-and-place) are pure functions of
+the assignment, so they are memoized in a shared
+:class:`~repro.parallel.TerminalCache` (optionally persisted across runs)
+and can be dispatched to a :class:`~repro.parallel.TerminalEvaluationPool`:
+a wave submits its terminal leaves as soon as selection discovers them,
+overlaps the in-flight legalizations with the batched network forward, and
+resolves the results — in deterministic submission order — before
+backpropagation.  Pooled and in-process evaluations agree bitwise, so the
+search result is identical for every worker count.
 """
 
 from __future__ import annotations
@@ -40,9 +52,22 @@ from repro.agent.reward import RewardFunction
 from repro.agent.state import StateBuilder
 from repro.env.placement_env import MacroGroupPlacementEnv
 from repro.mcts.node import Node
+from repro.parallel import TerminalCache, environment_fingerprint
 from repro.runtime import faults
 from repro.utils.events import EventLog
 from repro.utils.rng import ensure_rng
+
+
+def _state_key(state) -> tuple[int, bytes]:
+    """Transposition key: the canonical state content.
+
+    ``s_a``, the masks, and therefore the network outputs are all derived
+    from ``(t, s_p)``, so two prefixes reaching the same placement
+    condition share one cache entry — which is what makes the cache hit on
+    genuine transpositions (e.g. equal-footprint groups swapping anchors)
+    instead of keying on the unique path that reached the node.
+    """
+    return (state.t, state.s_p.tobytes())
 
 
 @dataclass(frozen=True)
@@ -82,6 +107,9 @@ class SearchResult:
     best_terminal_wirelength: float = float("inf")
     #: transposition-cache hits (network evaluations avoided)
     n_eval_cache_hits: int = 0
+    #: terminal-cache hits (legalize-and-place calls avoided; includes
+    #: entries carried over from a persisted cross-run cache)
+    n_terminal_cache_hits: int = 0
     #: batched evaluation waves issued and leaves evaluated across them
     n_waves: int = 0
     n_wave_leaves: int = 0
@@ -104,20 +132,32 @@ class MCTSPlacer:
         events: EventLog | None = None,
         budget=None,
         on_commit=None,
+        terminal_pool=None,
+        terminal_cache: TerminalCache | None = None,
     ) -> None:
         self.env = env
         self.network = network
         self.reward_fn = reward_fn
         self.config = config
         self.rng = ensure_rng(config.seed)
-        self._terminal_cache: dict[tuple[int, ...], float] = {}
-        #: transposition-keyed evaluation cache: the assignment prefix
-        #: (group order is fixed, so it determines the state exactly) maps
-        #: to the network's (masked probs, value) for that state.
-        self._eval_cache: dict[tuple[int, ...], tuple[np.ndarray, float]] = {}
+        #: pure-terminal-evaluation memo (assignment tuple → HPWL); a shared,
+        #: optionally run-dir-persisted cache may be passed in by the flow so
+        #: results survive checkpoint/resume and later runs.
+        self._terminal_cache = (
+            terminal_cache
+            if terminal_cache is not None
+            else TerminalCache(environment_fingerprint(env))
+        )
+        #: optional :class:`~repro.parallel.TerminalEvaluationPool`; when it
+        #: has live workers, waves dispatch terminal leaves asynchronously.
+        self.terminal_pool = terminal_pool
+        #: transposition-keyed evaluation cache: canonical state content
+        #: ``(t, s_p bytes)`` maps to the network's (masked probs, value).
+        self._eval_cache: dict[tuple[int, bytes], tuple[np.ndarray, float]] = {}
         self.n_terminal_evaluations = 0
         self.n_network_evaluations = 0
         self.n_eval_cache_hits = 0
+        self.n_terminal_cache_hits = 0
         self.n_waves = 0
         self.n_wave_leaves = 0
         self.seconds_selection = 0.0
@@ -151,13 +191,15 @@ class MCTSPlacer:
     ) -> float:
         """Expand *node* (state = builder's current) and return its value.
 
-        *prefix* is the action sequence leading to *node*; it keys the
-        transposition evaluation cache, which is consulted before the
-        network (rollout-based variants — the Sec. IV-B3 ablation — also
-        need it to complete assignments).
+        The transposition evaluation cache is consulted before the network,
+        keyed on the canonical state content (:func:`_state_key`) so equal
+        states reached by different action orders share one entry.
+        *prefix* is the action sequence leading to *node* — no longer the
+        cache key, but kept in the signature because rollout-based variants
+        (the Sec. IV-B3 ablation) need it to complete assignments.
         """
         state = builder.observe()
-        key = tuple(prefix)
+        key = _state_key(state)
         hit = self._eval_cache.get(key)
         if hit is not None:
             probs, value = hit
@@ -173,21 +215,29 @@ class MCTSPlacer:
         self._attach(node, state, probs)
         return value
 
-    def _terminal_value(self, assignment: list[int]) -> float:
-        key = tuple(assignment)
-        cached = self._terminal_cache.get(key)
-        if cached is not None:
-            return cached
-        started = time.perf_counter()
-        wirelength = self.env.evaluate_assignment(assignment)
-        self.seconds_terminal += time.perf_counter() - started
-        self.n_terminal_evaluations += 1
+    def _note_terminal(self, key: tuple[int, ...], wirelength: float) -> None:
+        """Track the best terminal assignment seen anywhere in the search."""
         if wirelength < self.best_terminal_wirelength:
             self.best_terminal_wirelength = wirelength
-            self.best_terminal_assignment = list(assignment)
-        value = float(self.reward_fn(wirelength))
-        self._terminal_cache[key] = value
-        return value
+            self.best_terminal_assignment = list(key)
+
+    def _terminal_value(self, assignment: list[int]) -> float:
+        """Reward of a complete assignment (cached, pure, poolable)."""
+        key = tuple(int(a) for a in assignment)
+        wirelength = self._terminal_cache.get(key)
+        if wirelength is None:
+            started = time.perf_counter()
+            if self.terminal_pool is not None:
+                wirelength = self.terminal_pool.evaluate(key)
+            else:
+                wirelength = self.env.evaluate_assignment(list(key))
+            self.seconds_terminal += time.perf_counter() - started
+            self.n_terminal_evaluations += 1
+            self._terminal_cache.put(key, wirelength)
+        else:
+            self.n_terminal_cache_hits += 1
+        self._note_terminal(key, wirelength)
+        return float(self.reward_fn(wirelength))
 
     def _apply_root_noise(self, node: Node) -> None:
         frac = self.config.root_noise_frac
@@ -271,6 +321,14 @@ class MCTSPlacer:
         root (Eq. 12).  At k=1 virtual loss is skipped — float add/subtract
         round-trips are not bitwise identities — so the sequential search
         is reproduced exactly.
+
+        With a live :attr:`terminal_pool`, terminal leaves are *submitted*
+        to the workers the moment selection discovers them, overlap with
+        the remaining descents and the network forward, and are resolved in
+        deterministic submission order before backpropagation — terminal
+        values never influence other descents of the same wave (backprop is
+        deferred to wave end), so the deferral changes nothing but
+        wall-clock.
         """
         k = max(1, int(k))
         if k == 1:
@@ -281,10 +339,17 @@ class MCTSPlacer:
             prefix_builder = StateBuilder(self.env.coarse)
             for a in committed:
                 prefix_builder.apply(a)
+        pool = self.terminal_pool
+        if pool is not None and not pool.parallel:
+            pool = None
 
         started = time.perf_counter()
-        # descent := [path, vl_edges, node, actions_taken, state | None, value | None]
+        # descent := [path, vl_edges, node, state | None]; terminal descents
+        # carry state=None and read node.terminal_value at backprop time.
         descents: list[list] = []
+        #: in-flight pooled terminal evaluations, in submission order:
+        #: assignment tuple → (future, node)
+        pending: dict[tuple[int, ...], tuple[object, Node]] = {}
         for _ in range(k):
             builder = prefix_builder.clone()
             path: list[tuple[Node, int]] = list(path_to_target)
@@ -306,29 +371,37 @@ class MCTSPlacer:
 
             if builder.done():
                 node.terminal = True
-                if node.terminal_value is None:
-                    # keep the legalize-and-place call out of the selection
-                    # timer — it already bills to seconds_terminal
-                    self.seconds_selection += time.perf_counter() - started
-                    node.terminal_value = self._terminal_value(actions_taken)
-                    started = time.perf_counter()
-                descents.append(
-                    [path, vl_edges, node, actions_taken, None, node.terminal_value]
-                )
+                key = tuple(int(a) for a in actions_taken)
+                if node.terminal_value is None and key not in pending:
+                    if pool is not None:
+                        wirelength = self._terminal_cache.get(key)
+                        if wirelength is not None:
+                            self.n_terminal_cache_hits += 1
+                            self._note_terminal(key, wirelength)
+                            node.terminal_value = float(self.reward_fn(wirelength))
+                        else:
+                            # dispatch now; legalization overlaps with the
+                            # rest of the wave and the network forward
+                            pending[key] = (pool.submit(key), node)
+                    else:
+                        # keep the legalize-and-place call out of the
+                        # selection timer — it bills to seconds_terminal
+                        self.seconds_selection += time.perf_counter() - started
+                        node.terminal_value = self._terminal_value(actions_taken)
+                        started = time.perf_counter()
+                descents.append([path, vl_edges, node, None])
             else:
-                descents.append(
-                    [path, vl_edges, node, actions_taken, builder.observe(), None]
-                )
+                descents.append([path, vl_edges, node, builder.observe()])
         self.seconds_selection += time.perf_counter() - started
 
         # One batched evaluation for the wave's distinct uncached leaves.
-        miss_keys: list[tuple[int, ...]] = []
+        miss_keys: list[tuple[int, bytes]] = []
         miss_states: list = []
-        seen: set[tuple[int, ...]] = set()
-        for _, _, _, actions_taken, state, _ in descents:
+        seen: set[tuple[int, bytes]] = set()
+        for _, _, _, state in descents:
             if state is None:
                 continue
-            key = tuple(actions_taken)
+            key = _state_key(state)
             if key in self._eval_cache or key in seen:
                 self.n_eval_cache_hits += 1
             else:
@@ -345,13 +418,27 @@ class MCTSPlacer:
             for i, key in enumerate(miss_keys):
                 self._eval_cache[key] = (probs_batch[i], float(values[i]))
 
+        # Resolve the in-flight terminal evaluations (submission order is
+        # deterministic, so best-terminal tie-breaking matches the
+        # sequential path).
+        for key, (future, node) in pending.items():
+            started = time.perf_counter()
+            wirelength = future.result()
+            self.seconds_terminal += time.perf_counter() - started
+            self.n_terminal_evaluations += 1
+            self._terminal_cache.put(key, wirelength)
+            self._note_terminal(key, wirelength)
+            node.terminal_value = float(self.reward_fn(wirelength))
+
         # Expansion, virtual-loss revert, backpropagation (Eq. 12).
         started = time.perf_counter()
-        for path, vl_edges, node, actions_taken, state, value in descents:
+        for path, vl_edges, node, state in descents:
             if state is not None:
-                probs, value = self._eval_cache[tuple(actions_taken)]
+                probs, value = self._eval_cache[_state_key(state)]
                 if not node.expanded:
                     self._attach(node, state, probs)
+            else:
+                value = node.terminal_value
             for parent, idx in vl_edges:
                 parent.revert_virtual_loss(idx, vl)
             for parent, idx in path:
@@ -373,13 +460,16 @@ class MCTSPlacer:
             "committed": list(committed),
             "path": [tuple(p) for p in path],
             "root": root,
-            "terminal_cache": dict(self._terminal_cache),
+            #: pure-terminal results (assignment → HPWL) — replaces the old
+            #: value-keyed "terminal_cache" entry
+            "terminal_wirelengths": self._terminal_cache.as_dict(),
             "eval_cache": dict(self._eval_cache),
             "best_terminal_assignment": self.best_terminal_assignment,
             "best_terminal_wirelength": self.best_terminal_wirelength,
             "n_terminal_evaluations": self.n_terminal_evaluations,
             "n_network_evaluations": self.n_network_evaluations,
             "n_eval_cache_hits": self.n_eval_cache_hits,
+            "n_terminal_cache_hits": self.n_terminal_cache_hits,
             "n_waves": self.n_waves,
             "n_wave_leaves": self.n_wave_leaves,
             "seconds_selection": self.seconds_selection,
@@ -396,7 +486,12 @@ class MCTSPlacer:
         root = state["root"]
         committed = list(state["committed"])
         path = [tuple(p) for p in state["path"]]
-        self._terminal_cache = dict(state["terminal_cache"])
+        # Merge — not replace — the shared terminal cache: it may already
+        # carry entries loaded from a run-dir persisted file.  Snapshots
+        # from before the parallel engine stored reward *values* under
+        # "terminal_cache"; those are ignored — purity makes recomputation
+        # bitwise-identical, so dropping them costs time, never correctness.
+        self._terminal_cache.update(state.get("terminal_wirelengths", {}))
         # .get defaults keep snapshots from before the batching engine loadable
         self._eval_cache = dict(state.get("eval_cache", {}))
         self.best_terminal_assignment = state["best_terminal_assignment"]
@@ -404,6 +499,7 @@ class MCTSPlacer:
         self.n_terminal_evaluations = state["n_terminal_evaluations"]
         self.n_network_evaluations = state["n_network_evaluations"]
         self.n_eval_cache_hits = state.get("n_eval_cache_hits", 0)
+        self.n_terminal_cache_hits = state.get("n_terminal_cache_hits", 0)
         self.n_waves = state.get("n_waves", 0)
         self.n_wave_leaves = state.get("n_wave_leaves", 0)
         self.seconds_selection = state.get("seconds_selection", 0.0)
@@ -499,6 +595,7 @@ class MCTSPlacer:
             network_evaluations=self.n_network_evaluations,
             terminal_evaluations=self.n_terminal_evaluations,
             eval_cache_hits=self.n_eval_cache_hits,
+            terminal_cache_hits=self.n_terminal_cache_hits,
             waves=self.n_waves,
             wave_leaves=self.n_wave_leaves,
             seconds_selection=round(self.seconds_selection, 6),
@@ -515,6 +612,7 @@ class MCTSPlacer:
             best_terminal_assignment=self.best_terminal_assignment,
             best_terminal_wirelength=self.best_terminal_wirelength,
             n_eval_cache_hits=self.n_eval_cache_hits,
+            n_terminal_cache_hits=self.n_terminal_cache_hits,
             n_waves=self.n_waves,
             n_wave_leaves=self.n_wave_leaves,
             seconds_selection=self.seconds_selection,

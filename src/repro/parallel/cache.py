@@ -1,0 +1,152 @@
+"""Cross-run terminal-evaluation cache.
+
+Terminal evaluation (legalize + cell placement) became a pure function of
+the assignment once :meth:`CoarseNetlist.restore_canonical` landed, so its
+results are cacheable forever — not just within one search, but across
+checkpoint/resume boundaries and across entirely separate runs on the same
+problem.  :class:`TerminalCache` maps assignment tuples to measured HPWL
+and can optionally mirror itself to a JSONL file in the run directory.
+
+The cache key is the assignment tuple *plus* an environment fingerprint
+(:func:`environment_fingerprint`): a hash of everything that changes the
+measured wirelength — the design, the grid plan, the group structure, the
+legalizer knobs, and the cell-placement effort.  Persisted entries whose
+fingerprint does not match the live environment are ignored on load, so a
+stale file can never poison a run.  Loads tolerate a torn tail line (a
+kill mid-append), matching the event-log convention.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+
+def environment_fingerprint(env) -> str:
+    """Hash of every knob that affects a terminal evaluation's result.
+
+    Covers the design identity (name, node/net counts, total node area),
+    the grid plan, the macro-group structure (count + per-group spans, the
+    action-space geometry), the legalizer configuration, and
+    ``cell_place_iters``.  Two environments with equal fingerprints return
+    bitwise-identical HPWL for equal assignments (given the purity
+    guarantee of :meth:`MacroLegalizer.legalize`).
+    """
+    coarse = env.coarse
+    nl = coarse.design.netlist
+    plan = coarse.plan
+    legalizer = env.legalizer
+    payload = {
+        "design": {
+            "name": nl.name,
+            "n_nodes": len(nl),
+            "n_nets": len(nl.nets),
+            "area": repr(float(sum(node.area for node in nl))),
+        },
+        "region": [
+            repr(float(v))
+            for v in (
+                coarse.design.region.x,
+                coarse.design.region.y,
+                coarse.design.region.width,
+                coarse.design.region.height,
+            )
+        ],
+        "zeta": plan.zeta,
+        "groups": {
+            "macro": coarse.n_macro_groups,
+            "cell": len(coarse.cell_groups),
+            "fixed": len(coarse.fixed_groups),
+            "spans": [
+                list(coarse.group_span(i)) for i in range(coarse.n_macro_groups)
+            ],
+        },
+        "legalizer": {
+            "lp_net_limit": legalizer.lp_net_limit,
+            "cleanup": legalizer.cleanup,
+            "qp_clique_threshold": legalizer.qp_clique_threshold,
+        },
+        "cell_place_iters": env.cell_place_iters,
+    }
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+class TerminalCache:
+    """Assignment-tuple → HPWL map with optional JSONL persistence.
+
+    Shared by the MCTS search (in place of its old private value cache)
+    and, through the run harness, across resume boundaries: the flow binds
+    the cache to ``<run_dir>/terminal_cache.jsonl`` so a resumed — or a
+    completely separate — run on the same problem skips every terminal
+    evaluation it has already paid for.
+    """
+
+    def __init__(self, fingerprint: str, path: str | None = None) -> None:
+        self.fingerprint = fingerprint
+        self.path = path
+        self._entries: dict[tuple[int, ...], float] = {}
+        self.hits = 0
+        self.misses = 0
+        if path is not None:
+            self._load(path)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- lookups ---------------------------------------------------------------
+    def get(self, assignment) -> float | None:
+        key = tuple(int(a) for a in assignment)
+        wirelength = self._entries.get(key)
+        if wirelength is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return wirelength
+
+    def put(self, assignment, wirelength: float) -> None:
+        key = tuple(int(a) for a in assignment)
+        if key in self._entries:
+            return
+        self._entries[key] = float(wirelength)
+        if self.path is not None:
+            self._append(key, float(wirelength))
+
+    def update(self, entries: dict) -> None:
+        """Merge *entries* (e.g. from a search snapshot) into the cache."""
+        for key, wirelength in entries.items():
+            self.put(key, wirelength)
+
+    def as_dict(self) -> dict[tuple[int, ...], float]:
+        return dict(self._entries)
+
+    # -- persistence -----------------------------------------------------------
+    def _append(self, key: tuple[int, ...], wirelength: float) -> None:
+        record = {
+            "fingerprint": self.fingerprint,
+            "assignment": list(key),
+            "wirelength": wirelength,
+        }
+        with open(self.path, "a") as f:
+            f.write(json.dumps(record) + "\n")
+
+    def _load(self, path: str) -> None:
+        if not os.path.exists(path):
+            return
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a kill mid-append
+                if record.get("fingerprint") != self.fingerprint:
+                    continue
+                try:
+                    key = tuple(int(a) for a in record["assignment"])
+                    self._entries[key] = float(record["wirelength"])
+                except (KeyError, TypeError, ValueError):
+                    continue

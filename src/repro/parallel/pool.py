@@ -1,0 +1,252 @@
+"""Persistent worker pool for terminal legalize-and-place evaluations.
+
+Terminal evaluation is the dominant cost of both RL pre-training and MCTS
+(BENCH_pr2: ``seconds_terminal`` ≈ 73% of search wall-clock).  Because the
+purity fix made ``evaluate_assignment`` a deterministic function of the
+assignment alone, the work can move off-process: a spawn-context
+:class:`~concurrent.futures.ProcessPoolExecutor` receives the pickled
+coarse netlist **once** at pool creation (the initializer rebuilds a full
+environment per worker) and then only assignment tuples travel per task.
+
+Guarantees:
+
+- **Bitwise equivalence** — every worker legalizes from the same canonical
+  start state as the parent (the pool captures it before pickling), so a
+  pooled evaluation returns exactly the float the parent would compute.
+- **Graceful degradation** — ``workers <= 1``, a failed spawn, or a pool
+  that dies mid-run (``BrokenProcessPool``) all fall back to in-process
+  evaluation, recording a ``degradation`` event in the run's JSONL log
+  (the PR 1 machinery) instead of failing the run.  Fault sites
+  ``pool.spawn`` and ``pool.submit`` let tests drill both paths
+  deterministically.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+from repro.runtime import faults
+from repro.runtime.errors import PlacementError
+from repro.utils.events import EventLog
+
+#: per-worker environment, built once by :func:`_init_worker`
+_WORKER_ENV = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: unpickle the problem and build a private env."""
+    global _WORKER_ENV
+    from repro.env.placement_env import MacroGroupPlacementEnv
+    from repro.legalize.pipeline import MacroLegalizer
+
+    spec = pickle.loads(payload)
+    legalizer = MacroLegalizer(**spec["legalizer"])
+    _WORKER_ENV = MacroGroupPlacementEnv(
+        spec["coarse"],
+        legalizer=legalizer,
+        cell_place_iters=spec["cell_place_iters"],
+    )
+
+
+def _evaluate_assignment(assignment: tuple[int, ...]) -> float:
+    """Task function: one terminal evaluation in the worker's private env."""
+    return _WORKER_ENV.evaluate_assignment(list(assignment))
+
+
+class _ImmediateResult:
+    """Future-alike wrapping an already-computed in-process value."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: float) -> None:
+        self._value = value
+
+    def result(self) -> float:
+        return self._value
+
+
+class _PooledResult:
+    """Future-alike that falls back in-process if the pool died."""
+
+    __slots__ = ("_pool", "_future", "_assignment")
+
+    def __init__(self, pool, future, assignment) -> None:
+        self._pool = pool
+        self._future = future
+        self._assignment = assignment
+
+    def result(self) -> float:
+        try:
+            return self._future.result()
+        except Exception as exc:  # BrokenProcessPool, pickling faults, ...
+            self._pool._mark_broken("result", exc)
+            return self._pool._evaluate_local(self._assignment)
+
+
+class TerminalEvaluationPool:
+    """Dispatches ``evaluate_assignment`` calls to persistent workers.
+
+    Args:
+        env: the environment whose problem the workers replicate.  The
+            pool captures (and thereby pins) the env's canonical start
+            state at construction, so pooled and in-process evaluations
+            agree bitwise.
+        workers: process count; ``<= 1`` skips spawning entirely and every
+            evaluation runs in-process (the sequential twin).
+        events: degradation events (spawn failures, broken pools) land here.
+    """
+
+    def __init__(
+        self,
+        env,
+        workers: int = 1,
+        events: EventLog | None = None,
+    ) -> None:
+        self.env = env
+        self.workers = max(1, int(workers))
+        self.events = events if events is not None else EventLog()
+        self.n_pooled = 0
+        self.n_local = 0
+        self._executor = None
+        self._broken = False
+        if self.workers > 1:
+            self._start()
+
+    @property
+    def parallel(self) -> bool:
+        """True while pooled (asynchronous) evaluation is available."""
+        return self._executor is not None and not self._broken
+
+    # -- lifecycle -------------------------------------------------------------
+    def _start(self) -> None:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Pin the canonical start state *before* pickling so every worker
+        # legalizes from exactly the parent's rewind point.
+        self.env.coarse.restore_canonical()
+        payload = pickle.dumps(
+            {
+                "coarse": self.env.coarse,
+                "legalizer": {
+                    "lp_net_limit": self.env.legalizer.lp_net_limit,
+                    "cleanup": self.env.legalizer.cleanup,
+                    "qp_clique_threshold": self.env.legalizer.qp_clique_threshold,
+                },
+                "cell_place_iters": self.env.cell_place_iters,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        try:
+            if faults.should_fire("pool.spawn"):
+                raise OSError("injected pool spawn failure")
+            ctx = multiprocessing.get_context("spawn")
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(payload,),
+            )
+        except PlacementError:
+            raise
+        except Exception as exc:
+            self._executor = None
+            self.events.emit(
+                "degradation",
+                solver="terminal_pool",
+                fallback="in_process",
+                phase="spawn",
+                error=str(exc),
+            )
+
+    def _mark_broken(self, phase: str, exc: Exception) -> None:
+        if self._broken:
+            return
+        self._broken = True
+        self.events.emit(
+            "degradation",
+            solver="terminal_pool",
+            fallback="in_process",
+            phase=phase,
+            error=str(exc),
+        )
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        """Shut the workers down; further evaluations run in-process."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "TerminalEvaluationPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- evaluation ------------------------------------------------------------
+    def _evaluate_local(self, assignment) -> float:
+        self.n_local += 1
+        return self.env.evaluate_assignment(list(assignment))
+
+    def submit(self, assignment):
+        """Dispatch one evaluation; returns an object with ``.result()``.
+
+        Pooled when workers are alive (the call returns immediately and
+        the legalization overlaps with whatever the caller does next);
+        otherwise the evaluation happens synchronously in-process before
+        this returns.
+        """
+        key = tuple(int(a) for a in assignment)
+        if self.parallel:
+            try:
+                if faults.should_fire("pool.submit"):
+                    raise RuntimeError("injected pool submit failure")
+                future = self._executor.submit(_evaluate_assignment, key)
+            except PlacementError:
+                raise
+            except Exception as exc:
+                self._mark_broken("submit", exc)
+            else:
+                self.n_pooled += 1
+                return _PooledResult(self, future, key)
+        return _ImmediateResult(self._evaluate_local(key))
+
+    def evaluate(self, assignment) -> float:
+        """Synchronous single evaluation (pooled when possible)."""
+        return self.submit(assignment).result()
+
+    def evaluate_many(self, assignments) -> list[float]:
+        """Evaluate *assignments* concurrently; results in input order."""
+        pending = [self.submit(a) for a in assignments]
+        return [p.result() for p in pending]
+
+    def warm_up(self, assignment, timeout: float | None = None) -> None:
+        """Force worker start-up (spawn + imports) with one throwaway task.
+
+        Benchmarks call this so throughput numbers measure steady-state
+        evaluation, not interpreter boot.  *timeout* bounds the wait; on
+        expiry the pool is marked broken and evaluation degrades
+        in-process.
+        """
+        if not self.parallel:
+            return
+        started = time.perf_counter()
+        try:
+            futures = [
+                self._executor.submit(_evaluate_assignment, tuple(int(a) for a in assignment))
+                for _ in range(self.workers)
+            ]
+            for f in futures:
+                remaining = None
+                if timeout is not None:
+                    remaining = max(0.0, timeout - (time.perf_counter() - started))
+                f.result(timeout=remaining)
+        except Exception as exc:
+            self._mark_broken("warm_up", exc)

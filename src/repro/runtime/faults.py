@@ -27,6 +27,9 @@ Known sites
 - ``lp.solve``          — LP spread reports infeasible (degrades to packing)
 - ``qp.solve``          — QP placement solve raises (degrades to no-op)
 - ``budget.<stage>``    — the stage's wall-clock budget reads as exhausted
+- ``pool.spawn``        — terminal-pool spawn fails (degrades in-process)
+- ``pool.submit``       — a pooled terminal submit raises (pool marked
+  broken; later evaluations run in-process)
 """
 
 from __future__ import annotations

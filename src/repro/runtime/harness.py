@@ -21,6 +21,7 @@ from repro.utils.events import EventLog
 
 TRAINING_SNAPSHOT = "training_snapshot.pkl"
 MCTS_SNAPSHOT = "mcts_snapshot.pkl"
+TERMINAL_CACHE = "terminal_cache.jsonl"
 
 
 def rng_state(rng: np.random.Generator) -> dict:
@@ -54,6 +55,7 @@ class RunContext:
                 self.dir.write_manifest(self.manifest)
                 self.dir.remove(TRAINING_SNAPSHOT)
                 self.dir.remove(MCTS_SNAPSHOT)
+                self.dir.remove(TERMINAL_CACHE)
         else:
             self.manifest = {"stages": {}}
         self.resume = resume
@@ -112,6 +114,11 @@ class RunContext:
         if seconds is None:
             seconds = getattr(cfg, "stage_budget_seconds", None)
         return StageBudget(stage, seconds)
+
+    # -- terminal cache --------------------------------------------------------
+    def terminal_cache_path(self) -> str | None:
+        """File the cross-run terminal cache persists to (None in-memory)."""
+        return self.dir.file(TERMINAL_CACHE) if self.dir is not None else None
 
     # -- positions ------------------------------------------------------------
     def save_positions(self, name: str, design) -> None:

@@ -1,0 +1,386 @@
+"""Parallel pure terminal evaluation (PR 3).
+
+Covers the purity contract (``evaluate_assignment`` is a history-free
+function of the assignment), the worker pool's bitwise equivalence and
+degradation paths, the cross-run terminal cache, the transposition-keyed
+network-evaluation cache, and the vectorized pairwise-overlap check.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.agent.actorcritic import ActorCriticTrainer
+from repro.agent.network import NetworkConfig, PolicyValueNet
+from repro.agent.reward import NormalizedReward
+from repro.agent.state import StateBuilder
+from repro.coarsen import coarsen_design
+from repro.env.placement_env import MacroGroupPlacementEnv
+from repro.gp.mixed_size import MixedSizePlacer
+from repro.grid.plan import GridPlan
+from repro.legalize.pipeline import any_pairwise_overlap
+from repro.mcts.node import Node as TreeNode
+from repro.mcts.search import MCTSConfig, MCTSPlacer, _state_key
+from repro.netlist.generator import GeneratorSpec, generate_design
+from repro.netlist.model import Node
+from repro.parallel import (
+    TerminalCache,
+    TerminalEvaluationPool,
+    environment_fingerprint,
+)
+from repro.runtime.faults import Fault, FaultPlan, inject
+from repro.utils.events import EventLog
+
+REWARD = NormalizedReward(w_max=2000.0, w_min=500.0, w_avg=1200.0, alpha=0.75)
+
+
+@pytest.fixture(scope="session")
+def _coarse_other_base():
+    """A second, structurally different problem for the purity property."""
+    spec = GeneratorSpec(
+        name="parallel-other",
+        n_movable_macros=6,
+        n_pads=6,
+        n_cells=40,
+        n_nets=55,
+        hierarchy_depth=2,
+        hierarchy_branching=2,
+        seed=11,
+    )
+    design = generate_design(spec)
+    MixedSizePlacer(n_iterations=2).place(design)
+    return coarsen_design(design, GridPlan(design.region, zeta=4))
+
+
+@pytest.fixture
+def coarse_other(_coarse_other_base):
+    return copy.deepcopy(_coarse_other_base)
+
+
+def make_env(coarse) -> MacroGroupPlacementEnv:
+    return MacroGroupPlacementEnv(
+        copy.deepcopy(coarse), cell_place_iters=1
+    )
+
+
+def random_assignments(env, n: int, seed: int = 0) -> list[list[int]]:
+    rng = np.random.default_rng(seed)
+    return [
+        [int(a) for a in rng.integers(0, env.n_actions, env.n_steps)]
+        for _ in range(n)
+    ]
+
+
+# -- tentpole: purity of terminal evaluation ----------------------------------
+class TestPurity:
+    @pytest.mark.parametrize("which", ["small", "other"])
+    def test_history_independent(self, which, coarse_small, coarse_other):
+        """evaluate_assignment(a) is bitwise-identical regardless of what
+        the environment evaluated before — the property every other piece
+        of this PR (pool, cross-run cache) is built on."""
+        coarse = {"small": coarse_small, "other": coarse_other}[which]
+        env = make_env(coarse)
+        assignments = random_assignments(env, 3, seed=1)
+
+        fresh = [make_env(coarse).evaluate_assignment(a) for a in assignments]
+
+        reused = make_env(coarse)
+        reused.play_random_episode(5)  # dirty the coarse netlist
+        dirty = [reused.evaluate_assignment(a) for a in reversed(assignments)]
+        assert dirty[::-1] == fresh
+
+        # and again, interleaved, on the same reused env
+        again = [reused.evaluate_assignment(a) for a in assignments]
+        assert again == fresh
+
+    def test_pool_matches_in_process_bitwise(self, coarse_small):
+        env = make_env(coarse_small)
+        assignments = random_assignments(env, 3, seed=2)
+        expected = [
+            make_env(coarse_small).evaluate_assignment(a) for a in assignments
+        ]
+        with TerminalEvaluationPool(env, workers=2) as pool:
+            assert pool.parallel
+            assert pool.evaluate_many(assignments) == expected
+            assert pool.n_pooled == len(assignments)
+
+
+# -- the worker pool ----------------------------------------------------------
+class TestTerminalEvaluationPool:
+    def test_workers1_stays_in_process(self, coarse_small):
+        env = make_env(coarse_small)
+        pool = TerminalEvaluationPool(env, workers=1)
+        assert not pool.parallel
+        a = [0] * env.n_steps
+        expected = make_env(coarse_small).evaluate_assignment(a)
+        assert pool.evaluate(a) == expected
+        assert pool.n_local == 1 and pool.n_pooled == 0
+
+    def test_spawn_failure_degrades_with_event(self, coarse_small):
+        env = make_env(coarse_small)
+        events = EventLog()
+        with inject(FaultPlan(Fault("pool.spawn", at=1))):
+            pool = TerminalEvaluationPool(env, workers=2, events=events)
+        assert not pool.parallel
+        degradations = events.of("degradation")
+        assert len(degradations) == 1
+        assert degradations[0].data["solver"] == "terminal_pool"
+        assert degradations[0].data["phase"] == "spawn"
+        # evaluation still works, in-process
+        a = [0] * env.n_steps
+        assert pool.evaluate(a) == make_env(coarse_small).evaluate_assignment(a)
+        assert pool.n_local == 1
+
+    def test_submit_failure_marks_broken_and_falls_back(self, coarse_small):
+        env = make_env(coarse_small)
+        events = EventLog()
+        assignments = random_assignments(env, 3, seed=3)
+        expected = [
+            make_env(coarse_small).evaluate_assignment(a) for a in assignments
+        ]
+        with inject(FaultPlan(Fault("pool.submit", at=1))):
+            with TerminalEvaluationPool(env, workers=2, events=events) as pool:
+                assert pool.parallel
+                results = [pool.evaluate(a) for a in assignments]
+                assert not pool.parallel  # broken after the injected submit
+        assert results == expected
+        degradations = events.of("degradation")
+        assert len(degradations) == 1
+        assert degradations[0].data["phase"] == "submit"
+        assert pool.n_local == len(assignments)
+
+    def test_close_is_idempotent_and_degrades(self, coarse_small):
+        env = make_env(coarse_small)
+        pool = TerminalEvaluationPool(env, workers=2)
+        pool.close()
+        pool.close()
+        a = [1] * env.n_steps
+        assert pool.evaluate(a) == make_env(coarse_small).evaluate_assignment(a)
+
+
+# -- the cross-run terminal cache ---------------------------------------------
+class TestTerminalCache:
+    def test_counters_and_lookup(self):
+        cache = TerminalCache("fp")
+        assert cache.get([1, 2]) is None
+        cache.put([1, 2], 42.5)
+        assert cache.get((1, 2)) == 42.5
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_put_keeps_first_value(self):
+        cache = TerminalCache("fp")
+        cache.put([1], 1.0)
+        cache.put([1], 2.0)
+        assert cache.get([1]) == 1.0
+
+    def test_persistence_roundtrip(self, tmp_path):
+        path = str(tmp_path / "terminal_cache.jsonl")
+        cache = TerminalCache("fp", path=path)
+        cache.put([3, 1, 4], 159.0)
+        cache.put([2, 7, 1], 828.0)
+        reloaded = TerminalCache("fp", path=path)
+        assert reloaded.get([3, 1, 4]) == 159.0
+        assert reloaded.get([2, 7, 1]) == 828.0
+        assert len(reloaded) == 2
+
+    def test_fingerprint_mismatch_ignored(self, tmp_path):
+        path = str(tmp_path / "terminal_cache.jsonl")
+        TerminalCache("fp-a", path=path).put([1, 2], 10.0)
+        other = TerminalCache("fp-b", path=path)
+        assert len(other) == 0
+        assert other.get([1, 2]) is None
+
+    def test_torn_tail_and_junk_tolerated(self, tmp_path):
+        path = str(tmp_path / "terminal_cache.jsonl")
+        TerminalCache("fp", path=path).put([5], 50.0)
+        with open(path, "a") as f:
+            f.write("not json\n")
+            f.write(json.dumps({"fingerprint": "fp"}) + "\n")  # no payload
+            f.write('{"fingerprint": "fp", "assignment": [9], "wi')  # torn
+        reloaded = TerminalCache("fp", path=path)
+        assert reloaded.get([5]) == 50.0
+        assert len(reloaded) == 1
+
+    def test_fingerprint_tracks_environment(self, coarse_small):
+        env_a = make_env(coarse_small)
+        env_b = make_env(coarse_small)
+        assert environment_fingerprint(env_a) == environment_fingerprint(env_b)
+        env_c = MacroGroupPlacementEnv(
+            copy.deepcopy(coarse_small), cell_place_iters=2
+        )
+        assert environment_fingerprint(env_a) != environment_fingerprint(env_c)
+
+
+# -- MCTS integration ---------------------------------------------------------
+class TestMCTSIntegration:
+    def _search(self, coarse, pool=None, cache=None, leaf_batch=4):
+        env = pool.env if pool is not None else make_env(coarse)
+        net = PolicyValueNet(
+            NetworkConfig(zeta=4, channels=4, res_blocks=1, seed=0)
+        )
+        placer = MCTSPlacer(
+            env, net, REWARD,
+            MCTSConfig(explorations=8, leaf_batch=leaf_batch, seed=0),
+            terminal_pool=pool, terminal_cache=cache,
+        )
+        return placer.run(), placer
+
+    def test_pooled_search_equivalent(self, coarse_small):
+        base, _ = self._search(coarse_small)
+        with TerminalEvaluationPool(make_env(coarse_small), workers=2) as pool:
+            pooled, _ = self._search(coarse_small, pool=pool)
+        assert pooled.assignment == base.assignment
+        assert pooled.wirelength == base.wirelength
+        assert pooled.best_terminal_wirelength == base.best_terminal_wirelength
+        assert pooled.best_terminal_assignment == base.best_terminal_assignment
+
+    def test_broken_pool_mid_search_still_equivalent(self, coarse_small):
+        base, _ = self._search(coarse_small)
+        with inject(FaultPlan(Fault("pool.submit", at=2))):
+            with TerminalEvaluationPool(
+                make_env(coarse_small), workers=2
+            ) as pool:
+                degraded, _ = self._search(coarse_small, pool=pool)
+        assert degraded.assignment == base.assignment
+        assert degraded.wirelength == base.wirelength
+
+    def test_persisted_cache_skips_all_terminal_evaluations(
+        self, coarse_small, tmp_path
+    ):
+        path = str(tmp_path / "terminal_cache.jsonl")
+        env = make_env(coarse_small)
+        fp = environment_fingerprint(env)
+        first, _ = self._search(
+            coarse_small, cache=TerminalCache(fp, path=path)
+        )
+        assert first.n_terminal_evaluations > 0
+        second, _ = self._search(
+            coarse_small, cache=TerminalCache(fp, path=path)
+        )
+        # the deterministic re-run revisits exactly the same assignments —
+        # every terminal evaluation is served from the persisted file
+        assert second.n_terminal_evaluations == 0
+        assert second.n_terminal_cache_hits > 0
+        assert second.assignment == first.assignment
+        assert second.wirelength == first.wirelength
+
+
+# -- satellite: the transposition-keyed evaluation cache ----------------------
+class TestEvalCacheTranspositions:
+    def test_same_state_different_prefix_shares_entry(self, coarse_small):
+        """The PR 2 cache keyed on the action prefix, so two tree positions
+        holding the same state never shared an entry (BENCH_pr2 recorded 0
+        hits).  Keyed on the canonical state content, the second expansion
+        is a hit."""
+        env = make_env(coarse_small)
+        net = PolicyValueNet(
+            NetworkConfig(zeta=4, channels=4, res_blocks=1, seed=0)
+        )
+        placer = MCTSPlacer(env, net, REWARD, MCTSConfig(explorations=2))
+        builder = StateBuilder(env.coarse)
+        value_a = placer._expand(TreeNode(depth=0), builder, [])
+        assert placer.n_eval_cache_hits == 0
+        value_b = placer._expand(TreeNode(depth=0), builder, [7])
+        assert placer.n_eval_cache_hits == 1
+        assert value_a == value_b
+
+    def test_state_key_is_content_not_identity(self, coarse_small):
+        env = make_env(coarse_small)
+        builder = StateBuilder(env.coarse)
+        a, b = builder.observe(), builder.clone().observe()
+        assert a is not b
+        assert _state_key(a) == _state_key(b)
+
+    def test_colliding_wave_descents_hit(self, coarse_small):
+        """virtual_loss=0 makes every descent of a wave identical — the
+        transposition configuration on which hits must be nonzero."""
+        env = make_env(coarse_small)
+        net = PolicyValueNet(
+            NetworkConfig(zeta=4, channels=4, res_blocks=1, seed=0)
+        )
+        result = MCTSPlacer(
+            env, net, REWARD,
+            MCTSConfig(explorations=8, leaf_batch=4, virtual_loss=0.0, seed=0),
+        ).run()
+        assert result.n_eval_cache_hits > 0
+
+
+# -- satellite: trainer integration -------------------------------------------
+class TestTrainerIntegration:
+    def _trainer(self, coarse, pool=None, n_envs=4):
+        env = pool.env if pool is not None else make_env(coarse)
+        net = PolicyValueNet(
+            NetworkConfig(zeta=4, channels=4, res_blocks=1, seed=0)
+        )
+        return ActorCriticTrainer(
+            env, net, REWARD, rng=5, n_envs=n_envs, terminal_pool=pool
+        )
+
+    def test_pooled_finalization_bitwise(self, coarse_small):
+        base = self._trainer(coarse_small).play_episodes(4)
+        with TerminalEvaluationPool(make_env(coarse_small), workers=2) as pool:
+            pooled = self._trainer(coarse_small, pool=pool).play_episodes(4)
+        assert [w for _, w in pooled] == [w for _, w in base]
+        assert [
+            [t.action for t in ts] for ts, _ in pooled
+        ] == [[t.action for t in ts] for ts, _ in base]
+
+    def test_single_env_skips_pool(self, coarse_small):
+        with TerminalEvaluationPool(make_env(coarse_small), workers=2) as pool:
+            trainer = self._trainer(coarse_small, pool=pool, n_envs=1)
+            trainer.play_episodes(1)
+            assert pool.n_pooled == 0  # n==1 finalizes in-process
+
+
+# -- satellite: vectorized pairwise overlap -----------------------------------
+class TestAnyPairwiseOverlap:
+    @staticmethod
+    def _loop_reference(nodes) -> bool:
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                if a.overlaps(b):
+                    return True
+        return False
+
+    @staticmethod
+    def _random_nodes(rng, n, span) -> list[Node]:
+        return [
+            Node(
+                name=f"r{i}",
+                width=float(rng.uniform(1, 6)),
+                height=float(rng.uniform(1, 6)),
+                x=float(rng.uniform(0, span)),
+                y=float(rng.uniform(0, span)),
+            )
+            for i in range(n)
+        ]
+
+    @pytest.mark.parametrize("span", [15.0, 200.0])
+    def test_matches_loop_reference(self, span):
+        rng = np.random.default_rng(9)
+        for _ in range(25):
+            nodes = self._random_nodes(rng, 10, span)
+            assert any_pairwise_overlap(nodes) == self._loop_reference(nodes)
+
+    def test_edge_touching_is_not_overlap(self):
+        a = Node(name="a", width=2.0, height=2.0, x=0.0, y=0.0)
+        b = Node(name="b", width=2.0, height=2.0, x=2.0, y=0.0)  # abuts in x
+        c = Node(name="c", width=2.0, height=2.0, x=0.0, y=2.0)  # abuts in y
+        assert not a.overlaps(b) and not a.overlaps(c)
+        assert not any_pairwise_overlap([a, b, c])
+
+    def test_true_overlap_detected(self):
+        a = Node(name="a", width=3.0, height=3.0, x=0.0, y=0.0)
+        b = Node(name="b", width=3.0, height=3.0, x=2.0, y=2.0)
+        assert any_pairwise_overlap([a, b])
+
+    def test_degenerate_inputs(self):
+        assert not any_pairwise_overlap([])
+        assert not any_pairwise_overlap(
+            [Node(name="a", width=1.0, height=1.0)]
+        )

@@ -357,6 +357,40 @@ class TestKillAndResume:
         resumes = result.events.of("resume")
         assert resumes and resumes[0].data["episode"] == 10
 
+    def test_kill_before_first_snapshot_then_resume_is_bit_for_bit(
+        self, tmp_path
+    ):
+        """The pre-PR3 latent divergence, now closed end-to-end.
+
+        Dying before the first RL snapshot leaves nothing to restore:
+        resume skips calibration (loaded from JSON) and restarts training
+        from episode 0 inside an environment that never replayed the
+        calibration episodes.  While terminal evaluation was
+        history-dependent, that fresh-history environment could drift from
+        the uninterrupted run by ~1e-2 HPWL at a later episode; the
+        canonical-rewind purity fix makes the two runs bitwise-identical.
+        """
+        ref, ref_pos = self._baseline()
+        d = str(tmp_path / "run")
+        cfg = _cfg(self.SEED, checkpoint_every=5)
+        design = _design()
+        # Die at the 2nd episode boundary: before the episode-5 snapshot.
+        plan = FaultPlan(Fault("trainer.kill", at=2))
+        with pytest.raises(FaultInjected):
+            MCTSGuidedPlacer(cfg).place(design, run_dir=d, faults=plan)
+        manifest = json.load(open(f"{d}/manifest.json"))
+        assert not manifest["stages"].get("rl_training", {}).get("completed")
+
+        design2 = _design()
+        result = MCTSGuidedPlacer(cfg).place(design2, run_dir=d, resume=True)
+        assert result.hpwl == ref.hpwl
+        assert result.assignment == ref.assignment
+        assert design2.clone_placement() == ref_pos
+        skipped = {e.stage for e in result.events.of("stage_skipped")}
+        assert "calibration" in skipped
+        # no snapshot existed — training restarted, nothing was resumed
+        assert not result.events.of("resume")
+
     def test_kill_mid_mcts_then_resume_is_bit_for_bit(self, tmp_path):
         ref, ref_pos = self._baseline()
         d = str(tmp_path / "run")
