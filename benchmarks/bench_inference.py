@@ -37,6 +37,7 @@ from repro.gp.mixed_size import MixedSizePlacer
 from repro.grid.plan import GridPlan
 from repro.mcts.search import MCTSConfig, MCTSPlacer
 from repro.netlist.generator import GeneratorSpec, generate_design
+from repro.utils.host import host_metadata
 
 REWARD = NormalizedReward(w_max=2000.0, w_min=500.0, w_avg=1200.0)
 
@@ -244,6 +245,7 @@ def main(argv=None) -> int:
             "rl_episodes": n_episodes,
             "mcts_explorations": explorations,
         },
+        "host": host_metadata(),
     }
 
     print("== forwards/sec (policy/value network) ==")

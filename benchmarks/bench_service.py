@@ -1,0 +1,147 @@
+"""Placement-service benchmark: warm-artifact reuse and concurrency.
+
+Measures, on one tiny suite circuit:
+
+1. **Warm reuse** — a cold job (pre-training runs) vs a duplicate-
+   fingerprint job (warm artifacts injected).  Gates: the warm job must
+   actually hit the cache, its HPWL must be *bitwise identical* to the
+   cold job's, and the warm run must not be slower than the cold one.
+   The speedup itself is informational (CI machines vary).
+2. **Concurrent throughput** — a batch of distinct-seed jobs served
+   with 1 worker vs 2 workers.  Results must be identical per seed
+   across worker counts (scheduling must not leak into placement);
+   the wall-clock ratio is informational.
+
+Writes a JSON report (default ``BENCH_pr4.json``)::
+
+    python benchmarks/bench_service.py --quick --output BENCH_pr4.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.service import JobSpec, PlacementService
+from repro.service.service import read_result, submit_job
+from repro.utils.host import host_metadata
+
+SPEC_KW = dict(circuit="ibm01", scale=0.004, macro_scale=0.04, preset="fast")
+
+
+def _drain(service_dir: str, workers: int) -> tuple[PlacementService, float]:
+    service = PlacementService(service_dir, workers=workers,
+                               poll_interval=0.02)
+    start = time.perf_counter()
+    service.run(drain=True)
+    return service, time.perf_counter() - start
+
+
+def bench_warm_reuse(service_dir: str) -> dict:
+    cold_id = submit_job(service_dir, JobSpec(seed=0, **SPEC_KW))
+    _, cold_seconds = _drain(service_dir, workers=1)
+    warm_id = submit_job(service_dir, JobSpec(seed=0, **SPEC_KW))
+    service, warm_seconds = _drain(service_dir, workers=1)
+
+    cold = read_result(service_dir, cold_id)
+    warm = read_result(service_dir, warm_id)
+    return {
+        "cold_seconds": round(cold["seconds"], 3),
+        "warm_seconds": round(warm["seconds"], 3),
+        "speedup": round(cold["seconds"] / warm["seconds"], 2),
+        "warm_hit": warm["warm_hit"],
+        "cold_hpwl": cold["hpwl"],
+        "warm_hpwl": warm["hpwl"],
+        "bitwise_identical": warm["hpwl"] == cold["hpwl"],
+        "pretraining_seconds_skipped": round(
+            sum(cold["stage_seconds"][s] for s in ("calibration",
+                                                   "rl_training")), 3
+        ),
+        "warm_cache_entries": int(
+            service.write_metrics()["gauges"]["warm_cache_entries"]
+        ),
+    }
+
+
+def bench_concurrency(root: str, n_jobs: int) -> dict:
+    out: dict = {"n_jobs": n_jobs}
+    hpwls: dict[int, dict[int, float]] = {}
+    for workers in (1, 2):
+        sdir = f"{root}/svc-w{workers}"
+        ids = {
+            seed: submit_job(sdir, JobSpec(seed=seed, **SPEC_KW))
+            for seed in range(n_jobs)
+        }
+        _, wall = _drain(sdir, workers=workers)
+        out[f"wall_seconds_w{workers}"] = round(wall, 3)
+        hpwls[workers] = {
+            seed: read_result(sdir, job_id)["hpwl"]
+            for seed, job_id in ids.items()
+        }
+    out["speedup"] = round(
+        out["wall_seconds_w1"] / out["wall_seconds_w2"], 2
+    )
+    out["results_match_across_worker_counts"] = hpwls[1] == hpwls[2]
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: fewer concurrent jobs",
+    )
+    parser.add_argument("--output", default="BENCH_pr4.json")
+    args = parser.parse_args(argv)
+
+    n_jobs = 3 if args.quick else 6
+    root = tempfile.mkdtemp(prefix="bench-service-")
+    report = {
+        "config": {"quick": args.quick, **SPEC_KW, "n_jobs": n_jobs},
+        "host": host_metadata(),
+    }
+    try:
+        print("== warm-artifact reuse (cold vs duplicate job) ==")
+        report["warm"] = bench_warm_reuse(f"{root}/svc-warm")
+        for key, value in report["warm"].items():
+            print(f"  {key:28s} {value}")
+
+        print("== concurrent throughput (1 vs 2 workers) ==")
+        report["concurrency"] = bench_concurrency(root, n_jobs)
+        for key, value in report["concurrency"].items():
+            print(f"  {key:34s} {value}")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    gates = {
+        "warm_hit": report["warm"]["warm_hit"],
+        "warm_bitwise_identical": report["warm"]["bitwise_identical"],
+        "warm_not_slower": (
+            report["warm"]["warm_seconds"] <= report["warm"]["cold_seconds"]
+        ),
+        "concurrent_results_identical": (
+            report["concurrency"]["results_match_across_worker_counts"]
+        ),
+    }
+    gates["all_passed"] = all(gates.values())
+    report["gates"] = gates
+    print("== gates ==")
+    for key, value in gates.items():
+        print(f"  {key:34s} {value}")
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+    print(f"report -> {args.output}")
+
+    if not gates["all_passed"]:
+        print("SERVICE GATE REGRESSION", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,7 @@ from repro.mcts.search import MCTSConfig, MCTSPlacer
 from repro.netlist.generator import GeneratorSpec, generate_design
 from repro.netlist.model import Node
 from repro.parallel import TerminalEvaluationPool
+from repro.utils.host import host_metadata
 
 REWARD = NormalizedReward(w_max=2000.0, w_min=500.0, w_avg=1200.0)
 
@@ -343,6 +344,7 @@ def main(argv=None) -> int:
             "min_speedup": args.min_speedup,
         },
         "host_cores": host_cores,
+        "host": host_metadata(),
     }
 
     print(f"host cores: {host_cores}")

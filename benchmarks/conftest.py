@@ -117,5 +117,12 @@ def placer_config(budget: BenchBudget, seed: int = 0):
 
 
 def run_once(benchmark, fn):
-    """Run *fn* exactly once under pytest-benchmark timing."""
+    """Run *fn* exactly once under pytest-benchmark timing.
+
+    Host metadata rides along in ``extra_info`` so every benchmark JSON
+    records what machine produced its numbers.
+    """
+    from repro.utils.host import host_metadata
+
+    benchmark.extra_info.setdefault("host", host_metadata())
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -13,12 +13,22 @@ Subcommands:
   paper-style comparison table.
 - ``suites``    — list the available synthetic benchmark circuits.
 - ``bookshelf`` — export a synthetic circuit as a Bookshelf bundle.
+- ``serve``     — run the placement service daemon over a service dir.
+- ``submit``    — queue one placement job into a service dir.
+- ``status``    — show the job table and the latest metrics snapshot.
+- ``cancel``    — cancel a queued job (or request daemon shutdown).
+- ``result``    — fetch one job's result record, optionally waiting.
+
+The service verbs speak a file-based protocol (``inbox/``, ``control/``,
+``results/``, ``jobs.jsonl``), so clients and daemon need no network
+stack — see :mod:`repro.service`.
 """
 
 from __future__ import annotations
 
 import argparse
 import copy
+import os
 import sys
 
 from repro.core import MCTSGuidedPlacer, PlacerConfig
@@ -26,28 +36,13 @@ from repro.runtime.errors import PlacementError, UsageError
 
 
 def _load_design(args) -> tuple[str, "object"]:
-    from repro.netlist.bookshelf import read_aux
-    from repro.netlist.suites import (
-        ICCAD04_STATS,
-        INDUSTRIAL_STATS,
-        make_iccad04_circuit,
-        make_industrial_circuit,
-    )
+    from repro.service.jobs import resolve_design
 
-    if args.aux:
-        design = read_aux(args.aux)
-        return design.name, design
-    name = args.circuit
-    if name in ICCAD04_STATS:
-        return name, make_iccad04_circuit(
-            name, scale=args.scale, macro_scale=args.macro_scale
-        ).design
-    if name in INDUSTRIAL_STATS:
-        return name, make_industrial_circuit(
-            name, scale=args.scale / 5.0, macro_scale=max(args.macro_scale * 5, 0.3)
-        ).design
-    raise UsageError(
-        f"unknown circuit {name!r}; see 'python -m repro suites'", circuit=name
+    return resolve_design(
+        circuit=args.circuit,
+        aux=args.aux,
+        scale=args.scale,
+        macro_scale=args.macro_scale,
     )
 
 
@@ -89,6 +84,12 @@ def cmd_place(args) -> int:
     print(f"macro groups    : {result.n_macro_groups}")
     print(f"MCTS stage      : {result.mcts_runtime:.1f}s "
           f"(total {result.stopwatch.overall():.1f}s)")
+    breakdown = " | ".join(
+        f"{stage} {seconds:.2f}s"
+        for stage, seconds in result.stage_seconds.items()
+        if seconds > 0.0
+    )
+    print(f"stage breakdown : {breakdown}")
     if args.svg:
         from repro.eval.visualize import save_placement_svg
         from repro.grid.plan import GridPlan
@@ -168,6 +169,129 @@ def cmd_bookshelf(args) -> int:
     return 0
 
 
+# -- placement service -------------------------------------------------------
+def cmd_serve(args) -> int:
+    """Run the placement service daemon over a service directory."""
+    from repro.service import PlacementService
+
+    service = PlacementService(
+        args.service_dir,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        poll_interval=args.poll_interval,
+    )
+    print(f"serving {args.service_dir} "
+          f"(workers={args.workers}, max_queue={args.max_queue}, "
+          f"drain={args.drain})")
+    snapshot = service.run(drain=args.drain, max_seconds=args.max_seconds)
+    jobs = snapshot["jobs"]
+    print("served: " + ", ".join(f"{k}={v}" for k, v in jobs.items()))
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Queue one placement job; prints the job id."""
+    from repro.service import JobSpec
+    from repro.service.service import submit_job
+
+    spec = JobSpec(
+        circuit=None if args.aux else args.circuit,
+        aux=args.aux,
+        scale=args.scale,
+        macro_scale=args.macro_scale,
+        preset=args.preset,
+        seed=args.seed,
+        terminal_workers=args.terminal_workers or 1,
+        budget_seconds=args.budget_seconds,
+    )
+    job_id = submit_job(args.service_dir, spec, priority=args.priority)
+    print(job_id)
+    return 0
+
+
+def cmd_status(args) -> int:
+    """Print the job table and the latest metrics snapshot."""
+    import json
+    import os
+
+    from repro.service import JobStore, ServicePaths
+
+    paths = ServicePaths(args.service_dir)
+    store = JobStore(paths.journal).load()
+    jobs = store.jobs()
+    if args.job:
+        jobs = [j for j in jobs if j.id == args.job]
+        if not jobs:
+            raise UsageError(f"unknown job {args.job!r}",
+                             service_dir=args.service_dir)
+    print(f"{'JOB':16s} {'STATE':10s} {'PRI':>3s} {'WARM':>4s} "
+          f"{'SECONDS':>8s}  HPWL")
+    for job in jobs:
+        hpwl = f"{job.hpwl:.1f}" if job.hpwl is not None else "-"
+        seconds = f"{job.seconds:.1f}" if job.seconds is not None else "-"
+        warm = "yes" if job.warm_hit else "-"
+        line = (f"{job.id:16s} {job.state:10s} {job.priority:3d} "
+                f"{warm:>4s} {seconds:>8s}  {hpwl}")
+        if job.error:
+            line += f"  [{job.error.get('kind')}] {job.error.get('message')}"
+        print(line)
+    counts = store.counts()
+    print("jobs: " + ", ".join(f"{k}={v}" for k, v in counts.items()))
+    if os.path.exists(paths.metrics):
+        with open(paths.metrics) as f:
+            metrics = json.load(f)
+        counters = metrics.get("counters", {})
+        print("metrics: queue_depth=%s warm_hits=%s terminal_cache_hits=%s "
+              "degradations=%s" % (
+                  metrics.get("queue_depth"),
+                  counters.get("warm_hits", 0),
+                  counters.get("terminal_cache_hits", 0),
+                  counters.get("degradations", 0),
+              ))
+        if args.metrics:
+            print(json.dumps(metrics, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    """Request cancellation of a queued job (or daemon shutdown)."""
+    from repro.service.service import request_cancel, request_stop
+
+    if args.shutdown:
+        request_stop(args.service_dir)
+        print("shutdown requested")
+        return 0
+    if not args.job:
+        raise UsageError("cancel needs --job (or --shutdown)")
+    request_cancel(args.service_dir, args.job)
+    print(f"cancel requested for {args.job}")
+    return 0
+
+
+def cmd_result(args) -> int:
+    """Print one job's result record (optionally waiting for it)."""
+    import json
+
+    from repro.service.service import read_result, wait_for_result
+
+    if args.wait:
+        result = wait_for_result(args.service_dir, args.job, timeout=args.wait)
+        if result is None:
+            raise UsageError(
+                f"job {args.job!r} produced no result within {args.wait}s",
+                service_dir=args.service_dir,
+            )
+    else:
+        result = read_result(args.service_dir, args.job)
+        if result is None:
+            raise UsageError(
+                f"no result for job {args.job!r} (still queued/running?)",
+                service_dir=args.service_dir,
+            )
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0 if result["state"] == "DONE" else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -225,6 +349,66 @@ def build_parser() -> argparse.ArgumentParser:
     p_bk.add_argument("--out", required=True, help="output directory")
     p_bk.set_defaults(func=cmd_bookshelf)
 
+    def service_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--service-dir", required=True, dest="service_dir",
+                       help="service directory (inbox/, runs/, jobs.jsonl, ...)")
+
+    p_serve = sub.add_parser("serve", help="run the placement service daemon")
+    service_dir(p_serve)
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="concurrent placement jobs")
+    p_serve.add_argument("--max-queue", type=int, default=64, dest="max_queue",
+                         help="admission limit; submissions beyond this are "
+                              "rejected (FAILED with kind=Backpressure)")
+    p_serve.add_argument("--poll-interval", type=float, default=0.2,
+                         dest="poll_interval",
+                         help="seconds between inbox/control polls")
+    p_serve.add_argument("--drain", action="store_true",
+                         help="exit once all submitted jobs are terminal "
+                              "and the inbox is empty")
+    p_serve.add_argument("--max-seconds", type=float, default=None,
+                         dest="max_seconds",
+                         help="stop serving after this many seconds")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_sub = sub.add_parser("submit", help="queue one placement job")
+    service_dir(p_sub)
+    common(p_sub)
+    p_sub.add_argument("--preset", default="fast",
+                       choices=["fast", "benchmark", "paper"])
+    p_sub.add_argument("--priority", type=int, default=0,
+                       help="higher dispatches first (FIFO within a priority)")
+    p_sub.add_argument("--budget-seconds", type=float, default=None,
+                       dest="budget_seconds",
+                       help="whole-job wall-clock allowance; exceeding it "
+                            "fails the job without affecting siblings")
+    p_sub.add_argument("--terminal-workers", type=int, default=None,
+                       dest="terminal_workers",
+                       help="worker processes for terminal evaluation "
+                            "inside this job")
+    p_sub.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser("status", help="show jobs and service metrics")
+    service_dir(p_status)
+    p_status.add_argument("--job", default=None, help="show only this job")
+    p_status.add_argument("--metrics", action="store_true",
+                          help="also dump the full metrics.json snapshot")
+    p_status.set_defaults(func=cmd_status)
+
+    p_cancel = sub.add_parser("cancel", help="cancel a queued job")
+    service_dir(p_cancel)
+    p_cancel.add_argument("--job", default=None, help="job id to cancel")
+    p_cancel.add_argument("--shutdown", action="store_true",
+                          help="ask the daemon to stop after in-flight jobs")
+    p_cancel.set_defaults(func=cmd_cancel)
+
+    p_res = sub.add_parser("result", help="fetch one job's result record")
+    service_dir(p_res)
+    p_res.add_argument("--job", required=True, help="job id")
+    p_res.add_argument("--wait", type=float, default=None,
+                       help="poll up to this many seconds for the result")
+    p_res.set_defaults(func=cmd_result)
+
     return parser
 
 
@@ -242,6 +426,12 @@ def main(argv: list[str] | None = None) -> int:
     except PlacementError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return exc.exit_code
+    except BrokenPipeError:
+        # Downstream closed early (`repro result | head`); not an error,
+        # but Python would print a traceback when flushing at exit.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

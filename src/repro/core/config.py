@@ -76,6 +76,13 @@ class PlacerConfig:
     #: pure function of the assignment), so this is an execution knob, not
     #: a result knob — it is excluded from the run-dir config fingerprint.
     terminal_workers: int = 1
+    #: explicit path for the cross-run terminal cache JSONL, overriding the
+    #: per-run-dir default.  The placement service points every job at one
+    #: shared file so terminal HPWL results amortize across the fleet
+    #: (entries are fingerprint-keyed, so unrelated designs coexist).  Like
+    #: ``terminal_workers`` this is an execution knob, not a result knob —
+    #: excluded from the run-dir config fingerprint.
+    terminal_cache_path: str | None = None
     #: run the row-based cell legalizer after the final cell placement and
     #: report the legalized HPWL as well (an extension beyond the paper,
     #: which measures the analytical cell placement directly).

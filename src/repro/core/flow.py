@@ -71,6 +71,12 @@ class FlowResult:
     #: rollbacks, budget exhaustion, stage transitions)
     events: EventLog | None = None
 
+    #: canonical order of the per-stage wall-clock breakdown
+    STAGE_ORDER = (
+        "prototype", "preprocess", "calibration", "rl_training", "mcts",
+        "final", "cell_legalization",
+    )
+
     @property
     def mcts_runtime(self) -> float:
         """Seconds spent in the MCTS stage (the Table IV quantity)."""
@@ -79,6 +85,18 @@ class FlowResult:
     @property
     def n_macro_groups(self) -> int:
         return self.coarse.n_macro_groups
+
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage wall-clock breakdown in :attr:`STAGE_ORDER`.
+
+        Sourced from the run's :class:`Stopwatch`; stages that never ran
+        (skipped on resume, optional cell legalization) report 0.0.  The
+        service metrics histograms consume exactly this mapping.
+        """
+        return {
+            stage: self.stopwatch.total(stage) for stage in self.STAGE_ORDER
+        }
 
 
 class MCTSGuidedPlacer:
@@ -196,6 +214,7 @@ class MCTSGuidedPlacer:
         run_dir: str | None = None,
         resume: bool | None = None,
         faults=None,
+        context: RunContext | None = None,
     ) -> FlowResult:
         """Run the full flow on *design* (mutates its node positions).
 
@@ -207,15 +226,29 @@ class MCTSGuidedPlacer:
         run deterministically.  *faults* optionally installs a
         :class:`repro.runtime.faults.FaultPlan` for the duration of the
         run (testing hook).
+
+        *context* hands in an externally owned, pre-built
+        :class:`RunContext` instead — the placement service uses this to
+        attach per-job budgets and pre-injected warm artifacts; when
+        given, *run_dir*/*resume*/*faults* must be left unset (the
+        context already owns them).
         """
         cfg = self.config
-        ctx = RunContext(
-            run_dir if run_dir is not None else cfg.run_dir,
-            cfg,
-            design,
-            resume=cfg.resume if resume is None else resume,
-            fault_plan=faults,
-        )
+        if context is not None:
+            if run_dir is not None or resume is not None or faults is not None:
+                raise ValueError(
+                    "place(context=...) excludes run_dir/resume/faults — "
+                    "the injected RunContext already owns them"
+                )
+            ctx = context
+        else:
+            ctx = RunContext(
+                run_dir if run_dir is not None else cfg.run_dir,
+                cfg,
+                design,
+                resume=cfg.resume if resume is None else resume,
+                fault_plan=faults,
+            )
         self._events = ctx.events
         with ctx.activate_faults():
             return self._run(design, ctx)
@@ -285,7 +318,8 @@ class MCTSGuidedPlacer:
         # every stage below produces bitwise-identical results with or
         # without them.
         terminal_cache = TerminalCache(
-            environment_fingerprint(env), path=ctx.terminal_cache_path()
+            environment_fingerprint(env),
+            path=cfg.terminal_cache_path or ctx.terminal_cache_path(),
         )
         terminal_pool = None
         if cfg.terminal_workers > 1:
@@ -378,6 +412,12 @@ class MCTSGuidedPlacer:
             if terminal_pool is not None:
                 terminal_pool.close()
 
+        events.emit(
+            "terminal_cache",
+            hits=terminal_cache.hits,
+            misses=terminal_cache.misses,
+            entries=len(terminal_cache),
+        )
         events.emit("run_completed", hpwl=hpwl)
         return FlowResult(
             hpwl=hpwl,

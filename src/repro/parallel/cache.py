@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
+
+from repro.utils.events import read_jsonl
 
 
 def environment_fingerprint(env) -> str:
@@ -132,21 +133,11 @@ class TerminalCache:
             f.write(json.dumps(record) + "\n")
 
     def _load(self, path: str) -> None:
-        if not os.path.exists(path):
-            return
-        with open(path) as f:
-            for line in f:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn tail from a kill mid-append
-                if record.get("fingerprint") != self.fingerprint:
-                    continue
-                try:
-                    key = tuple(int(a) for a in record["assignment"])
-                    self._entries[key] = float(record["wirelength"])
-                except (KeyError, TypeError, ValueError):
-                    continue
+        for record in read_jsonl(path):  # tolerates a torn tail line
+            if record.get("fingerprint") != self.fingerprint:
+                continue
+            try:
+                key = tuple(int(a) for a in record["assignment"])
+                self._entries[key] = float(record["wirelength"])
+            except (KeyError, TypeError, ValueError):
+                continue

@@ -64,14 +64,16 @@ def config_fingerprint(config) -> str:
     ``run_dir``/``resume`` are where/how the run persists, not what it
     computes, so they are excluded — a run may be resumed with a different
     run-dir path spelling or from a config that only flips ``resume``.
-    ``terminal_workers`` is likewise excluded: pooled and in-process
-    terminal evaluations are bitwise-identical, so a run may be resumed
-    with a different worker count.
+    ``terminal_workers`` and ``terminal_cache_path`` are likewise
+    excluded: pooled and in-process terminal evaluations are
+    bitwise-identical and the cache is a pure accelerator, so a run may
+    be resumed with a different worker count or cache location.
     """
     payload = dataclasses.asdict(config)
     payload.pop("run_dir", None)
     payload.pop("resume", None)
     payload.pop("terminal_workers", None)
+    payload.pop("terminal_cache_path", None)
     text = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(text.encode()).hexdigest()[:16]
 

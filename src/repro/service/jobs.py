@@ -1,0 +1,380 @@
+"""Job model, durable journal, and the service directory layout.
+
+A *job* is one placement request: a design source (suite circuit or
+Bookshelf ``.aux``), a :class:`~repro.core.config.PlacerConfig` preset
+with a seed, a priority, and an optional wall-clock budget.  Jobs move
+through the state machine::
+
+    QUEUED -> RUNNING -> DONE | FAILED | CANCELLED
+
+Every transition is appended to ``<service_dir>/jobs.jsonl`` — the
+journal is the single source of truth, replayed on daemon start the same
+way :class:`~repro.runtime.checkpoint.RunDir` replays a run manifest.  A
+torn trailing line (daemon killed mid-append) is tolerated exactly like
+the event log and terminal cache (:func:`repro.utils.events.read_jsonl`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import asdict, dataclass, replace
+
+from repro.runtime.errors import UsageError
+from repro.utils.events import read_jsonl
+
+#: job lifecycle states
+QUEUED = "QUEUED"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+#: states a job never leaves
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+def new_job_id() -> str:
+    return "job-" + uuid.uuid4().hex[:12]
+
+
+def resolve_design(
+    circuit: str | None = None,
+    aux: str | None = None,
+    scale: float = 0.01,
+    macro_scale: float = 0.08,
+):
+    """Build the design a job (or a CLI invocation) asks for.
+
+    Shared by ``repro place``/``compare`` and the service scheduler so a
+    job's design is constructed exactly like the single-shot CLI's —
+    which is what makes service HPWLs comparable to ``repro place`` runs.
+    """
+    from repro.netlist.bookshelf import read_aux
+    from repro.netlist.suites import (
+        ICCAD04_STATS,
+        INDUSTRIAL_STATS,
+        make_iccad04_circuit,
+        make_industrial_circuit,
+    )
+
+    if aux:
+        design = read_aux(aux)
+        return design.name, design
+    if circuit in ICCAD04_STATS:
+        return circuit, make_iccad04_circuit(
+            circuit, scale=scale, macro_scale=macro_scale
+        ).design
+    if circuit in INDUSTRIAL_STATS:
+        return circuit, make_industrial_circuit(
+            circuit, scale=scale / 5.0, macro_scale=max(macro_scale * 5, 0.3)
+        ).design
+    raise UsageError(
+        f"unknown circuit {circuit!r}; see 'python -m repro suites'",
+        circuit=circuit,
+    )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything needed to reconstruct one placement job's inputs."""
+
+    circuit: str | None = None
+    aux: str | None = None
+    scale: float = 0.01
+    macro_scale: float = 0.08
+    preset: str = "fast"
+    seed: int = 0
+    #: worker processes for terminal evaluation inside this job (execution
+    #: knob; results are bitwise-identical for every count)
+    terminal_workers: int = 1
+    #: whole-job wall-clock allowance; stages see the remaining budget
+    #: through :class:`repro.service.scheduler.JobRunContext` (None = no cap)
+    budget_seconds: float | None = None
+
+    def validate(self) -> None:
+        if not self.circuit and not self.aux:
+            raise UsageError("job spec needs a circuit name or an aux path")
+        if self.preset not in ("fast", "benchmark", "paper"):
+            raise UsageError(
+                f"unknown preset {self.preset!r}; choose from "
+                "['benchmark', 'fast', 'paper']",
+                preset=self.preset,
+            )
+
+    def build_design(self):
+        return resolve_design(
+            circuit=self.circuit,
+            aux=self.aux,
+            scale=self.scale,
+            macro_scale=self.macro_scale,
+        )
+
+    def build_config(self, terminal_cache_path: str | None = None):
+        from repro.core.config import PlacerConfig
+
+        self.validate()
+        if self.preset == "paper":
+            config = replace(PlacerConfig.paper(), seed=self.seed)
+        else:
+            config = getattr(PlacerConfig, self.preset)(seed=self.seed)
+        return replace(
+            config,
+            terminal_workers=self.terminal_workers,
+            terminal_cache_path=terminal_cache_path,
+        )
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "JobSpec":
+        known = {k: payload[k] for k in cls.__dataclass_fields__ if k in payload}
+        return cls(**known)
+
+
+@dataclass
+class Job:
+    """One job's live state, rebuilt from the journal on load."""
+
+    id: str
+    spec: JobSpec
+    priority: int = 0
+    #: admission order; ties in priority dispatch FIFO on this
+    seq: int = 0
+    state: str = QUEUED
+    submitted_ts: float = 0.0
+    finished_ts: float | None = None
+    attempts: int = 0
+    error: dict | None = None
+    warm_hit: bool = False
+    hpwl: float | None = None
+    seconds: float | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+@dataclass(frozen=True)
+class ServicePaths:
+    """File layout of one service directory."""
+
+    root: str
+
+    @property
+    def inbox(self) -> str:
+        return os.path.join(self.root, "inbox")
+
+    @property
+    def control(self) -> str:
+        return os.path.join(self.root, "control")
+
+    @property
+    def runs(self) -> str:
+        return os.path.join(self.root, "runs")
+
+    @property
+    def results(self) -> str:
+        return os.path.join(self.root, "results")
+
+    @property
+    def warm(self) -> str:
+        return os.path.join(self.root, "warm")
+
+    @property
+    def journal(self) -> str:
+        return os.path.join(self.root, "jobs.jsonl")
+
+    @property
+    def metrics(self) -> str:
+        return os.path.join(self.root, "metrics.json")
+
+    @property
+    def terminal_cache(self) -> str:
+        """One fleet-wide terminal cache file; entries are keyed by an
+        environment fingerprint, so jobs on different designs coexist."""
+        return os.path.join(self.root, "terminal_cache.jsonl")
+
+    @property
+    def stop_file(self) -> str:
+        return os.path.join(self.control, "stop")
+
+    def run_dir(self, job_id: str) -> str:
+        return os.path.join(self.runs, job_id)
+
+    def result_file(self, job_id: str) -> str:
+        return os.path.join(self.results, job_id + ".json")
+
+    def ensure(self) -> "ServicePaths":
+        for d in (self.root, self.inbox, self.control, self.runs,
+                  self.results, self.warm):
+            os.makedirs(d, exist_ok=True)
+        return self
+
+
+def write_json_atomic(path: str, payload: dict) -> None:
+    """tmp-file + ``os.replace`` write, the run-manifest convention."""
+    tmp = f"{path}.{os.getpid()}.{uuid.uuid4().hex[:6]}.tmp"
+    with open(tmp, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+class JobStore:
+    """In-memory job table backed by the append-only JSONL journal.
+
+    Thread-safe: the daemon's poll loop and every scheduler worker
+    transition jobs concurrently.  ``load()`` replays the journal, so a
+    restarted daemon (or a read-only CLI like ``repro status``) sees the
+    exact pre-crash state; a torn tail line is skipped, which at worst
+    forgets the very last transition — never corrupts earlier ones.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self._seq = 0
+
+    # -- journal ---------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        with open(self.path, "a") as f:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+    def load(self) -> "JobStore":
+        with self._lock:
+            self._jobs.clear()
+            self._seq = 0
+            for record in read_jsonl(self.path):
+                kind = record.get("record")
+                if kind == "submit":
+                    try:
+                        job = Job(
+                            id=record["id"],
+                            spec=JobSpec.from_json(record.get("spec", {})),
+                            priority=int(record.get("priority", 0)),
+                            seq=int(record.get("seq", 0)),
+                            state=record.get("state", QUEUED),
+                            submitted_ts=float(record.get("ts", 0.0)),
+                            error=record.get("error"),
+                        )
+                    except (KeyError, TypeError, ValueError):
+                        continue
+                    self._jobs[job.id] = job
+                    self._seq = max(self._seq, job.seq)
+                elif kind == "state":
+                    job = self._jobs.get(record.get("id"))
+                    if job is None or record.get("state") not in STATES:
+                        continue
+                    self._apply(job, record)
+        return self
+
+    @staticmethod
+    def _apply(job: Job, record: dict) -> None:
+        job.state = record["state"]
+        if job.state == RUNNING:
+            job.attempts = int(record.get("attempt", job.attempts + 1))
+        if "error" in record:
+            job.error = record["error"]
+        if "warm_hit" in record:
+            job.warm_hit = bool(record["warm_hit"])
+        if "hpwl" in record:
+            job.hpwl = record["hpwl"]
+        if "seconds" in record:
+            job.seconds = record["seconds"]
+        if job.terminal:
+            job.finished_ts = float(record.get("ts", 0.0))
+
+    # -- mutations -------------------------------------------------------------
+    def add(
+        self,
+        spec: JobSpec,
+        job_id: str | None = None,
+        priority: int = 0,
+        state: str = QUEUED,
+        error: dict | None = None,
+        submitted_ts: float | None = None,
+    ) -> Job:
+        """Admit one job (or record its rejection when *state* is FAILED)."""
+        with self._lock:
+            self._seq += 1
+            job = Job(
+                id=job_id or new_job_id(),
+                spec=spec,
+                priority=priority,
+                seq=self._seq,
+                state=state,
+                submitted_ts=(
+                    time.time() if submitted_ts is None else submitted_ts
+                ),
+                error=error,
+            )
+            if job.id in self._jobs:
+                raise UsageError(f"duplicate job id {job.id!r}")
+            self._jobs[job.id] = job
+            self._append(
+                {
+                    "record": "submit",
+                    "id": job.id,
+                    "ts": job.submitted_ts,
+                    "seq": job.seq,
+                    "priority": job.priority,
+                    "state": job.state,
+                    "spec": job.spec.to_json(),
+                    **({"error": error} if error else {}),
+                }
+            )
+        return job
+
+    def transition(self, job_id: str, state: str, **extra) -> Job:
+        with self._lock:
+            job = self._jobs[job_id]
+            record = {
+                "record": "state",
+                "id": job_id,
+                "state": state,
+                "ts": time.time(),
+                **extra,
+            }
+            self._apply(job, record)
+            self._append(record)
+            return job
+
+    # -- queries ---------------------------------------------------------------
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def in_state(self, state: str) -> list[Job]:
+        with self._lock:
+            return sorted(
+                (j for j in self._jobs.values() if j.state == state),
+                key=lambda j: (-j.priority, j.seq),
+            )
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            out = {state: 0 for state in STATES}
+            for job in self._jobs.values():
+                out[job.state] += 1
+            return out
+
+    def queue_depth(self) -> int:
+        return self.counts()[QUEUED]
+
+    def active(self) -> bool:
+        counts = self.counts()
+        return counts[QUEUED] > 0 or counts[RUNNING] > 0

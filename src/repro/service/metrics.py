@@ -1,0 +1,105 @@
+"""Service metrics: counters, gauges, and latency histograms.
+
+One :class:`ServiceMetrics` instance lives in the daemon; every poll
+cycle snapshots it to ``<service_dir>/metrics.json`` (atomic write), and
+``repro status`` prints from that file — the metrics surface works
+across processes without any RPC.
+
+Histograms keep exact count/sum/min/max plus a bounded window of recent
+observations for percentiles; with fewer than ``window`` observations
+the percentiles are exact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.service.jobs import write_json_atomic
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted list."""
+    rank = max(0, min(len(values) - 1, round(q * (len(values) - 1))))
+    return values[rank]
+
+
+class _Histogram:
+    __slots__ = ("count", "sum", "min", "max", "window")
+
+    def __init__(self, window: int) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.window: deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.window.append(value)
+
+    def snapshot(self) -> dict:
+        recent = sorted(self.window)
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "mean": round(self.sum / self.count, 6),
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+            "p50": round(_percentile(recent, 0.50), 6),
+            "p90": round(_percentile(recent, 0.90), 6),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters / gauges / histograms with JSON snapshots."""
+
+    def __init__(self, window: int = 512) -> None:
+        self._lock = threading.Lock()
+        self._window = window
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, _Histogram] = {}
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = _Histogram(self._window)
+            hist.observe(value)
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    name: hist.snapshot()
+                    for name, hist in sorted(self._histograms.items())
+                    if hist.count
+                },
+            }
+
+    def write(self, path: str, **top_level) -> dict:
+        """Snapshot to *path* (atomic); *top_level* keys merge in above
+        the counters/gauges/histograms sections."""
+        payload = {"ts": round(time.time(), 3), **top_level, **self.snapshot()}
+        write_json_atomic(path, payload)
+        return payload

@@ -1,0 +1,124 @@
+"""Worker scheduling and per-job budgets.
+
+The :class:`Scheduler` multiplexes admitted jobs over a bounded pool of
+worker threads — priority first, FIFO within a priority (the dispatch key
+is ``(-priority, seq)``).  Workers re-check a job's state at dispatch
+time, so a job cancelled while queued is simply skipped.  A job that
+raises — structured :class:`~repro.runtime.errors.PlacementError`,
+budget exhaustion, anything — is contained by its executor: the worker
+records the failure and moves on to the next job; siblings and the
+daemon never see the exception.
+
+:class:`JobRunContext` extends the PR 1 :class:`RunContext` with a
+*job-level* wall-clock budget: every stage budget the flow requests is
+clipped to the job's remaining allowance (reusing
+:class:`~repro.runtime.budget.StageBudget` unchanged), so anytime stages
+stop early and hard stages raise ``StageTimeoutError`` once the job is
+out of time — which the executor turns into a FAILED job.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro.runtime.budget import StageBudget
+from repro.runtime.harness import RunContext
+
+
+class JobRunContext(RunContext):
+    """RunContext whose stage budgets are clipped by a whole-job budget."""
+
+    def __init__(
+        self,
+        run_dir: str | None,
+        config,
+        design,
+        resume: bool = False,
+        job_budget: StageBudget | None = None,
+    ) -> None:
+        super().__init__(run_dir, config, design, resume=resume)
+        self.job_budget = job_budget
+
+    def budget(self, stage: str) -> StageBudget:
+        base = super().budget(stage)
+        job = self.job_budget
+        if job is None or job.seconds is None:
+            return base
+        remaining = max(0.0, job.remaining())
+        if base.seconds is None or remaining < base.seconds:
+            return StageBudget(stage, remaining)
+        return base
+
+
+class Scheduler:
+    """Dispatches queued jobs to a bounded pool of worker threads.
+
+    Args:
+        execute: callable invoked with a job id; owns all state
+            transitions and must not raise (the service's executor
+            converts failures into FAILED transitions).
+        should_run: callable returning True when the job id is still
+            dispatchable (i.e. QUEUED) — the cancel-while-queued check.
+        workers: thread count; the bounded capacity every job shares.
+    """
+
+    def __init__(self, execute, should_run, workers: int = 1) -> None:
+        self.execute = execute
+        self.should_run = should_run
+        self.workers = max(1, int(workers))
+        self._queue: queue.PriorityQueue = queue.PriorityQueue()
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._inflight = 0
+        self._lock = threading.Lock()
+        self._enqueued: set[str] = set()
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> None:
+        if self._threads:
+            return
+        self._stop.clear()
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._worker, name=f"repro-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def stop(self) -> None:
+        """Stop dispatching and wait for in-flight jobs to finish."""
+        self._stop.set()
+        for t in self._threads:
+            t.join()
+        self._threads.clear()
+
+    # -- dispatch --------------------------------------------------------------
+    def enqueue(self, job) -> bool:
+        """Queue *job* for dispatch (idempotent per job id)."""
+        with self._lock:
+            if job.id in self._enqueued:
+                return False
+            self._enqueued.add(job.id)
+        self._queue.put((-job.priority, job.seq, job.id))
+        return True
+
+    def idle(self) -> bool:
+        with self._lock:
+            return self._queue.empty() and self._inflight == 0
+
+    def _worker(self) -> None:
+        while not self._stop.is_set():
+            try:
+                _, _, job_id = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            with self._lock:
+                self._inflight += 1
+            try:
+                if self.should_run(job_id):
+                    self.execute(job_id)
+            finally:
+                with self._lock:
+                    self._inflight -= 1
+                self._queue.task_done()

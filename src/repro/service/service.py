@@ -1,0 +1,400 @@
+"""The placement service daemon and its file-based client protocol.
+
+Protocol (everything under one ``--service-dir``):
+
+- **submit** — a client drops ``inbox/<ns>-<job_id>.json`` (atomic
+  tmp+rename) holding the job id, spec, and priority.  The daemon admits
+  inbox files in filename order (the ``<ns>`` prefix is a nanosecond
+  timestamp, so admission is FIFO) and journals them; when the queue is
+  at ``max_queue`` the job is journaled FAILED with a structured
+  backpressure error instead — admission control, not silent loss.
+- **cancel** — a client drops ``control/cancel-<job_id>.json``.  A
+  QUEUED job flips to CANCELLED; a RUNNING or finished job is left
+  alone and the refusal is journaled as an event in the metrics.
+- **stop** — the ``control/stop`` file asks the daemon to exit after
+  in-flight jobs finish.
+- **results** — the daemon writes ``results/<job_id>.json`` when a job
+  reaches a terminal state; ``jobs.jsonl`` carries every transition and
+  ``metrics.json`` the latest metrics snapshot.
+
+Each job runs in its own run dir under ``runs/<job_id>/`` with the full
+PR 1 checkpoint/resume machinery, so killing the daemon mid-job and
+restarting resumes RUNNING jobs from their checkpoints (the recovery
+pass re-queues them; the executor sees the existing manifest and resumes)
+without re-running completed ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.runtime.budget import StageBudget
+from repro.runtime.errors import PlacementError
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobSpec,
+    JobStore,
+    ServicePaths,
+    new_job_id,
+    write_json_atomic,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import JobRunContext, Scheduler
+from repro.service.warm import WarmArtifactCache
+
+
+# -- client side (no daemon required) ---------------------------------------
+def submit_job(
+    service_dir: str,
+    spec: JobSpec,
+    priority: int = 0,
+    job_id: str | None = None,
+) -> str:
+    """Drop one submission into the service inbox; returns the job id."""
+    spec.validate()
+    paths = ServicePaths(service_dir).ensure()
+    job_id = job_id or new_job_id()
+    payload = {
+        "id": job_id,
+        "priority": priority,
+        "ts": time.time(),
+        "spec": spec.to_json(),
+    }
+    final = os.path.join(paths.inbox, f"{time.time_ns():020d}-{job_id}.json")
+    write_json_atomic(final, payload)
+    return job_id
+
+
+def request_cancel(service_dir: str, job_id: str) -> None:
+    paths = ServicePaths(service_dir).ensure()
+    write_json_atomic(
+        os.path.join(paths.control, f"cancel-{job_id}.json"), {"id": job_id}
+    )
+
+
+def request_stop(service_dir: str) -> None:
+    paths = ServicePaths(service_dir).ensure()
+    write_json_atomic(paths.stop_file, {"ts": time.time()})
+
+
+def read_result(service_dir: str, job_id: str) -> dict | None:
+    path = ServicePaths(service_dir).result_file(job_id)
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def wait_for_result(
+    service_dir: str, job_id: str, timeout: float, poll: float = 0.25
+) -> dict | None:
+    """Poll until the job's result file appears (None on timeout)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        result = read_result(service_dir, job_id)
+        if result is not None:
+            return result
+        if time.monotonic() >= deadline:
+            return None
+        time.sleep(poll)
+
+
+class PlacementService:
+    """The daemon: admission, scheduling, warm reuse, metrics, recovery."""
+
+    def __init__(
+        self,
+        service_dir: str,
+        workers: int = 1,
+        max_queue: int = 64,
+        poll_interval: float = 0.2,
+    ) -> None:
+        self.paths = ServicePaths(service_dir).ensure()
+        self.store = JobStore(self.paths.journal).load()
+        self.metrics = ServiceMetrics()
+        self.warm = WarmArtifactCache(self.paths.warm)
+        self.max_queue = max_queue
+        self.poll_interval = poll_interval
+        self.scheduler = Scheduler(
+            self._execute, self._dispatchable, workers=workers
+        )
+        self._recover()
+
+    # -- recovery --------------------------------------------------------------
+    def _recover(self) -> None:
+        """Re-queue interrupted work from the journal.
+
+        RUNNING jobs were in flight when the previous daemon died: they
+        go back to QUEUED (journaled, reason-tagged) and — because their
+        run dir already holds a manifest — the executor resumes them from
+        their checkpoints rather than starting over.  Jobs already in a
+        terminal state are left exactly as the journal says.
+        """
+        for job in self.store.in_state(RUNNING):
+            self.store.transition(job.id, QUEUED, reason="daemon_restart")
+            self.metrics.inc("jobs_recovered")
+        for job in self.store.in_state(QUEUED):
+            self.scheduler.enqueue(job)
+
+    # -- admission + control ---------------------------------------------------
+    def poll(self) -> None:
+        """One daemon cycle: admit inbox, apply control, dispatch."""
+        admitted = self._poll_inbox()
+        self._poll_control()
+        # Dispatch after control so a cancel dropped alongside (or before)
+        # a submission deterministically beats the dispatch.
+        for job in admitted:
+            if job.state == QUEUED:
+                self.scheduler.enqueue(job)
+        self.write_metrics()
+
+    def _poll_inbox(self) -> list[Job]:
+        admitted: list[Job] = []
+        try:
+            names = sorted(os.listdir(self.paths.inbox))
+        except FileNotFoundError:
+            return admitted
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.paths.inbox, name)
+            try:
+                with open(path) as f:
+                    payload = json.load(f)
+                spec = JobSpec.from_json(payload.get("spec", {}))
+                job_id = payload.get("id") or new_job_id()
+                priority = int(payload.get("priority", 0))
+                submitted_ts = payload.get("ts")
+            except (json.JSONDecodeError, TypeError, ValueError, OSError):
+                continue  # half-written submission; retry next cycle
+            self.metrics.inc("jobs_submitted")
+            if self.store.get(job_id) is not None:
+                os.remove(path)  # duplicate redelivery; already journaled
+                continue
+            if self.store.queue_depth() >= self.max_queue:
+                error = {
+                    "kind": "Backpressure",
+                    "message": (
+                        f"admission rejected: queue depth "
+                        f"{self.store.queue_depth()} >= max_queue "
+                        f"{self.max_queue}"
+                    ),
+                }
+                job = self.store.add(
+                    spec, job_id=job_id, priority=priority, state=FAILED,
+                    error=error, submitted_ts=submitted_ts,
+                )
+                self._write_result(job)
+                self.metrics.inc("jobs_rejected")
+            else:
+                job = self.store.add(
+                    spec, job_id=job_id, priority=priority,
+                    submitted_ts=submitted_ts,
+                )
+                admitted.append(job)
+                self.metrics.inc("jobs_admitted")
+            os.remove(path)
+        return admitted
+
+    def _poll_control(self) -> None:
+        try:
+            names = sorted(os.listdir(self.paths.control))
+        except FileNotFoundError:
+            return
+        for name in names:
+            if not name.startswith("cancel-") or not name.endswith(".json"):
+                continue
+            path = os.path.join(self.paths.control, name)
+            try:
+                with open(path) as f:
+                    job_id = json.load(f).get("id")
+            except (json.JSONDecodeError, OSError):
+                continue
+            self.cancel(job_id)
+            os.remove(path)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a QUEUED job; refuse (journaled in metrics) otherwise."""
+        job = self.store.get(job_id)
+        if job is None:
+            self.metrics.inc("cancel_unknown")
+            return False
+        if job.state != QUEUED:
+            # RUNNING jobs are not preempted (the flow has no safe
+            # interruption point we control from outside); terminal jobs
+            # have nothing to cancel.
+            self.metrics.inc("cancel_refused")
+            return False
+        self.store.transition(job_id, CANCELLED)
+        self._write_result(self.store.get(job_id))
+        self.metrics.inc("jobs_cancelled")
+        return True
+
+    def stop_requested(self) -> bool:
+        return os.path.exists(self.paths.stop_file)
+
+    # -- execution -------------------------------------------------------------
+    def _dispatchable(self, job_id: str) -> bool:
+        job = self.store.get(job_id)
+        return job is not None and job.state == QUEUED
+
+    def _execute(self, job_id: str) -> None:
+        """Run one job end to end; never raises (scheduler contract)."""
+        job = self.store.get(job_id)
+        run_dir = self.paths.run_dir(job.id)
+        resume = os.path.exists(os.path.join(run_dir, "manifest.json"))
+        started = time.perf_counter()
+        warm_hit = False
+        try:
+            name, design = job.spec.build_design()
+            config = job.spec.build_config(
+                terminal_cache_path=self.paths.terminal_cache
+            )
+            self.store.transition(
+                job.id, RUNNING, attempt=job.attempts + 1, resume=resume,
+                design=name,
+            )
+            self.write_metrics()
+            ctx = JobRunContext(
+                run_dir,
+                config,
+                design,
+                resume=resume,
+                job_budget=StageBudget("job", job.spec.budget_seconds),
+            )
+            warm_key = self.warm.key(config, design)
+            if not resume:
+                warm_hit = self.warm.inject(warm_key, ctx)
+            self.metrics.inc("warm_hits" if warm_hit else "warm_misses")
+
+            from repro.core.flow import MCTSGuidedPlacer
+
+            result = MCTSGuidedPlacer(config).place(design, context=ctx)
+        except PlacementError as exc:
+            self._finish_failed(job, started, {
+                "kind": type(exc).__name__,
+                "message": exc.message,
+                "stage": exc.stage,
+                "exit_code": exc.exit_code,
+                "details": {k: repr(v) for k, v in exc.details.items()},
+            })
+            return
+        except Exception as exc:  # noqa: BLE001 — jobs must not kill workers
+            self._finish_failed(
+                job, started, {"kind": type(exc).__name__, "message": str(exc)}
+            )
+            return
+
+        seconds = time.perf_counter() - started
+        self.warm.store(warm_key, run_dir)
+        best = min(result.hpwl, result.search.best_terminal_wirelength)
+        for stage, stage_seconds in result.stage_seconds.items():
+            if stage_seconds > 0.0:
+                self.metrics.observe(f"stage_seconds.{stage}", stage_seconds)
+        self.metrics.observe("job_seconds", seconds)
+        for event in result.events.of("terminal_cache"):
+            self.metrics.inc("terminal_cache_hits", event.data["hits"])
+            self.metrics.inc("terminal_cache_misses", event.data["misses"])
+        self.metrics.inc("degradations", len(result.events.of("degradation")))
+        self.store.transition(
+            job.id, DONE,
+            hpwl=result.hpwl,
+            warm_hit=warm_hit,
+            seconds=round(seconds, 3),
+        )
+        self.metrics.inc("jobs_done")
+        self._write_result(
+            self.store.get(job.id),
+            hpwl=result.hpwl,
+            best_hpwl=best,
+            n_macro_groups=result.n_macro_groups,
+            stage_seconds={
+                k: round(v, 6) for k, v in result.stage_seconds.items()
+            },
+        )
+        self.write_metrics()
+
+    def _finish_failed(self, job: Job, started: float, error: dict) -> None:
+        seconds = round(time.perf_counter() - started, 3)
+        self.store.transition(job.id, FAILED, error=error, seconds=seconds)
+        self.metrics.inc("jobs_failed")
+        self._write_result(self.store.get(job.id))
+        self.write_metrics()
+
+    def _write_result(self, job: Job, **extra) -> None:
+        payload = {
+            "id": job.id,
+            "state": job.state,
+            "spec": job.spec.to_json(),
+            "priority": job.priority,
+            "attempts": job.attempts,
+            "warm_hit": job.warm_hit,
+            "seconds": job.seconds,
+            "error": job.error,
+            **extra,
+        }
+        write_json_atomic(self.paths.result_file(job.id), payload)
+
+    # -- metrics ---------------------------------------------------------------
+    def write_metrics(self) -> dict:
+        counts = self.store.counts()
+        self.metrics.set_gauge("queue_depth", counts[QUEUED])
+        self.metrics.set_gauge("running", counts[RUNNING])
+        self.metrics.set_gauge("warm_cache_entries", len(self.warm.keys()))
+        return self.metrics.write(
+            self.paths.metrics,
+            queue_depth=counts[QUEUED],
+            jobs=counts,
+        )
+
+    # -- daemon loop -----------------------------------------------------------
+    def run(
+        self,
+        drain: bool = False,
+        max_seconds: float | None = None,
+    ) -> dict:
+        """Serve until stopped.
+
+        *drain* exits once the inbox is empty and every job is terminal
+        (the batch mode CI and tests use); otherwise the daemon serves
+        until ``control/stop`` appears or *max_seconds* elapses.  Returns
+        the final metrics snapshot.
+        """
+        started = time.monotonic()
+        self.scheduler.start()
+        try:
+            while True:
+                self.poll()
+                if drain and self._drained():
+                    break
+                if self.stop_requested():
+                    break
+                if (max_seconds is not None
+                        and time.monotonic() - started >= max_seconds):
+                    break
+                time.sleep(self.poll_interval)
+        finally:
+            self.scheduler.stop()
+            try:
+                os.remove(self.paths.stop_file)
+            except FileNotFoundError:
+                pass
+        return self.write_metrics()
+
+    def _drained(self) -> bool:
+        if not self.scheduler.idle() or self.store.active():
+            return False
+        try:
+            inbox_empty = not any(
+                n.endswith(".json") for n in os.listdir(self.paths.inbox)
+            )
+        except FileNotFoundError:
+            inbox_empty = True
+        return inbox_empty

@@ -1,0 +1,130 @@
+"""Warm-artifact cache: skip pre-training on repeat jobs.
+
+Pre-training (reward calibration + Actor-Critic episodes) dominates a
+job's wall-clock and is a pure function of (design, config) — seed
+included, since the trained weights depend on it.  The cache stores the
+three stage artifacts the run harness already knows how to restore
+(``calibration.json``, ``network.npz``, ``training.json``) under a
+fingerprint key; a later job with the same key gets them *injected* into
+its fresh run dir with the two stages pre-marked complete, so the flow's
+ordinary resume path loads them — network weights plus the post-training
+RNG state — and continues straight into MCTS.  Because that is exactly
+the code path the kill-and-resume tests prove bit-for-bit, a warm job's
+HPWL is bitwise-identical to an uninterrupted cold run with the same
+seed: the cache trades time, never determinism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import uuid
+
+from repro.runtime.checkpoint import config_fingerprint
+
+#: the stage artifacts that constitute "pre-training is done"
+ARTIFACTS = ("calibration.json", "network.npz", "training.json")
+#: stages those artifacts complete
+WARM_STAGES = ("calibration", "rl_training")
+
+
+def design_key(design) -> str:
+    """Content hash of the design identity (finer than the manifest's
+    coarse fingerprint: includes region geometry and total node area, so
+    two same-named designs with equal counts don't alias)."""
+    nl = design.netlist
+    payload = {
+        "name": nl.name,
+        "n_nodes": len(nl),
+        "n_nets": len(nl.nets),
+        "area": repr(float(sum(node.area for node in nl))),
+        "region": [
+            repr(float(v))
+            for v in (design.region.x, design.region.y,
+                      design.region.width, design.region.height)
+        ],
+    }
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+
+class WarmArtifactCache:
+    """Fingerprint-keyed store of pre-trained flow artifacts."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key(self, config, design) -> str:
+        """``<config fingerprint>-<design hash>``; the config fingerprint
+        already excludes execution knobs (run dir, workers, cache path)."""
+        return f"{config_fingerprint(config)}-{design_key(design)}"
+
+    def _entry_dir(self, key: str) -> str:
+        return os.path.join(self.root, key)
+
+    def has(self, key: str) -> bool:
+        entry = self._entry_dir(key)
+        return all(
+            os.path.exists(os.path.join(entry, name)) for name in ARTIFACTS
+        )
+
+    # -- population ------------------------------------------------------------
+    def store(self, key: str, run_dir: str) -> bool:
+        """Copy a completed run dir's pre-training artifacts under *key*.
+
+        No-op when the key is already populated or the run dir is missing
+        an artifact.  The copy lands in a temp dir first and is renamed
+        into place, so a concurrently reading (or crashing) daemon never
+        observes a half-written entry.
+        """
+        if self.has(key):
+            return False
+        sources = [os.path.join(run_dir, name) for name in ARTIFACTS]
+        if not all(os.path.exists(src) for src in sources):
+            return False
+        tmp = os.path.join(self.root, f".{key}.{uuid.uuid4().hex[:6]}.tmp")
+        os.makedirs(tmp, exist_ok=True)
+        try:
+            for src, name in zip(sources, ARTIFACTS):
+                shutil.copy2(src, os.path.join(tmp, name))
+            os.replace(tmp, self._entry_dir(key))
+        except OSError:
+            shutil.rmtree(tmp, ignore_errors=True)
+            return self.has(key)  # lost a benign race to a sibling worker
+        self.stores += 1
+        return True
+
+    # -- injection -------------------------------------------------------------
+    def inject(self, key: str, ctx) -> bool:
+        """Pre-complete calibration + rl_training in *ctx*'s run dir.
+
+        Copies the cached artifacts in and marks both stages completed in
+        the manifest (tagged ``warm``), so the flow's resume path restores
+        them instead of re-training.  Returns True on a hit.
+        """
+        if ctx.dir is None:
+            return False
+        if not self.has(key):
+            self.misses += 1
+            return False
+        entry = self._entry_dir(key)
+        for name in ARTIFACTS:
+            shutil.copy2(os.path.join(entry, name), ctx.dir.file(name))
+        for stage in WARM_STAGES:
+            ctx.manifest["stages"][stage] = {"completed": True, "warm": True}
+        ctx.dir.write_manifest(ctx.manifest)
+        self.hits += 1
+        ctx.events.emit("warm_artifacts_injected", key=key)
+        return True
+
+    def keys(self) -> list[str]:
+        return sorted(
+            name for name in os.listdir(self.root)
+            if not name.startswith(".") and self.has(name)
+        )

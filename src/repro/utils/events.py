@@ -16,6 +16,33 @@ import time
 from dataclasses import dataclass, field
 
 
+def read_jsonl(path: str) -> list[dict]:
+    """Parse a JSONL file into dicts, tolerating damaged lines.
+
+    This is the repo-wide convention for append-only JSONL state (event
+    logs, the terminal cache, the service job journal): a process killed
+    mid-append leaves a torn trailing line, which is skipped rather than
+    raised on — everything written before the crash stays readable.
+    Non-dict records (a bare number or string that happens to parse) are
+    skipped for the same reason.
+    """
+    records: list[dict] = []
+    if not os.path.exists(path):
+        return records
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn line from a kill mid-write
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
 @dataclass
 class Event:
     """One structured occurrence."""
@@ -62,16 +89,4 @@ class EventLog:
     def read(path: str) -> list[dict]:
         """Parse a JSONL event file back into dicts (tolerates a torn tail
         line, which a kill mid-write can leave behind)."""
-        records: list[dict] = []
-        if not os.path.exists(path):
-            return records
-        with open(path) as f:
-            for line in f:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(json.loads(line))
-                except json.JSONDecodeError:
-                    continue
-        return records
+        return read_jsonl(path)

@@ -1,0 +1,25 @@
+"""Host metadata for benchmark reports.
+
+Throughput numbers are meaningless without knowing what they were
+measured on; every ``BENCH_*.json`` embeds this snapshot so reports
+pulled from different CI runners (or laptops) can be compared honestly.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+
+def host_metadata() -> dict:
+    """Machine facts that contextualize wall-clock measurements."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "executable": sys.executable,
+    }

@@ -80,6 +80,24 @@ class TestFullFlow:
             assert result.stopwatch.total(stage) > 0
         assert result.mcts_runtime == result.stopwatch.total("mcts")
 
+    def test_stage_seconds_breakdown(self, flow_result):
+        """The per-stage wall-clock accessor the CLI and service print."""
+        _, result = flow_result
+        breakdown = result.stage_seconds
+        assert tuple(breakdown) == result.STAGE_ORDER
+        for stage, seconds in breakdown.items():
+            assert seconds == result.stopwatch.total(stage)
+        # Cell legalization is off by default, so its slot reads zero.
+        assert breakdown["cell_legalization"] == 0.0
+        assert sum(breakdown.values()) == pytest.approx(
+            result.stopwatch.overall()
+        )
+
+    def test_result_accessors(self, flow_result):
+        _, result = flow_result
+        assert result.n_macro_groups == len(result.assignment) > 0
+        assert result.mcts_runtime > 0
+
     def test_flow_beats_random_play(self, flow_result):
         """The training process must beat the mean random-play wirelength
         captured by the reward calibration; the committed MCTS result may

@@ -1,12 +1,33 @@
-"""Utility tests: RNG plumbing and stopwatch."""
+"""Utility tests: RNG plumbing, stopwatch, tolerant JSONL reading."""
 
+import json
 import time
 
 import numpy as np
 import pytest
 
+from repro.utils.events import read_jsonl
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.timer import Stopwatch, timed
+
+
+class TestReadJsonl:
+    """The shared tolerant reader behind the event log, the terminal
+    cache, and the service job journal."""
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_jsonl(str(tmp_path / "nope.jsonl")) == []
+
+    def test_skips_torn_and_non_dict_records(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            json.dumps({"a": 1}) + "\n"
+            + "[1, 2, 3]\n"          # valid JSON, wrong shape
+            + '"just a string"\n'
+            + json.dumps({"b": 2}) + "\n"
+            + '{"torn": tr'           # killed mid-append
+        )
+        assert read_jsonl(str(path)) == [{"a": 1}, {"b": 2}]
 
 
 class TestRng:
