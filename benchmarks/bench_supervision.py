@@ -1,0 +1,161 @@
+"""Supervision benchmark: chaos-drill outcomes and clean-path overhead.
+
+Two questions, one tiny suite circuit:
+
+1. **Does self-healing actually heal?**  Runs the full fault-injection
+   drill (:mod:`repro.service.chaos`): worker kill, checkpoint bit-rot,
+   stage stall, warm-cache corruption, and a poison job.  Gate: every
+   scenario passes — faulted jobs end DONE-after-retry with HPWL
+   *bit-identical* to the unfaulted baseline, the poison job ends
+   QUARANTINED, nothing hangs.
+2. **What does supervision cost when nothing fails?**  The clean path
+   now computes artifact checksums, streams heartbeats from every event
+   and budget poll, and re-verifies the final placement.  Measures
+   min-of-N wall-clock of the flow with full supervision (heartbeat +
+   verification) against the plain persisted flow.  Gate: overhead
+   under 2%.
+
+Writes a JSON report (default ``BENCH_pr5.json``)::
+
+    python benchmarks/bench_supervision.py --quick --output BENCH_pr5.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import replace
+
+from repro.core import MCTSGuidedPlacer, PlacerConfig
+from repro.service.chaos import DEFAULT_SPEC, format_report, run_chaos_drill
+from repro.service.jobs import resolve_design
+from repro.service.scheduler import JobRunContext
+from repro.service.supervisor import Heartbeat
+from repro.utils.host import host_metadata
+
+SPEC_KW = dict(circuit="ibm01", scale=0.004, macro_scale=0.04, preset="fast")
+
+
+def bench_chaos(root: str, stall_seconds: float) -> dict:
+    report = run_chaos_drill(root, stall_seconds=stall_seconds)
+    print(format_report(report))
+    return {
+        "ok": report["ok"],
+        "reference_hpwl": report.get("reference_hpwl"),
+        "total_seconds": report.get("total_seconds"),
+        "scenarios": [
+            {
+                "name": s["name"],
+                "ok": s["ok"],
+                "seconds": s["seconds"],
+                "states": [f"{j['state']}:a{j['attempts']}" for j in s["jobs"]],
+            }
+            for s in report["scenarios"]
+        ],
+    }
+
+
+def _time_flow(config: PlacerConfig, design, heartbeat: bool) -> float:
+    """One cold flow run into a throwaway run dir; returns wall seconds."""
+    run_dir = tempfile.mkdtemp(prefix="bench-supervision-run-")
+    try:
+        ctx = JobRunContext(
+            run_dir,
+            config,
+            design,
+            heartbeat=Heartbeat("bench", 1) if heartbeat else None,
+        )
+        started = time.perf_counter()
+        MCTSGuidedPlacer(config).place(design, context=ctx)
+        return time.perf_counter() - started
+    finally:
+        shutil.rmtree(run_dir, ignore_errors=True)
+
+
+def bench_overhead(repeats: int, seed: int) -> dict:
+    """Min-of-*repeats* clean-path cost of supervision on the quick config.
+
+    *base* is the persisted flow exactly as a pre-supervision service ran
+    it (checkpoints, budgets, no heartbeat, no verification); *supervised*
+    adds the full PR 5 clean-path machinery: a heartbeat fed by every
+    event emission and budget poll, plus independent result verification.
+    """
+    _, design = resolve_design(
+        circuit=SPEC_KW["circuit"], scale=SPEC_KW["scale"],
+        macro_scale=SPEC_KW["macro_scale"],
+    )
+    base_cfg = PlacerConfig.fast(seed=seed)
+    sup_cfg = replace(base_cfg, verify_results=True)
+    _time_flow(base_cfg, design, heartbeat=False)  # untimed warm-up (imports)
+    base, supervised = [], []
+    for _ in range(repeats):
+        base.append(_time_flow(base_cfg, design, heartbeat=False))
+        supervised.append(_time_flow(sup_cfg, design, heartbeat=True))
+    base_min, sup_min = min(base), min(supervised)
+    return {
+        "repeats": repeats,
+        "base_seconds_min": round(base_min, 4),
+        "supervised_seconds_min": round(sup_min, 4),
+        "overhead_pct": round((sup_min / base_min - 1.0) * 100.0, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: fewer overhead repeats",
+    )
+    parser.add_argument("--output", default="BENCH_pr5.json")
+    parser.add_argument("--stall-seconds", type=float, default=0.2,
+                        dest="stall_seconds")
+    args = parser.parse_args(argv)
+
+    repeats = 3 if args.quick else 7
+    root = tempfile.mkdtemp(prefix="bench-supervision-")
+    report = {
+        "config": {
+            "quick": args.quick, **SPEC_KW,
+            "seed": DEFAULT_SPEC.seed, "repeats": repeats,
+        },
+        "host": host_metadata(),
+    }
+    try:
+        print("== chaos drill (fault injection over a live service) ==")
+        report["chaos"] = bench_chaos(f"{root}/chaos", args.stall_seconds)
+
+        print("== clean-path overhead (supervision on vs off) ==")
+        report["overhead"] = bench_overhead(repeats, seed=DEFAULT_SPEC.seed)
+        for key, value in report["overhead"].items():
+            print(f"  {key:26s} {value}")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    gates = {
+        "chaos_all_scenarios_pass": report["chaos"]["ok"],
+        "clean_path_overhead_under_2pct": (
+            report["overhead"]["overhead_pct"] < 2.0
+        ),
+    }
+    gates["all_passed"] = all(gates.values())
+    report["gates"] = gates
+    print("== gates ==")
+    for key, value in gates.items():
+        print(f"  {key:34s} {value}")
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+    print(f"report -> {args.output}")
+
+    if not gates["all_passed"]:
+        print("SUPERVISION GATE REGRESSION", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,11 @@ Subcommands:
 - ``status``    — show the job table and the latest metrics snapshot.
 - ``cancel``    — cancel a queued job (or request daemon shutdown).
 - ``result``    — fetch one job's result record, optionally waiting.
+- ``doctor``    — validate a run directory offline (manifest, artifact
+  checksums, journals, optionally the final placement itself).
+- ``chaos``     — run the fault-injection drill against a throwaway
+  service: every injected failure must end DONE-after-retry or
+  QUARANTINED, with DONE HPWLs bit-identical to the unfaulted baseline.
 
 The service verbs speak a file-based protocol (``inbox/``, ``control/``,
 ``results/``, ``jobs.jsonl``), so clients and daemon need no network
@@ -69,6 +74,8 @@ def cmd_place(args) -> int:
         config = replace(config, legalize_cells=True)
     if getattr(args, "terminal_workers", None):
         config = replace(config, terminal_workers=args.terminal_workers)
+    if getattr(args, "verify", False):
+        config = replace(config, verify_results=True)
     if args.resume and not args.run_dir:
         raise UsageError("--resume requires --run-dir")
     print(f"placing {name}: {design.netlist.stats()}")
@@ -77,6 +84,8 @@ def cmd_place(args) -> int:
     )
     best = min(result.hpwl, result.search.best_terminal_wirelength)
     print(f"HPWL            : {result.hpwl:.1f} (best terminal {best:.1f})")
+    if result.verification is not None:
+        print(f"verification    : {result.verification.summary()}")
     if result.legal_hpwl is not None:
         stats = result.cell_legalization
         print(f"legalized cells : HPWL {result.legal_hpwl:.1f} "
@@ -179,10 +188,15 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         max_queue=args.max_queue,
         poll_interval=args.poll_interval,
+        stall_seconds=args.stall_seconds,
+        max_retries=args.max_retries,
+        backoff_base=args.backoff_base,
+        verify_results=not args.no_verify,
     )
     print(f"serving {args.service_dir} "
           f"(workers={args.workers}, max_queue={args.max_queue}, "
-          f"drain={args.drain})")
+          f"drain={args.drain}, stall_seconds={args.stall_seconds}, "
+          f"max_retries={args.max_retries})")
     snapshot = service.run(drain=args.drain, max_seconds=args.max_seconds)
     jobs = snapshot["jobs"]
     print("served: " + ", ".join(f"{k}={v}" for k, v in jobs.items()))
@@ -292,6 +306,50 @@ def cmd_result(args) -> int:
     return 0 if result["state"] == "DONE" else 1
 
 
+def cmd_doctor(args) -> int:
+    """Validate a run directory offline; non-zero exit on any failure."""
+    from repro.verify.doctor import doctor_run_dir
+
+    design = None
+    if args.circuit or args.aux:
+        _, design = _load_design(args)
+    report = doctor_run_dir(args.run_dir, design=design, zeta=args.zeta)
+    print(f"doctor: {args.run_dir}")
+    for check in report.checks:
+        print(f"  {check}")
+    print(f"result: {'OK' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
+def cmd_chaos(args) -> int:
+    """Run the fault-injection drill; non-zero exit unless every gate holds."""
+    import json
+    import tempfile
+
+    from repro.service.chaos import format_report, run_chaos_drill
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        report = run_chaos_drill(
+            args.out,
+            stall_seconds=args.stall_seconds,
+            max_seconds=args.max_seconds,
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            report = run_chaos_drill(
+                tmp,
+                stall_seconds=args.stall_seconds,
+                max_seconds=args.max_seconds,
+            )
+    print(format_report(report))
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+        print(f"wrote {args.report}")
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -333,6 +391,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_place.add_argument("--resume", action="store_true",
                          help="resume an interrupted run from --run-dir, "
                               "skipping completed stages")
+    p_place.add_argument("--verify", action="store_true",
+                         help="re-check the final placement with the "
+                              "independent verifier (overlaps, bounds, "
+                              "grid capacity, recomputed HPWL)")
     p_place.set_defaults(func=cmd_place)
 
     p_cmp = sub.add_parser("compare", help="flow vs all baselines on one circuit")
@@ -369,6 +431,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-seconds", type=float, default=None,
                          dest="max_seconds",
                          help="stop serving after this many seconds")
+    p_serve.add_argument("--stall-seconds", type=float, default=None,
+                         dest="stall_seconds",
+                         help="watchdog threshold: a job whose progress "
+                              "heartbeat is older than this is cancelled "
+                              "with a structured StageStallError and "
+                              "retried (default: no watchdog)")
+    p_serve.add_argument("--max-retries", type=int, default=2,
+                         dest="max_retries",
+                         help="transient-failure retries (exponential "
+                              "backoff) before a job is QUARANTINED")
+    p_serve.add_argument("--backoff-base", type=float, default=0.5,
+                         dest="backoff_base",
+                         help="first retry delay in seconds; doubles per "
+                              "attempt with deterministic jitter")
+    p_serve.add_argument("--no-verify", action="store_true", dest="no_verify",
+                         help="skip the independent result verification "
+                              "normally run on every completed job")
     p_serve.set_defaults(func=cmd_serve)
 
     p_sub = sub.add_parser("submit", help="queue one placement job")
@@ -409,6 +488,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="poll up to this many seconds for the result")
     p_res.set_defaults(func=cmd_result)
 
+    p_doc = sub.add_parser("doctor", help="validate a run directory offline")
+    p_doc.add_argument("run_dir", help="run directory to validate")
+    p_doc.add_argument("--circuit", default=None,
+                       help="rebuild this suite circuit to additionally "
+                            "verify the final placement itself")
+    p_doc.add_argument("--aux", default=None,
+                       help="Bookshelf .aux of the design (same purpose)")
+    p_doc.add_argument("--scale", type=float, default=0.01)
+    p_doc.add_argument("--macro-scale", type=float, default=0.08,
+                       dest="macro_scale")
+    p_doc.add_argument("--zeta", type=int, default=None,
+                       help="grid side length for the capacity check "
+                            "(needs --circuit/--aux)")
+    p_doc.set_defaults(func=cmd_doctor)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection drill over a throwaway service"
+    )
+    p_chaos.add_argument("--out", default=None,
+                         help="keep the drill's service dirs here "
+                              "(default: a temp dir, removed afterwards)")
+    p_chaos.add_argument("--report", default=None,
+                         help="write the machine-readable drill report "
+                              "(JSON) to this path")
+    p_chaos.add_argument("--stall-seconds", type=float, default=0.2,
+                         dest="stall_seconds",
+                         help="watchdog threshold used by the stall scenario")
+    p_chaos.add_argument("--max-seconds", type=float, default=60.0,
+                         dest="max_seconds",
+                         help="per-scenario wall-clock cap (the no-hang gate)")
+    p_chaos.set_defaults(func=cmd_chaos)
+
     return parser
 
 
@@ -418,7 +529,8 @@ def main(argv: list[str] | None = None) -> int:
     Structured placement failures map to distinct exit codes (see
     :mod:`repro.runtime.errors`): 10 generic, 11 calibration, 12 training
     divergence, 13 solver infeasibility, 14 stage timeout, 15 injected
-    fault, 64 usage.
+    fault, 16 stage stall, 17 artifact corruption, 18 verification
+    failure, 64 usage.
     """
     args = build_parser().parse_args(argv)
     try:

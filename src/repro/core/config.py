@@ -87,6 +87,13 @@ class PlacerConfig:
     #: report the legalized HPWL as well (an extension beyond the paper,
     #: which measures the analytical cell placement directly).
     legalize_cells: bool = False
+    #: re-check the final placement with the independent verifier
+    #: (``repro.verify``): macro overlaps, bounds, grid capacity, HPWL
+    #: recomputed through a separate code path.  A failure raises
+    #: :class:`repro.runtime.errors.VerificationError`.  Verification
+    #: observes the result without changing it, so — like the execution
+    #: knobs above — it is excluded from the run-dir config fingerprint.
+    verify_results: bool = False
 
     seed: int = 0
 

@@ -70,11 +70,15 @@ class FlowResult:
     #: structured event log of the run (degradations, checkpoints,
     #: rollbacks, budget exhaustion, stage transitions)
     events: EventLog | None = None
+    #: independent verification report (None unless
+    #: ``PlacerConfig.verify_results``); the flow raises
+    #: :class:`VerificationError` before returning a failing one
+    verification: object | None = None
 
     #: canonical order of the per-stage wall-clock breakdown
     STAGE_ORDER = (
         "prototype", "preprocess", "calibration", "rl_training", "mcts",
-        "final", "cell_legalization",
+        "final", "cell_legalization", "verify",
     )
 
     @property
@@ -412,6 +416,33 @@ class MCTSGuidedPlacer:
             if terminal_pool is not None:
                 terminal_pool.close()
 
+        # -- independent verification (repro.verify): re-derive legality and
+        # HPWL through code paths the optimizer does not share ---------------
+        verification = None
+        if cfg.verify_results:
+            from repro.runtime.errors import VerificationError
+            from repro.verify import verify_placement
+
+            with ctx.guard("verify"):
+                with stopwatch.measure("verify"):
+                    verification = verify_placement(
+                        design,
+                        plan=GridPlan(design.region, zeta=cfg.zeta),
+                        reported_hpwl=hpwl,
+                    )
+                events.emit(
+                    "verification",
+                    ok=verification.ok,
+                    checks={c.name: c.ok for c in verification.checks},
+                )
+                if not verification.ok:
+                    raise VerificationError(
+                        "independent placement verification failed",
+                        stage="verify",
+                        failed=verification.failed,
+                        detail=verification.summary(),
+                    )
+
         events.emit(
             "terminal_cache",
             hits=terminal_cache.hits,
@@ -430,4 +461,5 @@ class MCTSGuidedPlacer:
             legal_hpwl=legal_hpwl,
             cell_legalization=cell_result,
             events=events,
+            verification=verification,
         )

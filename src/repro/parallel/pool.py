@@ -13,12 +13,16 @@ Guarantees:
 - **Bitwise equivalence** — every worker legalizes from the same canonical
   start state as the parent (the pool captures it before pickling), so a
   pooled evaluation returns exactly the float the parent would compute.
-- **Graceful degradation** — ``workers <= 1``, a failed spawn, or a pool
-  that dies mid-run (``BrokenProcessPool``) all fall back to in-process
-  evaluation, recording a ``degradation`` event in the run's JSONL log
-  (the PR 1 machinery) instead of failing the run.  Fault sites
-  ``pool.spawn`` and ``pool.submit`` let tests drill both paths
-  deterministically.
+- **Graceful degradation** — ``workers <= 1`` or a failed spawn fall back
+  to in-process evaluation with a ``degradation`` event.  A pool that
+  dies mid-run (``BrokenProcessPool``) is **respawned** up to
+  ``respawn_limit`` times — a crashed worker costs one degradation event
+  and a restart, not parallelism for the rest of the run — and only when
+  the limit is exhausted does the pool permanently degrade in-process.
+  Every failed evaluation re-runs in-process, so results are unchanged
+  either way (terminal evaluation is pure).  Fault sites ``pool.spawn``,
+  ``pool.submit``, and ``pool.worker_kill`` (hard ``os._exit`` inside a
+  live worker) let tests drill each path deterministically.
 """
 
 from __future__ import annotations
@@ -54,6 +58,14 @@ def _evaluate_assignment(assignment: tuple[int, ...]) -> float:
     return _WORKER_ENV.evaluate_assignment(list(assignment))
 
 
+def _kill_worker() -> None:
+    """Task function behind the ``pool.worker_kill`` fault site: die hard,
+    exactly like an OOM-killed or segfaulted worker would."""
+    import os
+
+    os._exit(86)
+
+
 class _ImmediateResult:
     """Future-alike wrapping an already-computed in-process value."""
 
@@ -67,20 +79,26 @@ class _ImmediateResult:
 
 
 class _PooledResult:
-    """Future-alike that falls back in-process if the pool died."""
+    """Future-alike that falls back in-process if the pool died.
 
-    __slots__ = ("_pool", "_future", "_assignment")
+    Remembers the pool *epoch* it was submitted under, so a batch of
+    futures stranded by one dead executor triggers exactly one
+    respawn — the stragglers just re-evaluate locally.
+    """
 
-    def __init__(self, pool, future, assignment) -> None:
+    __slots__ = ("_pool", "_future", "_assignment", "_epoch")
+
+    def __init__(self, pool, future, assignment, epoch) -> None:
         self._pool = pool
         self._future = future
         self._assignment = assignment
+        self._epoch = epoch
 
     def result(self) -> float:
         try:
             return self._future.result()
         except Exception as exc:  # BrokenProcessPool, pickling faults, ...
-            self._pool._mark_broken("result", exc)
+            self._pool._handle_failure("result", exc, epoch=self._epoch)
             return self._pool._evaluate_local(self._assignment)
 
 
@@ -95,6 +113,8 @@ class TerminalEvaluationPool:
         workers: process count; ``<= 1`` skips spawning entirely and every
             evaluation runs in-process (the sequential twin).
         events: degradation events (spawn failures, broken pools) land here.
+        respawn_limit: crashed-pool restarts attempted before permanently
+            degrading to in-process evaluation.
     """
 
     def __init__(
@@ -102,14 +122,18 @@ class TerminalEvaluationPool:
         env,
         workers: int = 1,
         events: EventLog | None = None,
+        respawn_limit: int = 2,
     ) -> None:
         self.env = env
         self.workers = max(1, int(workers))
         self.events = events if events is not None else EventLog()
+        self.respawn_limit = max(0, int(respawn_limit))
+        self.respawns = 0
         self.n_pooled = 0
         self.n_local = 0
         self._executor = None
         self._broken = False
+        self._epoch = 0
         if self.workers > 1:
             self._start()
 
@@ -148,6 +172,7 @@ class TerminalEvaluationPool:
                 initializer=_init_worker,
                 initargs=(payload,),
             )
+            self._epoch += 1
         except PlacementError:
             raise
         except Exception as exc:
@@ -160,9 +185,37 @@ class TerminalEvaluationPool:
                 error=str(exc),
             )
 
-    def _mark_broken(self, phase: str, exc: Exception) -> None:
+    def _handle_failure(self, phase: str, exc: Exception, epoch: int | None = None) -> None:
+        """A pooled operation failed: respawn the workers (bounded), or —
+        once the respawn budget is spent — degrade to in-process forever.
+
+        *epoch* is the pool generation the failing future belonged to;
+        failures from an executor that was already replaced are ignored
+        (their evaluations simply re-ran locally).
+        """
         if self._broken:
             return
+        if epoch is not None and epoch != self._epoch:
+            return
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+        if self.respawns < self.respawn_limit:
+            self.respawns += 1
+            self.events.emit(
+                "degradation",
+                solver="terminal_pool",
+                fallback="respawn",
+                phase=phase,
+                respawn=self.respawns,
+                error=str(exc),
+            )
+            self._start()
+            if self._executor is not None:
+                return
         self._broken = True
         self.events.emit(
             "degradation",
@@ -171,12 +224,6 @@ class TerminalEvaluationPool:
             phase=phase,
             error=str(exc),
         )
-        executor, self._executor = self._executor, None
-        if executor is not None:
-            try:
-                executor.shutdown(wait=False, cancel_futures=True)
-            except Exception:
-                pass
 
     def close(self) -> None:
         """Shut the workers down; further evaluations run in-process."""
@@ -206,16 +253,20 @@ class TerminalEvaluationPool:
         key = tuple(int(a) for a in assignment)
         if self.parallel:
             try:
+                if faults.should_fire("pool.worker_kill"):
+                    # hard-kill one live worker; in-flight and subsequent
+                    # futures observe BrokenProcessPool and the pool respawns
+                    self._executor.submit(_kill_worker)
                 if faults.should_fire("pool.submit"):
                     raise RuntimeError("injected pool submit failure")
                 future = self._executor.submit(_evaluate_assignment, key)
             except PlacementError:
                 raise
             except Exception as exc:
-                self._mark_broken("submit", exc)
+                self._handle_failure("submit", exc, epoch=self._epoch)
             else:
                 self.n_pooled += 1
-                return _PooledResult(self, future, key)
+                return _PooledResult(self, future, key, self._epoch)
         return _ImmediateResult(self._evaluate_local(key))
 
     def evaluate(self, assignment) -> float:
@@ -249,4 +300,4 @@ class TerminalEvaluationPool:
                     remaining = max(0.0, timeout - (time.perf_counter() - started))
                 f.result(timeout=remaining)
         except Exception as exc:
-            self._mark_broken("warm_up", exc)
+            self._handle_failure("warm_up", exc, epoch=self._epoch)

@@ -11,19 +11,24 @@ handling") for the run-dir layout and the degradation ladder.
 from repro.runtime.budget import StageBudget
 from repro.runtime.checkpoint import STAGES, RunDir, config_fingerprint
 from repro.runtime.errors import (
+    ArtifactCorruptError,
     CalibrationError,
     FaultInjected,
     PlacementError,
     SolverInfeasibleError,
+    StageStallError,
     StageTimeoutError,
     TrainingDivergedError,
     UsageError,
+    VerificationError,
 )
 from repro.runtime.faults import Fault, FaultPlan, inject
 from repro.runtime.harness import RunContext
+from repro.runtime.integrity import corrupt_file, sha256_file
 
 __all__ = [
     "STAGES",
+    "ArtifactCorruptError",
     "CalibrationError",
     "Fault",
     "FaultInjected",
@@ -33,9 +38,13 @@ __all__ = [
     "RunDir",
     "SolverInfeasibleError",
     "StageBudget",
+    "StageStallError",
     "StageTimeoutError",
     "TrainingDivergedError",
     "UsageError",
+    "VerificationError",
     "config_fingerprint",
+    "corrupt_file",
     "inject",
+    "sha256_file",
 ]

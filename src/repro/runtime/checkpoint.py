@@ -68,12 +68,16 @@ def config_fingerprint(config) -> str:
     excluded: pooled and in-process terminal evaluations are
     bitwise-identical and the cache is a pure accelerator, so a run may
     be resumed with a different worker count or cache location.
+    ``verify_results`` only re-checks a finished placement (it can fail
+    a run, never change its coordinates), so verified and unverified
+    runs share warm artifacts and resume each other freely.
     """
     payload = dataclasses.asdict(config)
     payload.pop("run_dir", None)
     payload.pop("resume", None)
     payload.pop("terminal_workers", None)
     payload.pop("terminal_cache_path", None)
+    payload.pop("verify_results", None)
     text = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(text.encode()).hexdigest()[:16]
 

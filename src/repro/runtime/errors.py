@@ -80,3 +80,40 @@ class FaultInjected(PlacementError):
     """
 
     exit_code = 15
+
+
+class StageStallError(PlacementError):
+    """A job's progress heartbeat stalled past ``stall_seconds``.
+
+    Raised *cooperatively*: the service watchdog cancels the job's
+    heartbeat, and the next progress poll inside the flow (budget checks
+    run every RL episode wave and every MCTS exploration) raises this
+    instead of continuing.  Classified as transient — a stalled solver is
+    usually a one-off scheduling or I/O hiccup — so the supervisor
+    retries it with backoff before quarantining.
+    """
+
+    exit_code = 16
+
+
+class ArtifactCorruptError(PlacementError):
+    """A checkpoint/artifact failed its recorded sha256 verification.
+
+    Most corruption is absorbed silently (a corrupt snapshot is discarded,
+    a corrupt completed-stage artifact triggers a cold stage restart, a
+    corrupt warm-cache entry becomes a cold run); this error surfaces only
+    when nothing can be recomputed — e.g. ``repro doctor`` validating a
+    run dir offline.
+    """
+
+    exit_code = 17
+
+
+class VerificationError(PlacementError):
+    """The independent placement verifier rejected a final placement.
+
+    Carries the failed check names in ``details`` so a supervisor can
+    distinguish an overlap from an HPWL mismatch without string parsing.
+    """
+
+    exit_code = 18

@@ -28,8 +28,17 @@ Known sites
 - ``qp.solve``          — QP placement solve raises (degrades to no-op)
 - ``budget.<stage>``    — the stage's wall-clock budget reads as exhausted
 - ``pool.spawn``        — terminal-pool spawn fails (degrades in-process)
-- ``pool.submit``       — a pooled terminal submit raises (pool marked
-  broken; later evaluations run in-process)
+- ``pool.submit``       — a pooled terminal submit raises (pool respawns
+  workers up to its bounded limit, then degrades in-process)
+- ``pool.worker_kill``  — hard-kill one pool worker process mid-wave
+  (``os._exit`` inside the worker; exercises the bounded respawn path)
+- ``checkpoint.corrupt``— flip one byte of a just-written run-dir
+  artifact *after* its sha256 was recorded (bit-rot simulation; caught
+  by integrity verification on the next resume/load)
+- ``warm.corrupt``      — flip one byte of a just-stored warm-cache
+  entry (caught by entry validation before injection → cold run)
+- ``stall.freeze``      — freeze a job's progress heartbeat (beats stop
+  registering; the service watchdog then raises ``StageStallError``)
 """
 
 from __future__ import annotations

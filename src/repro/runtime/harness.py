@@ -10,13 +10,22 @@ code is identical either way.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 
 import numpy as np
 
+from repro.runtime import faults
 from repro.runtime.budget import StageBudget
 from repro.runtime.checkpoint import RunDir
 from repro.runtime.errors import PlacementError
+from repro.runtime.integrity import (
+    CHECKSUMS_KEY,
+    STAGE_ARTIFACTS,
+    corrupt_file,
+    sha256_file,
+    verify_file,
+)
 from repro.utils.events import EventLog
 
 TRAINING_SNAPSHOT = "training_snapshot.pkl"
@@ -71,9 +80,86 @@ class RunContext:
             with faults.inject(self.fault_plan):
                 yield
 
+    # -- artifact integrity ---------------------------------------------------
+    def _record_checksum(self, name: str) -> None:
+        """Record the sha256 of artifact *name* in the manifest.
+
+        The ``checkpoint.corrupt`` fault site fires *after* the digest is
+        taken from the good bytes, then flips one byte on disk — exactly
+        the failure mode (good write, later bit rot) the checksums exist
+        to catch.
+        """
+        if self.dir is None:
+            return
+        path = self.dir.file(name)
+        digest = sha256_file(path)
+        if faults.should_fire("checkpoint.corrupt"):
+            offset = corrupt_file(path)
+            self.events.emit(
+                "fault_injected", site="checkpoint.corrupt",
+                artifact=name, offset=offset,
+            )
+        self.manifest.setdefault(CHECKSUMS_KEY, {})[name] = digest
+        self.dir.write_manifest(self.manifest)
+
+    def _drop_checksum(self, name: str) -> None:
+        if self.dir is None:
+            return
+        if self.manifest.get(CHECKSUMS_KEY, {}).pop(name, None) is not None:
+            self.dir.write_manifest(self.manifest)
+
+    def _artifact_intact(self, name: str) -> bool:
+        """True when *name* exists and matches its recorded checksum
+        (artifacts from pre-checksum run dirs are accepted as-is)."""
+        expected = self.manifest.get(CHECKSUMS_KEY, {}).get(name)
+        return verify_file(self.dir.file(name), expected)
+
+    def _snapshot_intact(self, name: str) -> bool:
+        """Verify an intra-stage snapshot before unpickling it.
+
+        A corrupt snapshot is discarded (with a degradation event) and
+        reported absent, so the stage restarts from its last good state
+        instead of loading damaged bytes.
+        """
+        path = self.dir.file(name)
+        if not os.path.exists(path):
+            return True  # absent is a normal state, not damage
+        expected = self.manifest.get(CHECKSUMS_KEY, {}).get(name)
+        if expected is None or sha256_file(path) == expected:
+            return True
+        self.events.emit(
+            "degradation", solver="integrity",
+            fallback="snapshot_discarded", artifact=name,
+        )
+        self.dir.remove(name)
+        self._drop_checksum(name)
+        return False
+
     # -- stage bookkeeping ----------------------------------------------------
     def completed(self, stage: str) -> bool:
-        return bool(self.manifest["stages"].get(stage, {}).get("completed"))
+        """True when *stage* completed AND its artifacts verify intact.
+
+        A checksum mismatch (or a missing artifact) clears the stage's
+        completion mark with a degradation event, so the flow recomputes
+        the stage cold — a corrupted checkpoint costs time, never
+        correctness.
+        """
+        if not self.manifest["stages"].get(stage, {}).get("completed"):
+            return False
+        if self.dir is None:
+            return True
+        for name in STAGE_ARTIFACTS.get(stage, ()):
+            if self._artifact_intact(name):
+                continue
+            self.events.emit(
+                "degradation", stage=stage, solver="integrity",
+                fallback="stage_restart", artifact=name,
+            )
+            del self.manifest["stages"][stage]
+            self.manifest.get(CHECKSUMS_KEY, {}).pop(name, None)
+            self.dir.write_manifest(self.manifest)
+            return False
+        return True
 
     def mark(self, stage: str, **meta) -> None:
         entry = {"completed": True}
@@ -124,6 +210,7 @@ class RunContext:
     def save_positions(self, name: str, design) -> None:
         if self.dir is not None:
             self.dir.save_positions(name, design)
+            self._record_checksum(name + ".npz")
 
     def load_positions(self, name: str, design) -> None:
         self.dir.load_positions(name, design)
@@ -142,6 +229,7 @@ class RunContext:
                 "rng_state": rng_state(rng),
             },
         )
+        self._record_checksum("calibration.json")
 
     def load_calibration(self, rng):
         from repro.agent.reward import NormalizedReward
@@ -177,7 +265,10 @@ class RunContext:
                 "rng_state": rng_state(rng),
             },
         )
+        self._record_checksum("network.npz")
+        self._record_checksum("training.json")
         self.dir.remove(TRAINING_SNAPSHOT)
+        self._drop_checksum(TRAINING_SNAPSHOT)
 
     def load_training(self, network, rng):
         from repro.agent.actorcritic import TrainingHistory
@@ -202,6 +293,7 @@ class RunContext:
         if self.dir is None:
             return
         self.dir.save_pickle(TRAINING_SNAPSHOT, trainer.export_state(history))
+        self._record_checksum(TRAINING_SNAPSHOT)
         self.events.emit(
             "checkpoint", stage="rl_training", episode=len(history.rewards)
         )
@@ -210,6 +302,8 @@ class RunContext:
         """Restore an intra-stage RL snapshot into *trainer*; returns the
         restored :class:`TrainingHistory` (or None when no snapshot)."""
         if self.dir is None:
+            return None
+        if not self._snapshot_intact(TRAINING_SNAPSHOT):
             return None
         state = self.dir.load_pickle(TRAINING_SNAPSHOT)
         if state is None:
@@ -225,10 +319,13 @@ class RunContext:
         if self.dir is None:
             return
         self.dir.save_pickle(MCTS_SNAPSHOT, state)
+        self._record_checksum(MCTS_SNAPSHOT)
         self.events.emit("checkpoint", stage="mcts", step=state["step"])
 
     def load_mcts_snapshot(self) -> dict | None:
         if self.dir is None:
+            return None
+        if not self._snapshot_intact(MCTS_SNAPSHOT):
             return None
         state = self.dir.load_pickle(MCTS_SNAPSHOT)
         if state is not None:
@@ -254,7 +351,9 @@ class RunContext:
                 ),
             },
         )
+        self._record_checksum("search.json")
         self.dir.remove(MCTS_SNAPSHOT)
+        self._drop_checksum(MCTS_SNAPSHOT)
 
     def load_search(self):
         from repro.mcts.search import SearchResult
@@ -283,10 +382,11 @@ class RunContext:
     def save_final(self, design, hpwl: float, legal_hpwl: float | None) -> None:
         if self.dir is None:
             return
-        self.dir.save_positions("final_positions", design)
+        self.save_positions("final_positions", design)
         self.dir.save_json(
             "final.json", {"hpwl": hpwl, "legal_hpwl": legal_hpwl}
         )
+        self._record_checksum("final.json")
 
     def load_final(self, design) -> tuple[float, float | None]:
         payload = self.dir.load_json("final.json")

@@ -1,0 +1,85 @@
+"""Artifact integrity: sha256 checksums for every run-dir artifact.
+
+Checkpoint/resume (PR 1) and warm-artifact reuse (PR 4) both assume that
+a file on disk still holds what was written into it.  A flipped byte in
+``network.npz`` does not make ``np.load`` fail — it silently changes the
+result of every run resumed from it.  This module closes that gap:
+
+- :func:`sha256_file` is the one hashing routine used everywhere a
+  checksum is recorded or verified (run-dir manifest, warm cache,
+  ``repro doctor``).
+- :data:`STAGE_ARTIFACTS` names, per flow stage, the artifacts whose
+  integrity a resume depends on.  ``RunContext.completed`` verifies them
+  before trusting a "completed" manifest entry: a mismatch clears the
+  stage mark and the flow recomputes the stage cold instead of loading
+  garbage.
+- :func:`corrupt_file` flips one byte deterministically — the shared
+  implementation behind the ``checkpoint.corrupt`` / ``warm.corrupt``
+  fault sites and the chaos drill.
+
+Checksums are *advisory on legacy run dirs*: an artifact with no
+recorded checksum (written before this layer existed) is accepted as-is,
+so old run dirs stay resumable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+#: manifest key the checksum table lives under
+CHECKSUMS_KEY = "checksums"
+
+#: per-stage artifacts whose integrity a resume of that stage depends on
+#: (intra-stage snapshots are verified separately at load time)
+STAGE_ARTIFACTS: dict[str, tuple[str, ...]] = {
+    "prototype": ("prototype.npz",),
+    "calibration": ("calibration.json",),
+    "rl_training": ("network.npz", "training.json"),
+    "mcts": ("search.json",),
+    "final": ("final.json", "final_positions.npz"),
+}
+
+
+def sha256_file(path: str, chunk: int = 1 << 20) -> str:
+    """Hex sha256 digest of a file's bytes (streamed, constant memory)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as f:
+        while True:
+            block = f.read(chunk)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def verify_file(path: str, expected: str | None) -> bool:
+    """True when *path* exists and matches *expected* (None = no record,
+    accepted for legacy artifacts written before checksums existed)."""
+    if not os.path.exists(path):
+        return False
+    if expected is None:
+        return True
+    return sha256_file(path) == expected
+
+
+def corrupt_file(path: str, offset: int | None = None) -> int:
+    """Flip one byte of *path* in place; returns the flipped offset.
+
+    Deterministic: without an explicit *offset* the byte at the middle of
+    the file is flipped, so repeated drills damage the same location.
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        with open(path, "wb") as f:
+            f.write(b"\xff")
+        return 0
+    pos = size // 2 if offset is None else min(offset, size - 1)
+    with open(path, "r+b") as f:
+        f.seek(pos)
+        byte = f.read(1)
+        f.seek(pos)
+        f.write(bytes([byte[0] ^ 0xFF]))
+        f.flush()
+        os.fsync(f.fileno())
+    return pos

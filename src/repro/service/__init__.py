@@ -16,13 +16,16 @@ Layers:
 - :mod:`repro.service.warm`      — warm-artifact cache (skip pre-training)
 - :mod:`repro.service.metrics`   — counters / gauges / histograms
 - :mod:`repro.service.scheduler` — worker threads + per-job budgets
+- :mod:`repro.service.supervisor`— heartbeats, watchdog, retry, quarantine
 - :mod:`repro.service.service`   — the daemon: inbox, control, recovery
+- :mod:`repro.service.chaos`     — fault-injection drill over the daemon
 """
 
 from repro.service.jobs import (
     CANCELLED,
     DONE,
     FAILED,
+    QUARANTINED,
     QUEUED,
     RUNNING,
     Job,
@@ -34,22 +37,27 @@ from repro.service.jobs import (
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import JobRunContext, Scheduler
 from repro.service.service import PlacementService
+from repro.service.supervisor import Heartbeat, JobSupervisor, SupervisedBudget
 from repro.service.warm import WarmArtifactCache
 
 __all__ = [
     "CANCELLED",
     "DONE",
     "FAILED",
+    "QUARANTINED",
     "QUEUED",
     "RUNNING",
+    "Heartbeat",
     "Job",
     "JobRunContext",
     "JobSpec",
     "JobStore",
+    "JobSupervisor",
     "PlacementService",
     "Scheduler",
     "ServiceMetrics",
     "ServicePaths",
+    "SupervisedBudget",
     "WarmArtifactCache",
     "resolve_design",
 ]

@@ -1,0 +1,296 @@
+"""Chaos drill: inject faults into a live service, assert self-healing.
+
+Each scenario boots a fresh one-worker daemon in its own service dir,
+installs a deterministic :class:`~repro.runtime.faults.FaultPlan`, runs
+the daemon to drain, and checks hard gates:
+
+- **no hangs** — every job reaches a terminal state before the drain's
+  wall-clock cap;
+- **no silent wrong results** — every DONE placement was independently
+  verified in-flow (``verify_results``), and its HPWL is *bit-identical*
+  to the unfaulted baseline run of the same spec;
+- **bounded failure** — transiently-faulted jobs end DONE after retry;
+  the deliberately poisoned job ends QUARANTINED, never FAILED-silently
+  and never retried forever.
+
+Scenarios (one per new fault site, plus the poison-path control):
+
+=================== ========================================================
+baseline            no faults; produces the reference HPWL
+worker_kill         ``pool.worker_kill`` hard-kills a terminal worker
+                    mid-wave → pool respawns, job DONE on attempt 1
+checkpoint_corrupt  ``checkpoint.corrupt`` flips a byte of
+                    ``calibration.json`` after its digest was recorded,
+                    then ``trainer.kill`` fails the attempt → the retry's
+                    resume detects the corruption, restarts the stage
+                    cold, and finishes DONE
+stage_stall         ``stall.freeze`` stops the job's heartbeat → the
+                    watchdog cancels the attempt (structured
+                    ``StageStallError``), the retry finishes DONE
+warm_corrupt        job A populates the warm cache and ``warm.corrupt``
+                    flips a byte of the entry; job B detects it before
+                    injection, discards the entry, and runs cold to DONE
+poison              ``trainer.kill`` on every attempt → retries exhaust
+                    and the job is QUARANTINED (journalled)
+=================== ========================================================
+
+Used by ``repro chaos``, the CI ``chaos-smoke`` job, and
+``benchmarks/bench_supervision.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+
+from repro.runtime import faults
+from repro.runtime.faults import Fault, FaultPlan
+from repro.service.jobs import DONE, QUARANTINED, JobSpec
+from repro.service.service import PlacementService, submit_job
+
+#: small-but-real drill spec: one full flow run in well under a second
+DEFAULT_SPEC = JobSpec(
+    circuit="ibm01", scale=0.004, macro_scale=0.04, preset="fast", seed=3
+)
+
+
+def _check(checks: list, name: str, ok: bool, detail: str = "") -> bool:
+    checks.append({"name": name, "ok": bool(ok), "detail": detail})
+    return bool(ok)
+
+
+def _run_scenario(
+    root: str,
+    name: str,
+    plan_faults: list[Fault],
+    *,
+    spec: JobSpec,
+    n_jobs: int = 1,
+    terminal_workers: int = 1,
+    stall_seconds: float | None = None,
+    max_retries: int = 2,
+    backoff_base: float = 0.05,
+    max_seconds: float = 60.0,
+) -> tuple[PlacementService, list, float, FaultPlan]:
+    service_dir = os.path.join(root, name)
+    service = PlacementService(
+        service_dir,
+        workers=1,
+        poll_interval=0.02,
+        stall_seconds=stall_seconds,
+        max_retries=max_retries,
+        backoff_base=backoff_base,
+    )
+    job_spec = replace(spec, terminal_workers=terminal_workers)
+    job_ids = [submit_job(service_dir, job_spec) for _ in range(n_jobs)]
+    plan = FaultPlan(*plan_faults)
+    started = time.perf_counter()
+    with faults.inject(plan):
+        service.run(drain=True, max_seconds=max_seconds)
+    elapsed = time.perf_counter() - started
+    jobs = [service.store.get(job_id) for job_id in job_ids]
+    return service, jobs, elapsed, plan
+
+
+def run_chaos_drill(
+    root: str,
+    *,
+    spec: JobSpec | None = None,
+    stall_seconds: float = 0.2,
+    max_retries: int = 2,
+    backoff_base: float = 0.05,
+    max_seconds: float = 60.0,
+) -> dict:
+    """Run every scenario under *root*; returns the machine-readable report.
+
+    ``report["ok"]`` is the drill gate: True only when every scenario's
+    jobs terminated (no hangs), every DONE HPWL matched the baseline
+    bit-for-bit, and every fault produced exactly the designed recovery.
+    """
+    spec = spec if spec is not None else DEFAULT_SPEC
+    os.makedirs(root, exist_ok=True)
+    report: dict = {"spec": spec.to_json(), "scenarios": [], "ok": True}
+
+    def finish(name, service, jobs, elapsed, checks, fired):
+        ok = all(c["ok"] for c in checks)
+        report["scenarios"].append(
+            {
+                "name": name,
+                "ok": ok,
+                "seconds": round(elapsed, 3),
+                "faults_fired": fired,
+                "jobs": [
+                    {
+                        "id": j.id,
+                        "state": j.state,
+                        "attempts": j.attempts,
+                        "hpwl": j.hpwl,
+                        "error": (j.error or {}).get("kind"),
+                    }
+                    for j in jobs
+                ],
+                "checks": checks,
+            }
+        )
+        report["ok"] = report["ok"] and ok
+
+    common = dict(
+        spec=spec, max_retries=max_retries,
+        backoff_base=backoff_base, max_seconds=max_seconds,
+    )
+
+    # -- baseline: the reference result every faulted run must reproduce
+    service, jobs, elapsed, plan = _run_scenario(root, "baseline", [], **common)
+    checks: list = []
+    job = jobs[0]
+    _check(checks, "terminal", job.terminal, job.state)
+    _check(checks, "done_first_attempt",
+           job.state == DONE and job.attempts == 1,
+           f"state={job.state} attempts={job.attempts}")
+    _check(checks, "verified",
+           service.metrics.counter("jobs_verified") == 1,
+           "independent verifier ran on the DONE result")
+    reference_hpwl = job.hpwl
+    report["reference_hpwl"] = reference_hpwl
+    finish("baseline", service, jobs, elapsed, checks, plan.total_fired())
+    if reference_hpwl is None:
+        return report  # nothing to compare against; fail fast
+
+    def check_done_identical(checks, job, attempts=None):
+        _check(checks, "terminal", job.terminal, job.state)
+        _check(checks, "done", job.state == DONE,
+               f"state={job.state} error={(job.error or {}).get('kind')}")
+        if attempts is not None:
+            _check(checks, f"attempts_{attempts}", job.attempts == attempts,
+                   f"attempts={job.attempts}")
+        _check(checks, "hpwl_bit_identical", job.hpwl == reference_hpwl,
+               f"{job.hpwl!r} vs baseline {reference_hpwl!r}")
+
+    # -- worker_kill: hard worker death absorbed by the pool (no retry)
+    service, jobs, elapsed, plan = _run_scenario(
+        root, "worker_kill",
+        [Fault("pool.worker_kill", at=1)],
+        terminal_workers=2, **common,
+    )
+    checks = []
+    _check(checks, "fault_fired", plan.total_fired("pool.worker_kill") == 1)
+    # The service-level gate is outcome correctness: the dead worker must
+    # cost neither the job nor the result.  Whether this tiny design's
+    # single pooled task races the breakage (absorbed by respawn) or
+    # completes first is executor timing; the *deterministic* respawn
+    # sequence is drilled directly in tests/test_supervision.py.
+    check_done_identical(checks, jobs[0], attempts=1)
+    finish("worker_kill", service, jobs, elapsed, checks, plan.total_fired())
+
+    # -- checkpoint_corrupt: bit-rot detected on resume, stage restarted
+    service, jobs, elapsed, plan = _run_scenario(
+        root, "checkpoint_corrupt",
+        [
+            # arrival 2 = calibration.json (after prototype.npz)
+            Fault("checkpoint.corrupt", at=2),
+            # fail the attempt a few episode waves later, forcing a
+            # retry that must notice the corrupted checkpoint on resume
+            Fault("trainer.kill", at=5),
+        ],
+        **common,
+    )
+    checks = []
+    _check(checks, "fault_fired",
+           plan.total_fired("checkpoint.corrupt") == 1
+           and plan.total_fired("trainer.kill") == 1)
+    check_done_identical(checks, jobs[0], attempts=2)
+    _check(checks, "retried", service.metrics.counter("jobs_retried") == 1)
+    finish("checkpoint_corrupt", service, jobs, elapsed, checks,
+           plan.total_fired())
+
+    # -- stage_stall: frozen heartbeat -> watchdog cancel -> retry
+    service, jobs, elapsed, plan = _run_scenario(
+        root, "stage_stall",
+        [Fault("stall.freeze", at=1)],
+        stall_seconds=stall_seconds, **common,
+    )
+    checks = []
+    _check(checks, "fault_fired", plan.total_fired("stall.freeze") == 1)
+    _check(checks, "stall_detected",
+           service.metrics.counter("stalls_detected") >= 1)
+    _check(checks, "stall_error_structured",
+           any(
+               (r.get("error") or {}).get("kind") == "StageStallError"
+               for r in _journal(service)
+           ),
+           "journal records a StageStallError transition")
+    check_done_identical(checks, jobs[0], attempts=2)
+    finish("stage_stall", service, jobs, elapsed, checks, plan.total_fired())
+
+    # -- warm_corrupt: poisoned cache entry discarded, job runs cold
+    service, jobs, elapsed, plan = _run_scenario(
+        root, "warm_corrupt",
+        [Fault("warm.corrupt", at=1)],
+        n_jobs=2, **common,
+    )
+    checks = []
+    _check(checks, "fault_fired", plan.total_fired("warm.corrupt") == 1)
+    _check(checks, "entry_discarded", service.warm.corruptions == 1,
+           f"corruptions={service.warm.corruptions}")
+    _check(checks, "no_warm_hit", not jobs[1].warm_hit,
+           "corrupt entry must not be injected")
+    for job in jobs:
+        check_done_identical(checks, job, attempts=1)
+    finish("warm_corrupt", service, jobs, elapsed, checks, plan.total_fired())
+
+    # -- poison: every attempt fails -> quarantine, never an infinite loop
+    service, jobs, elapsed, plan = _run_scenario(
+        root, "poison",
+        [Fault("trainer.kill", at=1, count=None)],
+        **common,
+    )
+    checks = []
+    job = jobs[0]
+    _check(checks, "terminal", job.terminal, job.state)
+    _check(checks, "quarantined", job.state == QUARANTINED, job.state)
+    _check(checks, "attempts_exhausted", job.attempts == max_retries + 1,
+           f"attempts={job.attempts}")
+    _check(checks, "journalled",
+           len(service.supervisor.quarantined()) == 1,
+           "quarantine.jsonl has exactly one record")
+    finish("poison", service, jobs, elapsed, checks, plan.total_fired())
+
+    report["total_seconds"] = round(
+        sum(s["seconds"] for s in report["scenarios"]), 3
+    )
+    return report
+
+
+def _journal(service: PlacementService) -> list[dict]:
+    from repro.utils.events import read_jsonl
+
+    return read_jsonl(service.store.path)
+
+
+def format_report(report: dict) -> str:
+    """Human-readable drill summary (the ``repro chaos`` output)."""
+    lines = [
+        f"chaos drill: spec={report['spec']['circuit']} "
+        f"preset={report['spec']['preset']} seed={report['spec']['seed']}",
+        f"reference hpwl: {report.get('reference_hpwl')!r}",
+    ]
+    for scenario in report["scenarios"]:
+        mark = "PASS" if scenario["ok"] else "FAIL"
+        lines.append(
+            f"  [{mark}] {scenario['name']:<20s} "
+            f"{scenario['seconds']:6.2f}s  "
+            f"jobs=" + ",".join(
+                f"{j['state']}(a{j['attempts']})" for j in scenario["jobs"]
+            )
+        )
+        for check in scenario["checks"]:
+            if not check["ok"]:
+                lines.append(
+                    f"         FAILED check {check['name']}: {check['detail']}"
+                )
+    lines.append(
+        f"result: {'OK' if report['ok'] else 'FAILED'} "
+        f"({report.get('total_seconds', 0.0)}s total)"
+    )
+    return "\n".join(lines)

@@ -5,7 +5,13 @@ Bookshelf ``.aux``), a :class:`~repro.core.config.PlacerConfig` preset
 with a seed, a priority, and an optional wall-clock budget.  Jobs move
 through the state machine::
 
-    QUEUED -> RUNNING -> DONE | FAILED | CANCELLED
+    QUEUED -> RUNNING -> DONE | FAILED | CANCELLED | QUARANTINED
+    RUNNING -> QUEUED (retry with backoff while attempts <= max_retries)
+
+QUARANTINED is the poison-job terminal state: a transiently-failing job
+that exhausted its retry budget (see
+:class:`~repro.service.supervisor.JobSupervisor`), journalled separately
+in ``<service_dir>/quarantine.jsonl`` for offline triage.
 
 Every transition is appended to ``<service_dir>/jobs.jsonl`` — the
 journal is the single source of truth, replayed on daemon start the same
@@ -32,10 +38,11 @@ RUNNING = "RUNNING"
 DONE = "DONE"
 FAILED = "FAILED"
 CANCELLED = "CANCELLED"
+QUARANTINED = "QUARANTINED"
 
-STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED, QUARANTINED)
 #: states a job never leaves
-TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+TERMINAL_STATES = (DONE, FAILED, CANCELLED, QUARANTINED)
 
 
 def new_job_id() -> str:
@@ -199,6 +206,19 @@ class ServicePaths:
         """One fleet-wide terminal cache file; entries are keyed by an
         environment fingerprint, so jobs on different designs coexist."""
         return os.path.join(self.root, "terminal_cache.jsonl")
+
+    @property
+    def rejected(self) -> str:
+        """Malformed-submission quarantine: files the inbox poller could
+        never parse are moved here (with a ``.reason.json`` sidecar)
+        instead of being re-parsed forever."""
+        return os.path.join(self.inbox, ".rejected")
+
+    @property
+    def quarantine(self) -> str:
+        """JSONL journal of poison jobs (transient failures that
+        exhausted their retry budget)."""
+        return os.path.join(self.root, "quarantine.jsonl")
 
     @property
     def stop_file(self) -> str:

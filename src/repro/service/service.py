@@ -22,13 +22,27 @@ PR 1 checkpoint/resume machinery, so killing the daemon mid-job and
 restarting resumes RUNNING jobs from their checkpoints (the recovery
 pass re-queues them; the executor sees the existing manifest and resumes)
 without re-running completed ones.
+
+Self-healing (PR 5): every attempt carries a heartbeat; the daemon's
+poll cycle runs the :class:`~repro.service.supervisor.JobSupervisor`
+watchdog (stalled attempts are cancelled, hard-hung ones force-abandoned)
+and re-enqueues retries whose backoff elapsed.  Transient failures retry
+with exponential backoff, poison jobs land in QUARANTINED, results are
+independently verified (``repro.verify``), and a verification failure on
+a run that used warm artifacts or the shared terminal cache triggers one
+*cold* retry — fresh run dir, no warm injection, no shared cache — before
+the job is failed for real.  Malformed inbox files older than
+``reject_malformed_after`` are quarantined into ``inbox/.rejected/``
+with a reason sidecar instead of being re-parsed forever.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 import time
+from dataclasses import replace
 
 from repro.runtime.budget import StageBudget
 from repro.runtime.errors import PlacementError
@@ -47,6 +61,7 @@ from repro.service.jobs import (
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import JobRunContext, Scheduler
+from repro.service.supervisor import JobSupervisor
 from repro.service.warm import WarmArtifactCache
 
 
@@ -115,6 +130,12 @@ class PlacementService:
         workers: int = 1,
         max_queue: int = 64,
         poll_interval: float = 0.2,
+        stall_seconds: float | None = None,
+        stall_grace: float | None = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.5,
+        verify_results: bool = True,
+        reject_malformed_after: float = 5.0,
     ) -> None:
         self.paths = ServicePaths(service_dir).ensure()
         self.store = JobStore(self.paths.journal).load()
@@ -122,8 +143,21 @@ class PlacementService:
         self.warm = WarmArtifactCache(self.paths.warm)
         self.max_queue = max_queue
         self.poll_interval = poll_interval
+        self.verify_results = verify_results
+        self.reject_malformed_after = reject_malformed_after
         self.scheduler = Scheduler(
             self._execute, self._dispatchable, workers=workers
+        )
+        self.supervisor = JobSupervisor(
+            self.store,
+            self.metrics,
+            self.paths.quarantine,
+            scheduler=self.scheduler,
+            finalize=self._write_result,
+            stall_seconds=stall_seconds,
+            stall_grace=stall_grace,
+            max_retries=max_retries,
+            backoff_base=backoff_base,
         )
         self._recover()
 
@@ -145,9 +179,15 @@ class PlacementService:
 
     # -- admission + control ---------------------------------------------------
     def poll(self) -> None:
-        """One daemon cycle: admit inbox, apply control, dispatch."""
+        """One daemon cycle: admit inbox, apply control, supervise,
+        dispatch."""
         admitted = self._poll_inbox()
         self._poll_control()
+        self.supervisor.check_stalls()
+        for job_id in self.supervisor.due_retries():
+            job = self.store.get(job_id)
+            if job is not None and job.state == QUEUED:
+                self.scheduler.enqueue(job)
         # Dispatch after control so a cancel dropped alongside (or before)
         # a submission deterministically beats the dispatch.
         for job in admitted:
@@ -172,8 +212,13 @@ class PlacementService:
                 job_id = payload.get("id") or new_job_id()
                 priority = int(payload.get("priority", 0))
                 submitted_ts = payload.get("ts")
-            except (json.JSONDecodeError, TypeError, ValueError, OSError):
-                continue  # half-written submission; retry next cycle
+            except (json.JSONDecodeError, TypeError, ValueError, OSError) as exc:
+                # Usually a half-written submission that finishes by the
+                # next cycle — but a file that *stays* unparseable would
+                # be retried forever, so past the grace window it is
+                # quarantined out of the inbox with a structured reason.
+                self._reject_malformed(path, name, exc)
+                continue
             self.metrics.inc("jobs_submitted")
             if self.store.get(job_id) is not None:
                 os.remove(path)  # duplicate redelivery; already journaled
@@ -202,6 +247,32 @@ class PlacementService:
                 self.metrics.inc("jobs_admitted")
             os.remove(path)
         return admitted
+
+    def _reject_malformed(self, path: str, name: str, exc: Exception) -> None:
+        """Quarantine an inbox file that outlived the half-written grace."""
+        try:
+            age = time.time() - os.path.getmtime(path)
+        except OSError:
+            return  # racing remove/rename; nothing left to quarantine
+        if age <= self.reject_malformed_after:
+            return  # still plausibly mid-write; retry next cycle
+        os.makedirs(self.paths.rejected, exist_ok=True)
+        dest = os.path.join(self.paths.rejected, name)
+        try:
+            os.replace(path, dest)
+        except OSError:
+            return
+        write_json_atomic(
+            dest + ".reason.json",
+            {
+                "name": name,
+                "kind": type(exc).__name__,
+                "reason": str(exc),
+                "age_seconds": round(age, 3),
+                "ts": time.time(),
+            },
+        )
+        self.metrics.inc("submissions_rejected_malformed")
 
     def _poll_control(self) -> None:
         try:
@@ -246,53 +317,79 @@ class PlacementService:
         return job is not None and job.state == QUEUED
 
     def _execute(self, job_id: str) -> None:
-        """Run one job end to end; never raises (scheduler contract)."""
+        """Run one job attempt end to end; never raises (scheduler
+        contract).  Failures are routed through the supervisor, which
+        decides retry / quarantine / fail."""
         job = self.store.get(job_id)
         run_dir = self.paths.run_dir(job.id)
+        attempt = job.attempts + 1
+        cold = self.supervisor.is_cold(job.id)
+        if cold:
+            # A verification failure implicated reused artifacts: wipe the
+            # run dir so nothing from the suspect attempt survives.
+            shutil.rmtree(run_dir, ignore_errors=True)
         resume = os.path.exists(os.path.join(run_dir, "manifest.json"))
         started = time.perf_counter()
         warm_hit = False
+        heartbeat = self.supervisor.begin(job.id, attempt)
         try:
-            name, design = job.spec.build_design()
-            config = job.spec.build_config(
-                terminal_cache_path=self.paths.terminal_cache
-            )
-            self.store.transition(
-                job.id, RUNNING, attempt=job.attempts + 1, resume=resume,
-                design=name,
-            )
-            self.write_metrics()
-            ctx = JobRunContext(
-                run_dir,
-                config,
-                design,
-                resume=resume,
-                job_budget=StageBudget("job", job.spec.budget_seconds),
-            )
-            warm_key = self.warm.key(config, design)
-            if not resume:
-                warm_hit = self.warm.inject(warm_key, ctx)
-            self.metrics.inc("warm_hits" if warm_hit else "warm_misses")
+            try:
+                name, design = job.spec.build_design()
+                config = job.spec.build_config(
+                    terminal_cache_path=(
+                        None if cold else self.paths.terminal_cache
+                    )
+                )
+                if self.verify_results:
+                    config = replace(config, verify_results=True)
+                self.store.transition(
+                    job.id, RUNNING, attempt=attempt, resume=resume,
+                    design=name, cold=cold,
+                )
+                self.write_metrics()
+                ctx = JobRunContext(
+                    run_dir,
+                    config,
+                    design,
+                    resume=resume,
+                    job_budget=StageBudget("job", job.spec.budget_seconds),
+                    heartbeat=heartbeat,
+                )
+                warm_key = self.warm.key(config, design)
+                if not resume and not cold:
+                    warm_hit = self.warm.inject(warm_key, ctx)
+                self.metrics.inc("warm_hits" if warm_hit else "warm_misses")
 
-            from repro.core.flow import MCTSGuidedPlacer
+                from repro.core.flow import MCTSGuidedPlacer
 
-            result = MCTSGuidedPlacer(config).place(design, context=ctx)
-        except PlacementError as exc:
-            self._finish_failed(job, started, {
-                "kind": type(exc).__name__,
-                "message": exc.message,
-                "stage": exc.stage,
-                "exit_code": exc.exit_code,
-                "details": {k: repr(v) for k, v in exc.details.items()},
-            })
+                result = MCTSGuidedPlacer(config).place(design, context=ctx)
+            except PlacementError as exc:
+                self._resolve_attempt_failure(job, attempt, started, {
+                    "kind": type(exc).__name__,
+                    "message": exc.message,
+                    "stage": exc.stage,
+                    "exit_code": exc.exit_code,
+                    "details": {k: repr(v) for k, v in exc.details.items()},
+                }, warm_hit=warm_hit)
+                return
+            except Exception as exc:  # noqa: BLE001 — jobs must not kill workers
+                self._resolve_attempt_failure(
+                    job, attempt, started,
+                    {"kind": type(exc).__name__, "message": str(exc)},
+                    warm_hit=warm_hit,
+                )
+                return
+        finally:
+            self.supervisor.end(job.id, attempt)
+
+        if not self.supervisor.attempt_current(job.id, attempt):
+            # The watchdog force-abandoned this attempt and already
+            # resolved the job (it may even be running a fresh attempt);
+            # this thread's late result must not clobber that state.
+            self.metrics.inc("stale_attempts_dropped")
             return
-        except Exception as exc:  # noqa: BLE001 — jobs must not kill workers
-            self._finish_failed(
-                job, started, {"kind": type(exc).__name__, "message": str(exc)}
-            )
-            return
-
         seconds = time.perf_counter() - started
+        self.supervisor.clear_cold(job.id)
         self.warm.store(warm_key, run_dir)
         best = min(result.hpwl, result.search.best_terminal_wirelength)
         for stage, stage_seconds in result.stage_seconds.items():
@@ -303,11 +400,14 @@ class PlacementService:
             self.metrics.inc("terminal_cache_hits", event.data["hits"])
             self.metrics.inc("terminal_cache_misses", event.data["misses"])
         self.metrics.inc("degradations", len(result.events.of("degradation")))
+        if result.verification is not None:
+            self.metrics.inc("jobs_verified")
         self.store.transition(
             job.id, DONE,
             hpwl=result.hpwl,
             warm_hit=warm_hit,
             seconds=round(seconds, 3),
+            error=None,  # clear the last retried attempt's error
         )
         self.metrics.inc("jobs_done")
         self._write_result(
@@ -315,17 +415,45 @@ class PlacementService:
             hpwl=result.hpwl,
             best_hpwl=best,
             n_macro_groups=result.n_macro_groups,
+            verified=result.verification is not None,
             stage_seconds={
                 k: round(v, 6) for k, v in result.stage_seconds.items()
             },
         )
         self.write_metrics()
 
-    def _finish_failed(self, job: Job, started: float, error: dict) -> None:
+    def _resolve_attempt_failure(
+        self,
+        job: Job,
+        attempt: int,
+        started: float,
+        error: dict,
+        warm_hit: bool = False,
+    ) -> None:
+        """Route one attempt's failure through the supervisor."""
         seconds = round(time.perf_counter() - started, 3)
-        self.store.transition(job.id, FAILED, error=error, seconds=seconds)
-        self.metrics.inc("jobs_failed")
-        self._write_result(self.store.get(job.id))
+        if not self.supervisor.attempt_current(job.id, attempt):
+            self.metrics.inc("stale_attempts_dropped")
+            return
+        if error.get("kind") == "VerificationError":
+            self.metrics.inc("verification_failures")
+            # A wrong result on a run that reused anything — warm
+            # artifacts or the fleet terminal cache — gets exactly one
+            # retry with all reuse disabled, in case the reused data
+            # (not the job) was the poison.
+            reused = warm_hit or os.path.exists(self.paths.terminal_cache)
+            if reused and not self.supervisor.is_cold(job.id):
+                self.supervisor.set_cold(job.id)
+                self.supervisor.schedule_retry(
+                    job, error, reason="verify_cold_retry", seconds=seconds
+                )
+                self.metrics.inc("verify_cold_retries")
+                self.write_metrics()
+                return
+        action = self.supervisor.resolve_failure(job, error, seconds=seconds)
+        if action != "retry":
+            self.supervisor.clear_cold(job.id)
+            self._write_result(self.store.get(job.id))
         self.write_metrics()
 
     def _write_result(self, job: Job, **extra) -> None:
@@ -348,6 +476,9 @@ class PlacementService:
         self.metrics.set_gauge("queue_depth", counts[QUEUED])
         self.metrics.set_gauge("running", counts[RUNNING])
         self.metrics.set_gauge("warm_cache_entries", len(self.warm.keys()))
+        self.metrics.set_gauge(
+            "pending_retries", self.supervisor.pending_retries()
+        )
         return self.metrics.write(
             self.paths.metrics,
             queue_depth=counts[QUEUED],

@@ -12,6 +12,13 @@ RNG state — and continues straight into MCTS.  Because that is exactly
 the code path the kill-and-resume tests prove bit-for-bit, a warm job's
 HPWL is bitwise-identical to an uninterrupted cold run with the same
 seed: the cache trades time, never determinism.
+
+Integrity (PR 5): every stored entry carries a ``checksums.json`` of
+sha256 digests, verified *before* injection — a corrupted entry (bit
+rot, torn copy, the ``warm.corrupt`` fault site) is discarded with a
+``warm_artifact_corrupt`` event and the job simply runs cold.  The
+digests are also recorded into the receiving run dir's manifest, so the
+harness's own artifact verification covers injected files too.
 """
 
 from __future__ import annotations
@@ -22,12 +29,17 @@ import os
 import shutil
 import uuid
 
+from repro.runtime import faults
 from repro.runtime.checkpoint import config_fingerprint
+from repro.runtime.integrity import CHECKSUMS_KEY, corrupt_file, sha256_file
 
 #: the stage artifacts that constitute "pre-training is done"
 ARTIFACTS = ("calibration.json", "network.npz", "training.json")
 #: stages those artifacts complete
 WARM_STAGES = ("calibration", "rl_training")
+#: per-entry digest record, written last so its presence implies a
+#: complete copy
+CHECKSUM_FILE = "checksums.json"
 
 
 def design_key(design) -> str:
@@ -59,6 +71,7 @@ class WarmArtifactCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corruptions = 0
 
     def key(self, config, design) -> str:
         """``<config fingerprint>-<design hash>``; the config fingerprint
@@ -91,14 +104,53 @@ class WarmArtifactCache:
         tmp = os.path.join(self.root, f".{key}.{uuid.uuid4().hex[:6]}.tmp")
         os.makedirs(tmp, exist_ok=True)
         try:
+            checksums = {}
             for src, name in zip(sources, ARTIFACTS):
-                shutil.copy2(src, os.path.join(tmp, name))
+                dst = os.path.join(tmp, name)
+                shutil.copy2(src, dst)
+                checksums[name] = sha256_file(dst)
+            with open(os.path.join(tmp, CHECKSUM_FILE), "w") as f:
+                json.dump(checksums, f, indent=2, sort_keys=True)
             os.replace(tmp, self._entry_dir(key))
         except OSError:
             shutil.rmtree(tmp, ignore_errors=True)
             return self.has(key)  # lost a benign race to a sibling worker
+        if faults.should_fire("warm.corrupt"):
+            corrupt_file(os.path.join(self._entry_dir(key), "network.npz"))
         self.stores += 1
         return True
+
+    # -- validation ------------------------------------------------------------
+    def checksums(self, key: str) -> dict | None:
+        """The entry's recorded digests (None for pre-PR 5 legacy entries)."""
+        path = os.path.join(self._entry_dir(key), CHECKSUM_FILE)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as f:
+                return json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return {}  # unreadable record: treat every artifact as suspect
+
+    def validate(self, key: str) -> bool:
+        """Verify the entry's artifacts against its recorded digests.
+
+        Legacy entries without a digest record are accepted (same
+        tolerance the run harness extends to old manifests).
+        """
+        checksums = self.checksums(key)
+        if checksums is None:
+            return True
+        entry = self._entry_dir(key)
+        return all(
+            checksums.get(name) is not None
+            and os.path.exists(os.path.join(entry, name))
+            and sha256_file(os.path.join(entry, name)) == checksums[name]
+            for name in ARTIFACTS
+        )
+
+    def discard(self, key: str) -> None:
+        shutil.rmtree(self._entry_dir(key), ignore_errors=True)
 
     # -- injection -------------------------------------------------------------
     def inject(self, key: str, ctx) -> bool:
@@ -107,17 +159,33 @@ class WarmArtifactCache:
         Copies the cached artifacts in and marks both stages completed in
         the manifest (tagged ``warm``), so the flow's resume path restores
         them instead of re-training.  Returns True on a hit.
+
+        The entry is validated against its recorded digests first: a
+        corrupted entry is discarded (the cache must never poison a job)
+        and the miss is reported with a ``warm_artifact_corrupt`` event —
+        the job just runs cold.
         """
         if ctx.dir is None:
             return False
         if not self.has(key):
             self.misses += 1
             return False
+        if not self.validate(key):
+            self.discard(key)
+            self.corruptions += 1
+            self.misses += 1
+            ctx.events.emit(
+                "warm_artifact_corrupt", key=key, action="discarded"
+            )
+            return False
+        checksums = self.checksums(key) or {}
         entry = self._entry_dir(key)
         for name in ARTIFACTS:
             shutil.copy2(os.path.join(entry, name), ctx.dir.file(name))
         for stage in WARM_STAGES:
             ctx.manifest["stages"][stage] = {"completed": True, "warm": True}
+        if checksums:
+            ctx.manifest.setdefault(CHECKSUMS_KEY, {}).update(checksums)
         ctx.dir.write_manifest(ctx.manifest)
         self.hits += 1
         ctx.events.emit("warm_artifacts_injected", key=key)

@@ -61,11 +61,17 @@ class Event:
 
 
 class EventLog:
-    """Append-only event sink, optionally mirrored to a JSONL file."""
+    """Append-only event sink, optionally mirrored to a JSONL file.
+
+    An optional ``listener`` callable is invoked with every event after
+    it is recorded — the service supervisor uses this as a progress
+    heartbeat.  Listeners observe; they must not raise.
+    """
 
     def __init__(self, path: str | None = None) -> None:
         self.path = path
         self.events: list[Event] = []
+        self.listener = None
 
     def emit(self, name: str, stage: str | None = None, **data) -> Event:
         """Record (and persist, if file-backed) one event."""
@@ -76,6 +82,8 @@ class EventLog:
                 f.write(json.dumps(event.to_json(), sort_keys=True) + "\n")
                 f.flush()
                 os.fsync(f.fileno())
+        if self.listener is not None:
+            self.listener(event)
         return event
 
     def of(self, name: str) -> list[Event]:

@@ -1,0 +1,22 @@
+"""Independent result verification.
+
+Two consumers: the flow/service re-checking a just-produced placement
+(:func:`verify_placement`, gated by ``PlacerConfig.verify_results``),
+and ``repro doctor`` auditing a run directory offline
+(:func:`doctor_run_dir`).  Everything here re-derives properties through
+code paths the optimizer does not share — see ``placement.py``.
+"""
+
+from repro.verify.doctor import doctor_run_dir
+from repro.verify.placement import (
+    CheckResult,
+    VerificationReport,
+    verify_placement,
+)
+
+__all__ = [
+    "CheckResult",
+    "VerificationReport",
+    "doctor_run_dir",
+    "verify_placement",
+]

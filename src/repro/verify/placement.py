@@ -1,0 +1,193 @@
+"""Independent placement verification.
+
+The flow's own legality comes from the legalizer that *produced* the
+placement — trusting it to check itself is circular.  This module
+re-derives every property a returned placement claims, through code
+paths the optimization loop never touches:
+
+- **macro overlaps** — exact pairwise rectangle intersection over the
+  object model (the legalizer reasons in sequence-pair / grid space);
+- **bounds** — every movable shape inside the placement region;
+- **grid capacity** — rasterized macro area per ζ×ζ bin must not exceed
+  the bin (a legal, overlap-free, in-bounds placement cannot);
+- **HPWL** — recomputed with the O(pins) object-model loop
+  (:func:`repro.netlist.hpwl.hpwl`), not the ``reduceat``-vectorized
+  :class:`FlatNetlist` the placers use, and compared to the reported
+  number within float-summation tolerance.
+
+The service runs this at job completion (``verify_results``); ``repro
+doctor`` runs it offline on a run dir.  A failed report raises nothing
+by itself — callers decide (the flow raises :class:`VerificationError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist.hpwl import hpwl
+
+#: relative tolerance for the HPWL recomputation (loop vs vectorized
+#: summation order differ in the last float bits)
+HPWL_RTOL = 1e-9
+#: overlap area below this fraction of the smaller rectangle is treated
+#: as a shared edge (legalizers pack macros flush against each other)
+OVERLAP_RTOL = 1e-7
+#: bounds slack as a fraction of the region diagonal
+BOUNDS_RTOL = 1e-9
+#: per-bin occupancy slack (rasterization float edges)
+CAPACITY_TOL = 1e-6
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one verification check."""
+
+    name: str
+    ok: bool
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        mark = "ok" if self.ok else "FAIL"
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"{self.name}: {mark}" + (f" ({pairs})" if pairs else "")
+
+
+@dataclass
+class VerificationReport:
+    """All checks run against one placement."""
+
+    checks: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    @property
+    def failed(self) -> list[str]:
+        return [c.name for c in self.checks if not c.ok]
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checks": {
+                c.name: {"ok": c.ok, **c.detail} for c in self.checks
+            },
+        }
+
+    def summary(self) -> str:
+        return "; ".join(str(c) for c in self.checks)
+
+
+def _check_macro_overlaps(netlist, tol_rel: float) -> CheckResult:
+    """Pairwise rectangle intersection over all macro pairs involving at
+    least one movable macro (preplaced-vs-preplaced overlap is input
+    data, not a flow failure)."""
+    movable = netlist.movable_macros
+    fixed = netlist.preplaced_macros
+    macros = movable + fixed
+    n_mov = len(movable)
+    worst = 0.0
+    worst_pair = None
+    n_overlaps = 0
+    if n_mov:
+        x = np.array([m.x for m in macros])
+        y = np.array([m.y for m in macros])
+        w = np.array([m.width for m in macros])
+        h = np.array([m.height for m in macros])
+        area = w * h
+        for i in range(n_mov):
+            # each movable against every later macro (movable or fixed)
+            ow = np.minimum(x[i] + w[i], x[i + 1:] + w[i + 1:]) - np.maximum(
+                x[i], x[i + 1:]
+            )
+            oh = np.minimum(y[i] + h[i], y[i + 1:] + h[i + 1:]) - np.maximum(
+                y[i], y[i + 1:]
+            )
+            overlap = np.maximum(ow, 0.0) * np.maximum(oh, 0.0)
+            limit = tol_rel * np.minimum(area[i], area[i + 1:])
+            bad = overlap > limit
+            if bad.any():
+                n_overlaps += int(bad.sum())
+                idxs = np.nonzero(bad)[0]
+                j = int(idxs[np.argmax(overlap[idxs])])
+                if overlap[j] > worst:
+                    worst = float(overlap[j])
+                    worst_pair = (macros[i].name, macros[i + 1 + j].name)
+    detail = {"n_macros": len(macros), "n_overlaps": n_overlaps}
+    if worst_pair is not None:
+        detail["worst_pair"] = list(worst_pair)
+        detail["worst_area"] = worst
+    return CheckResult("macro_overlap", n_overlaps == 0, detail)
+
+
+def _check_bounds(netlist, region, tol: float) -> CheckResult:
+    """Every movable shape fully inside the placement region (fixed
+    nodes — pads, preplaced macros — are inputs and may sit outside)."""
+    violations = []
+    n_checked = 0
+    for node in netlist:
+        if node.fixed or node.kind.value == "pad":
+            continue
+        n_checked += 1
+        if not region.contains(node, tol=tol):
+            violations.append(node.name)
+    detail = {"n_checked": n_checked, "n_out_of_bounds": len(violations)}
+    if violations:
+        detail["first"] = violations[:5]
+    return CheckResult("in_bounds", not violations, detail)
+
+
+def _check_grid_capacity(netlist, plan, tol: float) -> CheckResult:
+    """Rasterized macro area per grid bin must fit in the bin."""
+    occ = plan.occupancy(netlist.macros)
+    worst = float(occ.max()) if occ.size else 0.0
+    over = int((occ > 1.0 + tol).sum())
+    return CheckResult(
+        "grid_capacity",
+        over == 0,
+        {"zeta": plan.zeta, "worst_occupancy": round(worst, 6),
+         "n_over_capacity": over},
+    )
+
+
+def _check_hpwl(netlist, reported: float, rtol: float) -> CheckResult:
+    recomputed = hpwl(netlist)
+    scale = max(abs(reported), abs(recomputed), 1.0)
+    err = abs(recomputed - reported) / scale
+    return CheckResult(
+        "hpwl_recompute",
+        err <= rtol,
+        {"reported": reported, "recomputed": recomputed,
+         "rel_err": float(err)},
+    )
+
+
+def verify_placement(
+    design,
+    plan=None,
+    reported_hpwl: float | None = None,
+    *,
+    overlap_rtol: float = OVERLAP_RTOL,
+    bounds_rtol: float = BOUNDS_RTOL,
+    capacity_tol: float = CAPACITY_TOL,
+    hpwl_rtol: float = HPWL_RTOL,
+) -> VerificationReport:
+    """Run every independent check against *design*'s current placement.
+
+    *plan* (a :class:`~repro.grid.plan.GridPlan`) enables the
+    grid-capacity check; *reported_hpwl* enables the HPWL cross-check.
+    Checks that lack their inputs are skipped, not failed.
+    """
+    nl = design.netlist
+    region = design.region
+    bounds_tol = bounds_rtol * float(np.hypot(region.width, region.height))
+    report = VerificationReport()
+    report.checks.append(_check_macro_overlaps(nl, overlap_rtol))
+    report.checks.append(_check_bounds(nl, region, bounds_tol))
+    if plan is not None:
+        report.checks.append(_check_grid_capacity(nl, plan, capacity_tol))
+    if reported_hpwl is not None:
+        report.checks.append(_check_hpwl(nl, reported_hpwl, hpwl_rtol))
+    return report

@@ -136,6 +136,9 @@ class TestTerminalEvaluationPool:
         assert pool.n_local == 1
 
     def test_submit_failure_marks_broken_and_falls_back(self, coarse_small):
+        # respawn_limit=0 pins the pre-respawn semantics: the first failed
+        # submit permanently degrades the pool (the bounded-respawn path
+        # is covered in tests/test_supervision.py)
         env = make_env(coarse_small)
         events = EventLog()
         assignments = random_assignments(env, 3, seed=3)
@@ -143,7 +146,9 @@ class TestTerminalEvaluationPool:
             make_env(coarse_small).evaluate_assignment(a) for a in assignments
         ]
         with inject(FaultPlan(Fault("pool.submit", at=1))):
-            with TerminalEvaluationPool(env, workers=2, events=events) as pool:
+            with TerminalEvaluationPool(
+                env, workers=2, events=events, respawn_limit=0
+            ) as pool:
                 assert pool.parallel
                 results = [pool.evaluate(a) for a in assignments]
                 assert not pool.parallel  # broken after the injected submit

@@ -33,6 +33,7 @@ from repro.service import (
     CANCELLED,
     DONE,
     FAILED,
+    QUARANTINED,
     QUEUED,
     RUNNING,
     JobSpec,
@@ -112,6 +113,7 @@ class TestJobStore:
         assert rb.state == CANCELLED
         assert replayed.counts() == {
             QUEUED: 0, RUNNING: 0, DONE: 1, FAILED: 0, CANCELLED: 1,
+            QUARANTINED: 0,
         }
 
     def test_torn_tail_forgets_only_last_transition(self, tmp_path):
