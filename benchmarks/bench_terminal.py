@@ -111,7 +111,7 @@ def check_purity(coarse) -> dict:
     reused = [
         reused_env.evaluate_assignment(a) for a in reversed(assignments)
     ][::-1]
-    with TerminalEvaluationPool(make_env(coarse), workers=2) as pool:
+    with TerminalEvaluationPool(make_env(coarse), workers=2, clamp=False) as pool:
         pooled = pool.evaluate_many(assignments)
         pool_was_parallel = pool.parallel
 
@@ -129,7 +129,7 @@ def bench_raw_throughput(coarse, workers_list, n_evals: int) -> dict:
     assignments = random_assignments(base_env, n_evals, seed=2)
     for workers in workers_list:
         env = make_env(coarse)
-        with TerminalEvaluationPool(env, workers=workers) as pool:
+        with TerminalEvaluationPool(env, workers=workers, clamp=False) as pool:
             pool.warm_up(assignments[0], timeout=120.0)
             started = time.perf_counter()
             results = pool.evaluate_many(assignments)
@@ -160,7 +160,7 @@ def bench_mcts(coarse, net_cfg, workers_list, explorations: int) -> dict:
         env = make_env(coarse)
         pool = None
         if workers > 1:
-            pool = TerminalEvaluationPool(env, workers=workers)
+            pool = TerminalEvaluationPool(env, workers=workers, clamp=False)
             pool.warm_up([0] * env.n_steps, timeout=120.0)
         placer = MCTSPlacer(
             env, PolicyValueNet(net_cfg), REWARD,
@@ -204,7 +204,7 @@ def bench_rl(coarse, net_cfg, n_episodes: int, workers: int) -> dict:
     for pooled in (False, True):
         env = make_env(coarse)
         pool = (
-            TerminalEvaluationPool(env, workers=workers) if pooled else None
+            TerminalEvaluationPool(env, workers=workers, clamp=False) if pooled else None
         )
         if pool is not None:
             pool.warm_up([0] * env.n_steps, timeout=120.0)

@@ -23,6 +23,13 @@ Subcommands:
 - ``chaos``     — run the fault-injection drill against a throwaway
   service: every injected failure must end DONE-after-retry or
   QUARANTINED, with DONE HPWLs bit-identical to the unfaulted baseline.
+  ``--fleet`` escalates to the multi-process shard-kill drill.
+- ``fleet``     — sharded-fleet verbs over one shared service dir:
+  ``fleet serve`` boots N crash-safe shard daemons (work is claimed by
+  lease; a SIGKILLed shard's jobs are stolen and resumed by peers),
+  ``fleet shard`` runs a single shard in the foreground, ``fleet
+  status`` shows jobs + leases + aggregated metrics, ``fleet drain``
+  asks every shard to exit after in-flight work.
 
 The service verbs speak a file-based protocol (``inbox/``, ``control/``,
 ``results/``, ``jobs.jsonl``), so clients and daemon need no network
@@ -306,6 +313,124 @@ def cmd_result(args) -> int:
     return 0 if result["state"] == "DONE" else 1
 
 
+# -- sharded fleet -----------------------------------------------------------
+def cmd_fleet_shard(args) -> int:
+    """Run one fleet shard daemon in the foreground."""
+    from repro.service import FleetShard
+
+    shard = FleetShard(
+        args.service_dir,
+        shard=args.shard,
+        lease_ttl=args.lease_ttl,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        poll_interval=args.poll_interval,
+        stall_seconds=args.stall_seconds,
+        max_retries=args.max_retries,
+        backoff_base=args.backoff_base,
+        verify_results=not args.no_verify,
+    )
+    print(f"shard {shard.shard} serving {args.service_dir} "
+          f"(lease_ttl={args.lease_ttl}s, drain={args.drain})")
+    snapshot = shard.run(drain=args.drain, max_seconds=args.max_seconds)
+    jobs = snapshot["jobs"]
+    print(f"shard {shard.shard} exiting: "
+          + ", ".join(f"{k}={v}" for k, v in jobs.items()))
+    return 0
+
+
+def cmd_fleet_serve(args) -> int:
+    """Boot N shard daemons over one shared service dir; wait for them."""
+    import subprocess
+
+    from repro.service import FleetPaths, write_fleet_metrics
+
+    paths = FleetPaths(args.service_dir).ensure()
+    # A stale stop file from a previous drain would make every new shard
+    # exit immediately; the launcher owns the stop file's lifecycle.
+    try:
+        os.remove(paths.stop_file)
+    except FileNotFoundError:
+        pass
+    procs = []
+    for i in range(args.shards):
+        cmd = [
+            sys.executable, "-m", "repro", "fleet", "shard",
+            "--service-dir", args.service_dir,
+            "--shard", f"shard-{i}",
+            "--lease-ttl", str(args.lease_ttl),
+            "--poll-interval", str(args.poll_interval),
+            "--workers", str(args.workers),
+            "--max-retries", str(args.max_retries),
+            "--backoff-base", str(args.backoff_base),
+        ]
+        if args.drain:
+            cmd.append("--drain")
+        if args.max_seconds is not None:
+            cmd += ["--max-seconds", str(args.max_seconds)]
+        if args.no_verify:
+            cmd.append("--no-verify")
+        procs.append(subprocess.Popen(cmd))
+    print(f"fleet of {args.shards} shards serving {args.service_dir} "
+          f"(lease_ttl={args.lease_ttl}s, drain={args.drain})")
+    codes = [p.wait() for p in procs]
+    try:
+        os.remove(paths.stop_file)
+    except FileNotFoundError:
+        pass
+    snapshot = write_fleet_metrics(paths)
+    print("fleet done: " + ", ".join(
+        f"{k}={v}" for k, v in snapshot["jobs"].items()
+    ))
+    return 0 if all(code == 0 for code in codes) else 1
+
+
+def cmd_fleet_status(args) -> int:
+    """Print the fleet-wide job table, live leases, and merged metrics."""
+    import json
+    import time as _time
+
+    from repro.service import FleetPaths, fleet_status, write_fleet_metrics
+
+    status = fleet_status(args.service_dir)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"{'JOB':16s} {'STATE':12s} {'SHARD':14s} {'ATT':>3s}  HPWL")
+    for job in status["jobs"]:
+        hpwl = f"{job['hpwl']:.1f}" if job["hpwl"] is not None else "-"
+        print(f"{job['id']:16s} {job['state']:12s} "
+              f"{job['shard'] or '-':14s} {job['attempts']:3d}  {hpwl}")
+    print("jobs: " + ", ".join(
+        f"{k}={v}" for k, v in status["counts"].items()
+    ))
+    now = _time.time()
+    for lease in status["leases"]:
+        state = "EXPIRED" if lease["expired"] else (
+            f"{lease['expires'] - now:.1f}s left"
+        )
+        print(f"lease {lease['job_id']}: shard={lease['shard']} "
+              f"token={lease['token']} {state}")
+    metrics = write_fleet_metrics(FleetPaths(args.service_dir))
+    counters = metrics.get("counters", {})
+    print(f"fleet: shards_reporting={metrics['n_shards']} "
+          f"done={counters.get('jobs_done', 0)} "
+          f"reclaimed={counters.get('jobs_reclaimed', 0)} "
+          f"leases_lost={counters.get('leases_lost', 0)} "
+          f"stale_lease_drops={counters.get('stale_lease_drops', 0)}")
+    return 0
+
+
+def cmd_fleet_drain(args) -> int:
+    """Ask every shard to exit once its in-flight work finishes."""
+    from repro.service.service import request_stop
+
+    request_stop(args.service_dir)
+    print("fleet drain requested (shards exit after in-flight jobs; "
+          "the stop file stays until 'fleet serve' clears it)")
+    return 0
+
+
 def cmd_doctor(args) -> int:
     """Validate a run directory offline; non-zero exit on any failure."""
     from repro.verify.doctor import doctor_run_dir
@@ -326,23 +451,41 @@ def cmd_chaos(args) -> int:
     import json
     import tempfile
 
-    from repro.service.chaos import format_report, run_chaos_drill
+    from repro.service.chaos import (
+        format_fleet_report,
+        format_report,
+        run_chaos_drill,
+        run_fleet_drill,
+    )
 
-    if args.out:
-        os.makedirs(args.out, exist_ok=True)
-        report = run_chaos_drill(
-            args.out,
-            stall_seconds=args.stall_seconds,
-            max_seconds=args.max_seconds,
-        )
+    if args.fleet:
+        def drill(root):
+            return run_fleet_drill(
+                root,
+                n_shards=args.shards,
+                n_jobs=args.jobs,
+                n_kills=args.kills,
+                lease_ttl=args.lease_ttl,
+                max_seconds=args.max_seconds,
+            )
+
+        formatter = format_fleet_report
     else:
-        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
-            report = run_chaos_drill(
-                tmp,
+        def drill(root):
+            return run_chaos_drill(
+                root,
                 stall_seconds=args.stall_seconds,
                 max_seconds=args.max_seconds,
             )
-    print(format_report(report))
+
+        formatter = format_report
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        report = drill(args.out)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            report = drill(tmp)
+    print(formatter(report))
     if args.report:
         with open(args.report, "w") as f:
             json.dump(report, f, indent=2, sort_keys=True)
@@ -488,6 +631,71 @@ def build_parser() -> argparse.ArgumentParser:
                        help="poll up to this many seconds for the result")
     p_res.set_defaults(func=cmd_result)
 
+    p_fleet = sub.add_parser(
+        "fleet", help="sharded placement fleet over one shared service dir"
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def fleet_common(p: argparse.ArgumentParser) -> None:
+        service_dir(p)
+        p.add_argument("--lease-ttl", type=float, default=10.0,
+                       dest="lease_ttl",
+                       help="seconds before an unrefreshed job lease is "
+                            "stealable; the crash-detection latency "
+                            "(renewed every poll cycle)")
+        p.add_argument("--poll-interval", type=float, default=0.2,
+                       dest="poll_interval",
+                       help="seconds between poll cycles (also the lease "
+                            "renewal cadence)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="concurrent placement jobs per shard")
+        p.add_argument("--max-queue", type=int, default=64, dest="max_queue")
+        p.add_argument("--stall-seconds", type=float, default=None,
+                       dest="stall_seconds",
+                       help="per-shard watchdog threshold (see 'serve')")
+        p.add_argument("--max-retries", type=int, default=2,
+                       dest="max_retries")
+        p.add_argument("--backoff-base", type=float, default=0.5,
+                       dest="backoff_base")
+        p.add_argument("--no-verify", action="store_true", dest="no_verify")
+        p.add_argument("--drain", action="store_true",
+                       help="exit once every job is terminal and the "
+                            "shared inbox is empty")
+        p.add_argument("--max-seconds", type=float, default=None,
+                       dest="max_seconds")
+
+    p_fshard = fleet_sub.add_parser(
+        "shard", help="run one shard daemon in the foreground"
+    )
+    fleet_common(p_fshard)
+    p_fshard.add_argument("--shard", default=None,
+                          help="shard id (stable id lets a replacement "
+                               "daemon supersede its dead predecessor's "
+                               "leases immediately; default: random)")
+    p_fshard.set_defaults(func=cmd_fleet_shard)
+
+    p_fserve = fleet_sub.add_parser(
+        "serve", help="boot N shard daemons and wait for them"
+    )
+    fleet_common(p_fserve)
+    p_fserve.add_argument("--shards", type=int, default=3,
+                          help="number of shard daemon processes")
+    p_fserve.set_defaults(func=cmd_fleet_serve)
+
+    p_fstatus = fleet_sub.add_parser(
+        "status", help="fleet-wide jobs, live leases, merged metrics"
+    )
+    service_dir(p_fstatus)
+    p_fstatus.add_argument("--json", action="store_true",
+                           help="dump the machine-readable status")
+    p_fstatus.set_defaults(func=cmd_fleet_status)
+
+    p_fdrain = fleet_sub.add_parser(
+        "drain", help="ask every shard to exit after in-flight work"
+    )
+    service_dir(p_fdrain)
+    p_fdrain.set_defaults(func=cmd_fleet_drain)
+
     p_doc = sub.add_parser("doctor", help="validate a run directory offline")
     p_doc.add_argument("run_dir", help="run directory to validate")
     p_doc.add_argument("--circuit", default=None,
@@ -518,6 +726,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--max-seconds", type=float, default=60.0,
                          dest="max_seconds",
                          help="per-scenario wall-clock cap (the no-hang gate)")
+    p_chaos.add_argument("--fleet", action="store_true",
+                         help="run the multi-process shard-kill drill "
+                              "instead of the single-daemon scenarios")
+    p_chaos.add_argument("--shards", type=int, default=3,
+                         help="fleet drill: shard daemon processes")
+    p_chaos.add_argument("--jobs", type=int, default=6,
+                         help="fleet drill: jobs besides the poison job")
+    p_chaos.add_argument("--kills", type=int, default=2,
+                         help="fleet drill: whole-shard SIGKILLs")
+    p_chaos.add_argument("--lease-ttl", type=float, default=1.5,
+                         dest="lease_ttl",
+                         help="fleet drill: lease TTL (crash-detection "
+                              "latency)")
     p_chaos.set_defaults(func=cmd_chaos)
 
     return parser

@@ -76,6 +76,13 @@ class PlacerConfig:
     #: pure function of the assignment), so this is an execution knob, not
     #: a result knob — it is excluded from the run-dir config fingerprint.
     terminal_workers: int = 1
+    #: clamp ``terminal_workers`` to ``os.cpu_count()`` and fall back
+    #: in-process when the clamp leaves a single worker (oversubscribed
+    #: pools lose; BENCH_pr3 recorded 0.21× at w4 on one core).  False
+    #: takes the requested count literally — benchmarks measuring
+    #: oversubscription and pool fault drills on small hosts opt out.
+    #: Pure execution knob: excluded from the run-dir config fingerprint.
+    terminal_pool_clamp: bool = True
     #: explicit path for the cross-run terminal cache JSONL, overriding the
     #: per-run-dir default.  The placement service points every job at one
     #: shared file so terminal HPWL results amortize across the fleet

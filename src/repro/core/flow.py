@@ -328,7 +328,8 @@ class MCTSGuidedPlacer:
         terminal_pool = None
         if cfg.terminal_workers > 1:
             terminal_pool = TerminalEvaluationPool(
-                env, workers=cfg.terminal_workers, events=events
+                env, workers=cfg.terminal_workers, events=events,
+                clamp=cfg.terminal_pool_clamp,
             )
         try:
             # -- stage 4: RL pre-training ----------------------------------------

@@ -14,6 +14,17 @@ legalizer knobs, and the cell-placement effort.  Persisted entries whose
 fingerprint does not match the live environment are ignored on load, so a
 stale file can never poison a run.  Loads tolerate a torn tail line (a
 kill mid-append), matching the event-log convention.
+
+The persisted file is safe to share across **concurrent writer
+processes** (a whole placement fleet appends to one file): every append
+is a single ``write`` syscall on an ``O_APPEND`` descriptor
+(:func:`repro.utils.events.append_jsonl`), so records from different
+shards interleave whole, never byte-wise.  Each record carries a sha256
+of its own content, verified on load — a flipped bit (disk rot, an
+interleaved torn write) drops that one record instead of poisoning a
+search with a wrong wirelength.  Replays are last-writer-wins per key,
+which dedupes the benign case of two shards measuring (and appending)
+the same assignment: both wrote the identical value, so either wins.
 """
 
 from __future__ import annotations
@@ -21,7 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 
-from repro.utils.events import read_jsonl
+from repro.utils.events import append_jsonl, read_jsonl
 
 
 def environment_fingerprint(env) -> str:
@@ -90,6 +101,7 @@ class TerminalCache:
         self._entries: dict[tuple[int, ...], float] = {}
         self.hits = 0
         self.misses = 0
+        self.corrupt_entries = 0
         if path is not None:
             self._load(path)
 
@@ -123,14 +135,25 @@ class TerminalCache:
         return dict(self._entries)
 
     # -- persistence -----------------------------------------------------------
+    @staticmethod
+    def _record_sha(fingerprint: str, key: tuple[int, ...], wirelength: float) -> str:
+        """Content digest of one persisted entry.
+
+        ``repr`` of the float keeps the digest exact down to the last
+        bit — the whole point of the cache is bitwise-identical replay.
+        """
+        text = f"{fingerprint}|{','.join(str(a) for a in key)}|{wirelength!r}"
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
     def _append(self, key: tuple[int, ...], wirelength: float) -> None:
         record = {
             "fingerprint": self.fingerprint,
             "assignment": list(key),
             "wirelength": wirelength,
+            "sha": self._record_sha(self.fingerprint, key, wirelength),
         }
-        with open(self.path, "a") as f:
-            f.write(json.dumps(record) + "\n")
+        # Single-syscall append: fleet shards share this file.
+        append_jsonl(self.path, record)
 
     def _load(self, path: str) -> None:
         for record in read_jsonl(path):  # tolerates a torn tail line
@@ -138,6 +161,16 @@ class TerminalCache:
                 continue
             try:
                 key = tuple(int(a) for a in record["assignment"])
-                self._entries[key] = float(record["wirelength"])
+                wirelength = float(record["wirelength"])
             except (KeyError, TypeError, ValueError):
                 continue
+            sha = record.get("sha")
+            if sha is not None and sha != self._record_sha(
+                self.fingerprint, key, wirelength
+            ):
+                self.corrupt_entries += 1
+                continue  # bit rot / damaged record: drop it, keep the rest
+            # Last-writer-wins: concurrent shards may append the same key
+            # (with identical values — evaluation is pure); later records
+            # simply overwrite earlier ones.
+            self._entries[key] = wirelength

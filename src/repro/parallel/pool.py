@@ -13,6 +13,16 @@ Guarantees:
 - **Bitwise equivalence** — every worker legalizes from the same canonical
   start state as the parent (the pool captures it before pickling), so a
   pooled evaluation returns exactly the float the parent would compute.
+- **Adaptive sizing** — requesting more workers than the host has cores
+  makes the pool *slower* (BENCH_pr3 recorded 0.21× at ``workers=4`` on
+  a 1-core host: four interpreters time-slicing one core plus IPC), so
+  the pool clamps its worker count to ``os.cpu_count()`` and falls back
+  in-process entirely when the clamp leaves a single worker — the pool
+  would only add pickling overhead to a serial execution.  Both
+  adjustments emit a ``degradation`` event (``phase="sizing"``) so the
+  clamp is observable, and ``clamp=False`` restores the literal request
+  (benchmarks measuring oversubscription, and fault drills that need a
+  real pool on small CI hosts, opt out).
 - **Graceful degradation** — ``workers <= 1`` or a failed spawn fall back
   to in-process evaluation with a ``degradation`` event.  A pool that
   dies mid-run (``BrokenProcessPool``) is **respawned** up to
@@ -115,6 +125,9 @@ class TerminalEvaluationPool:
         events: degradation events (spawn failures, broken pools) land here.
         respawn_limit: crashed-pool restarts attempted before permanently
             degrading to in-process evaluation.
+        clamp: bound workers by ``os.cpu_count()`` (and fall back
+            in-process when that leaves one worker); False takes the
+            requested count literally.
     """
 
     def __init__(
@@ -123,9 +136,13 @@ class TerminalEvaluationPool:
         workers: int = 1,
         events: EventLog | None = None,
         respawn_limit: int = 2,
+        clamp: bool = True,
     ) -> None:
+        import os
+
         self.env = env
-        self.workers = max(1, int(workers))
+        self.requested_workers = max(1, int(workers))
+        self.workers = self.requested_workers
         self.events = events if events is not None else EventLog()
         self.respawn_limit = max(0, int(respawn_limit))
         self.respawns = 0
@@ -134,6 +151,22 @@ class TerminalEvaluationPool:
         self._executor = None
         self._broken = False
         self._epoch = 0
+        if clamp:
+            cores = os.cpu_count() or 1
+            self.workers = min(self.requested_workers, cores)
+            if self.workers < self.requested_workers:
+                # Oversubscription loses (BENCH_pr3: w4 = 0.21× on one
+                # core); shrink to the cores we have, or skip the pool
+                # entirely when that leaves a serial execution anyway.
+                self.events.emit(
+                    "degradation",
+                    solver="terminal_pool",
+                    phase="sizing",
+                    fallback="in_process" if self.workers <= 1 else "clamp",
+                    requested=self.requested_workers,
+                    cpu_count=cores,
+                    workers=self.workers,
+                )
         if self.workers > 1:
             self._start()
 

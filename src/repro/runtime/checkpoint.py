@@ -76,6 +76,7 @@ def config_fingerprint(config) -> str:
     payload.pop("run_dir", None)
     payload.pop("resume", None)
     payload.pop("terminal_workers", None)
+    payload.pop("terminal_pool_clamp", None)
     payload.pop("terminal_cache_path", None)
     payload.pop("verify_results", None)
     text = json.dumps(payload, sort_keys=True, default=str)

@@ -18,6 +18,7 @@ Layers:
 - :mod:`repro.service.scheduler` — worker threads + per-job budgets
 - :mod:`repro.service.supervisor`— heartbeats, watchdog, retry, quarantine
 - :mod:`repro.service.service`   — the daemon: inbox, control, recovery
+- :mod:`repro.service.fleet`     — sharded fleet: leases, work stealing
 - :mod:`repro.service.chaos`     — fault-injection drill over the daemon
 """
 
@@ -34,6 +35,14 @@ from repro.service.jobs import (
     ServicePaths,
     resolve_design,
 )
+from repro.service.fleet import (
+    FleetPaths,
+    FleetShard,
+    Lease,
+    LeaseManager,
+    fleet_status,
+    write_fleet_metrics,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import JobRunContext, Scheduler
 from repro.service.service import PlacementService
@@ -47,8 +56,12 @@ __all__ = [
     "QUARANTINED",
     "QUEUED",
     "RUNNING",
+    "FleetPaths",
+    "FleetShard",
     "Heartbeat",
     "Job",
+    "Lease",
+    "LeaseManager",
     "JobRunContext",
     "JobSpec",
     "JobStore",
@@ -59,5 +72,7 @@ __all__ = [
     "ServicePaths",
     "SupervisedBudget",
     "WarmArtifactCache",
+    "fleet_status",
     "resolve_design",
+    "write_fleet_metrics",
 ]

@@ -36,17 +36,33 @@ poison              ``trainer.kill`` on every attempt → retries exhaust
 
 Used by ``repro chaos``, the CI ``chaos-smoke`` job, and
 ``benchmarks/bench_supervision.py``.
+
+:func:`run_fleet_drill` is the multi-process escalation: it boots a
+real sharded fleet (:mod:`repro.service.fleet`), SIGKILLs whole shard
+processes while jobs are in flight, and gates on every job ending DONE
+with an HPWL bit-identical to a single-daemon baseline or QUARANTINED
+with a journaled reason — never lost, duplicated, or silently
+corrupted.  Used by ``repro chaos --fleet`` and the CI ``fleet-smoke``
+job.
 """
 
 from __future__ import annotations
 
 import os
+import subprocess
+import sys
 import time
 from dataclasses import replace
 
 from repro.runtime import faults
 from repro.runtime.faults import Fault, FaultPlan
-from repro.service.jobs import DONE, QUARANTINED, JobSpec
+from repro.service.jobs import (
+    DONE,
+    QUARANTINED,
+    TERMINAL_STATES,
+    JobSpec,
+    JobStore,
+)
 from repro.service.service import PlacementService, submit_job
 
 #: small-but-real drill spec: one full flow run in well under a second
@@ -82,7 +98,14 @@ def _run_scenario(
         max_retries=max_retries,
         backoff_base=backoff_base,
     )
-    job_spec = replace(spec, terminal_workers=terminal_workers)
+    # A scenario that asks for a real pool (worker_kill) must opt out of
+    # the adaptive cpu-count clamp — a 1-core CI host would otherwise
+    # fall back in-process and the pool fault site would never arm.
+    job_spec = replace(
+        spec,
+        terminal_workers=terminal_workers,
+        terminal_pool_clamp=terminal_workers <= 1,
+    )
     job_ids = [submit_job(service_dir, job_spec) for _ in range(n_jobs)]
     plan = FaultPlan(*plan_faults)
     started = time.perf_counter()
@@ -266,6 +289,302 @@ def _journal(service: PlacementService) -> list[dict]:
     from repro.utils.events import read_jsonl
 
     return read_jsonl(service.store.path)
+
+
+# -- fleet shard-kill drill ---------------------------------------------------
+def _spawn_shard(
+    fleet_dir: str,
+    shard: str,
+    *,
+    lease_ttl: float,
+    poll_interval: float,
+    max_seconds: float,
+) -> subprocess.Popen:
+    """Launch one shard daemon process (drain mode) against *fleet_dir*."""
+    src = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    cmd = [
+        sys.executable, "-m", "repro", "fleet", "shard",
+        "--service-dir", fleet_dir,
+        "--shard", shard,
+        "--lease-ttl", str(lease_ttl),
+        "--poll-interval", str(poll_interval),
+        "--backoff-base", "0.05",
+        "--drain",
+        "--max-seconds", str(max_seconds),
+    ]
+    return subprocess.Popen(
+        cmd, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def run_fleet_drill(
+    root: str,
+    *,
+    spec: JobSpec | None = None,
+    n_shards: int = 3,
+    n_jobs: int = 6,
+    n_kills: int = 2,
+    lease_ttl: float = 1.5,
+    poll_interval: float = 0.05,
+    max_seconds: float = 150.0,
+    respawn: bool = True,
+) -> dict:
+    """Shard-kill drill: SIGKILL whole shards mid-fleet, gate on outcomes.
+
+    Phase 1 runs every job through a single one-worker daemon — the
+    reference HPWL per job.  Phase 2 submits the same mix (plus one
+    deliberately poisoned job) to a shared fleet dir, boots *n_shards*
+    shard processes, and SIGKILLs *n_kills* of them while work is in
+    flight (optionally respawning each victim under the same shard id,
+    which exercises the dead-predecessor lease takeover).  The gate:
+
+    - every submitted job reaches a terminal state (nothing lost, no
+      hang);
+    - every non-poison job is DONE with HPWL **bit-identical** to its
+      single-daemon reference (whole-shard loss never changes an
+      answer);
+    - the poison job is QUARANTINED with a journaled reason;
+    - the raw shared journal carries **exactly one** terminal record per
+      job (no double-completion, even in the append history);
+    - ``fleet_metrics.json`` aggregates every shard that reported.
+    """
+    from repro.service.fleet import FleetPaths
+
+    spec = spec if spec is not None else DEFAULT_SPEC
+    os.makedirs(root, exist_ok=True)
+    seeds = [spec.seed + i for i in range(n_jobs)]
+    n_kills = max(0, min(n_kills, n_shards - 1))  # always leave a survivor
+    checks: list = []
+    report: dict = {
+        "spec": spec.to_json(),
+        "n_shards": n_shards,
+        "n_jobs": n_jobs,
+        "n_kills": n_kills,
+        "lease_ttl": lease_ttl,
+        "checks": checks,
+    }
+    started = time.perf_counter()
+
+    # -- phase 1: single-daemon reference ------------------------------------
+    baseline_dir = os.path.join(root, "baseline")
+    baseline = PlacementService(
+        baseline_dir, workers=1, poll_interval=0.02, backoff_base=0.05,
+    )
+    ref_ids = {
+        seed: submit_job(baseline_dir, replace(spec, seed=seed))
+        for seed in seeds
+    }
+    baseline.run(drain=True, max_seconds=max_seconds)
+    reference = {
+        seed: baseline.store.get(job_id).hpwl
+        for seed, job_id in ref_ids.items()
+    }
+    _check(
+        checks, "baseline_all_done",
+        all(
+            baseline.store.get(j).state == DONE and reference[s] is not None
+            for s, j in ref_ids.items()
+        ),
+        f"reference={reference}",
+    )
+    report["reference"] = {str(s): h for s, h in reference.items()}
+    if not checks[-1]["ok"]:
+        report["ok"] = False
+        return report
+
+    # -- phase 2: the fleet under fire ---------------------------------------
+    fleet_dir = os.path.join(root, "fleet")
+    paths = FleetPaths(fleet_dir).ensure()
+    job_ids = {
+        submit_job(fleet_dir, replace(spec, seed=seed)): seed
+        for seed in seeds
+    }
+    poison_id = submit_job(
+        fleet_dir,
+        replace(
+            spec,
+            seed=spec.seed + n_jobs,
+            faults=(("trainer.kill", 1, None),),
+        ),
+    )
+    total = len(job_ids) + 1
+
+    procs: dict[str, subprocess.Popen] = {}
+    for i in range(n_shards):
+        name = f"shard-{i}"
+        procs[name] = _spawn_shard(
+            fleet_dir, name,
+            lease_ttl=lease_ttl, poll_interval=poll_interval,
+            max_seconds=max_seconds,
+        )
+
+    store = JobStore(paths.journal)
+    kills: list[dict] = []
+    deadline = time.monotonic() + max_seconds
+    last_kill = 0.0
+    try:
+        while time.monotonic() < deadline:
+            store.load()
+            counts = store.counts()
+            n_terminal = sum(counts[s] for s in TERMINAL_STATES)
+            if n_terminal >= total:
+                break
+            # Kill once work is demonstrably in flight, spaced so the
+            # fleet has absorbed the previous loss before the next.
+            in_flight = counts["RUNNING"] > 0 or n_terminal > len(kills)
+            if (
+                len(kills) < n_kills
+                and in_flight
+                and time.monotonic() - last_kill >= 2.0 * poll_interval
+            ):
+                victim = f"shard-{len(kills)}"
+                proc = procs.get(victim)
+                if proc is not None and proc.poll() is None:
+                    proc.kill()  # SIGKILL: no cleanup, no lease release
+                    proc.wait()
+                    kills.append(
+                        {"shard": victim, "terminal_before": n_terminal}
+                    )
+                    last_kill = time.monotonic()
+                    if respawn:
+                        # Same shard id: the replacement supersedes its
+                        # dead predecessor's leases without waiting TTL.
+                        procs[victim] = _spawn_shard(
+                            fleet_dir, victim,
+                            lease_ttl=lease_ttl,
+                            poll_interval=poll_interval,
+                            max_seconds=max_seconds,
+                        )
+            time.sleep(5 * poll_interval)
+        for proc in procs.values():
+            try:
+                proc.wait(timeout=max(1.0, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                pass
+    finally:
+        for proc in procs.values():
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    # -- gates ----------------------------------------------------------------
+    store.load()
+    jobs = {job_id: store.get(job_id) for job_id in [*job_ids, poison_id]}
+    report["kills"] = kills
+    report["jobs"] = [
+        {
+            "id": j.id,
+            "seed": j.spec.seed,
+            "state": j.state if j else "MISSING",
+            "attempts": j.attempts,
+            "hpwl": j.hpwl,
+            "shard": j.shard,
+        }
+        for j in jobs.values() if j is not None
+    ]
+    _check(checks, "kills_executed", len(kills) == n_kills,
+           f"{len(kills)}/{n_kills}")
+    _check(
+        checks, "no_job_lost",
+        all(j is not None for j in jobs.values()),
+        "every submitted id is in the journal",
+    )
+    _check(
+        checks, "all_terminal",
+        all(j is not None and j.terminal for j in jobs.values()),
+        ",".join(f"{i}={j.state if j else 'MISSING'}"
+                 for i, j in jobs.items() if j is None or not j.terminal),
+    )
+    for job_id, seed in job_ids.items():
+        job = jobs[job_id]
+        if job is None:
+            continue
+        _check(
+            checks, f"seed{seed}_done_identical",
+            job.state == DONE and job.hpwl == reference[seed],
+            f"state={job.state} hpwl={job.hpwl!r} "
+            f"vs baseline {reference[seed]!r}",
+        )
+    poison = jobs[poison_id]
+    _check(
+        checks, "poison_quarantined",
+        poison is not None and poison.state == QUARANTINED,
+        poison.state if poison else "MISSING",
+    )
+    from repro.utils.events import read_jsonl
+
+    quarantine = read_jsonl(paths.quarantine)
+    _check(
+        checks, "poison_journaled",
+        any(q.get("id") == poison_id and q.get("error") for q in quarantine),
+        "quarantine.jsonl records the poison job with its error",
+    )
+    terminal_records: dict[str, int] = {}
+    for record in read_jsonl(paths.journal):
+        if (
+            record.get("record") == "state"
+            and record.get("state") in TERMINAL_STATES
+        ):
+            rid = record.get("id")
+            terminal_records[rid] = terminal_records.get(rid, 0) + 1
+    _check(
+        checks, "exactly_one_terminal_record",
+        all(terminal_records.get(job_id, 0) == 1 for job_id in jobs)
+        and set(terminal_records) <= set(jobs),
+        f"terminal record counts: {terminal_records}",
+    )
+    fleet_metrics = None
+    if os.path.exists(paths.fleet_metrics):
+        import json as _json
+
+        with open(paths.fleet_metrics) as f:
+            fleet_metrics = _json.load(f)
+    _check(
+        checks, "fleet_metrics_aggregated",
+        fleet_metrics is not None and fleet_metrics.get("n_shards", 0) >= 1,
+        f"n_shards={None if fleet_metrics is None else fleet_metrics.get('n_shards')}",
+    )
+    report["reclaims"] = (
+        (fleet_metrics or {}).get("counters", {}).get("jobs_reclaimed", 0)
+    )
+    report["seconds"] = round(time.perf_counter() - started, 3)
+    report["ok"] = all(c["ok"] for c in checks)
+    return report
+
+
+def format_fleet_report(report: dict) -> str:
+    """Human-readable fleet-drill summary (``repro chaos --fleet``)."""
+    lines = [
+        f"fleet drill: shards={report['n_shards']} "
+        f"jobs={report['n_jobs']}+1 poison  kills={report['n_kills']} "
+        f"lease_ttl={report['lease_ttl']}s",
+    ]
+    for kill in report.get("kills", []):
+        lines.append(
+            f"  SIGKILL {kill['shard']} "
+            f"(terminal jobs before: {kill['terminal_before']})"
+        )
+    for job in report.get("jobs", []):
+        lines.append(
+            f"  {job['id']}: {job['state']} a{job['attempts']} "
+            f"hpwl={job['hpwl']!r} shard={job['shard']}"
+        )
+    lines.append(f"  reclaimed RUNNING orphans: {report.get('reclaims', 0)}")
+    for check in report.get("checks", []):
+        if not check["ok"]:
+            lines.append(f"  FAILED check {check['name']}: {check['detail']}")
+    lines.append(
+        f"result: {'OK' if report.get('ok') else 'FAILED'} "
+        f"({report.get('seconds', 0.0)}s total)"
+    )
+    return "\n".join(lines)
 
 
 def format_report(report: dict) -> str:

@@ -18,6 +18,21 @@ journal is the single source of truth, replayed on daemon start the same
 way :class:`~repro.runtime.checkpoint.RunDir` replays a run manifest.  A
 torn trailing line (daemon killed mid-append) is tolerated exactly like
 the event log and terminal cache (:func:`repro.utils.events.read_jsonl`).
+
+The journal supports **multiple concurrent writer processes** (a fleet
+of shard daemons sharing one directory, :mod:`repro.service.fleet`):
+
+- every append is a single ``write`` syscall on an ``O_APPEND``
+  descriptor (:func:`repro.utils.events.append_jsonl`), so records from
+  different shards interleave whole, never byte-wise;
+- :meth:`JobStore.refresh` tails the journal incrementally, folding in
+  peers' records without re-reading the file — a shard's in-memory
+  table converges to the union of every writer's appends;
+- replay is *first-submit-wins* per job id and *first-terminal-wins*
+  per job: once a job reaches a terminal state, later state records for
+  it (a fenced-out zombie shard's stale report) are counted and
+  dropped, which makes double-completion structurally impossible in the
+  replayed state.
 """
 
 from __future__ import annotations
@@ -30,7 +45,7 @@ import uuid
 from dataclasses import asdict, dataclass, replace
 
 from repro.runtime.errors import UsageError
-from repro.utils.events import read_jsonl
+from repro.utils.events import append_jsonl, read_jsonl
 
 #: job lifecycle states
 QUEUED = "QUEUED"
@@ -99,9 +114,21 @@ class JobSpec:
     #: worker processes for terminal evaluation inside this job (execution
     #: knob; results are bitwise-identical for every count)
     terminal_workers: int = 1
+    #: clamp the terminal pool to the host's cores (see
+    #: :class:`~repro.core.config.PlacerConfig.terminal_pool_clamp`);
+    #: fault drills that need a real pool on a 1-core CI host opt out
+    terminal_pool_clamp: bool = True
     #: whole-job wall-clock allowance; stages see the remaining budget
     #: through :class:`repro.service.scheduler.JobRunContext` (None = no cap)
     budget_seconds: float | None = None
+    #: deterministic faults injected into every attempt of *this job
+    #: only*: ``((site, at, count), ...)`` triples (count ``None`` =
+    #: forever) building a :class:`~repro.runtime.faults.FaultPlan`
+    #: around the flow call.  A chaos-drill facility — it lets a fleet
+    #: drill poison one job in a mix without touching the shard
+    #: processes — meaningful on single-worker daemons (the plan is
+    #: process-global while the attempt runs).
+    faults: tuple | list | None = None
 
     def validate(self) -> None:
         if not self.circuit and not self.aux:
@@ -112,6 +139,12 @@ class JobSpec:
                 "['benchmark', 'fast', 'paper']",
                 preset=self.preset,
             )
+        for item in self.faults or ():
+            if not isinstance(item, (list, tuple)) or not (1 <= len(item) <= 3):
+                raise UsageError(
+                    "job faults must be (site, at?, count?) triples",
+                    faults=self.faults,
+                )
 
     def build_design(self):
         return resolve_design(
@@ -132,8 +165,27 @@ class JobSpec:
         return replace(
             config,
             terminal_workers=self.terminal_workers,
+            terminal_pool_clamp=self.terminal_pool_clamp,
             terminal_cache_path=terminal_cache_path,
         )
+
+    def build_fault_plan(self):
+        """The per-job :class:`~repro.runtime.faults.FaultPlan` (or None)."""
+        if not self.faults:
+            return None
+        from repro.runtime.faults import Fault, FaultPlan
+
+        built = []
+        for item in self.faults:
+            site, at, count = (tuple(item) + (1, 1))[:3]
+            built.append(
+                Fault(
+                    str(site),
+                    at=int(at),
+                    count=None if count is None else int(count),
+                )
+            )
+        return FaultPlan(*built)
 
     def to_json(self) -> dict:
         return asdict(self)
@@ -161,6 +213,9 @@ class Job:
     warm_hit: bool = False
     hpwl: float | None = None
     seconds: float | None = None
+    #: fleet shard that wrote the job's latest transition (None outside
+    #: fleet mode); purely observational
+    shard: str | None = None
 
     @property
     def terminal(self) -> bool:
@@ -262,41 +317,99 @@ class JobStore:
         self._lock = threading.RLock()
         self._jobs: dict[str, Job] = {}
         self._seq = 0
+        #: byte offset up to which the journal has been folded in; refresh
+        #: resumes tailing here (only ever advanced past complete lines)
+        self._offset = 0
+        #: records dropped by the first-terminal-wins replay rule — a
+        #: nonzero count means a fenced-out writer tried to re-decide a
+        #: finished job (or replayed its own record, which is benign)
+        self.stale_records = 0
+        #: extra keys merged into every record this store writes (a fleet
+        #: shard tags its appends with its shard id)
+        self.tag: dict = {}
 
     # -- journal ---------------------------------------------------------------
     def _append(self, record: dict) -> None:
-        with open(self.path, "a") as f:
-            f.write(json.dumps(record, sort_keys=True) + "\n")
-            f.flush()
-            os.fsync(f.fileno())
+        # Single-syscall atomic append: fleet shards share this journal.
+        append_jsonl(self.path, {**self.tag, **record}, fsync=True)
 
     def load(self) -> "JobStore":
+        """Replay the whole journal from the top (daemon start, CLI)."""
         with self._lock:
             self._jobs.clear()
             self._seq = 0
-            for record in read_jsonl(self.path):
-                kind = record.get("record")
-                if kind == "submit":
-                    try:
-                        job = Job(
-                            id=record["id"],
-                            spec=JobSpec.from_json(record.get("spec", {})),
-                            priority=int(record.get("priority", 0)),
-                            seq=int(record.get("seq", 0)),
-                            state=record.get("state", QUEUED),
-                            submitted_ts=float(record.get("ts", 0.0)),
-                            error=record.get("error"),
-                        )
-                    except (KeyError, TypeError, ValueError):
-                        continue
-                    self._jobs[job.id] = job
-                    self._seq = max(self._seq, job.seq)
-                elif kind == "state":
-                    job = self._jobs.get(record.get("id"))
-                    if job is None or record.get("state") not in STATES:
-                        continue
-                    self._apply(job, record)
+            self._offset = 0
+            self.stale_records = 0
+            self._tail()
         return self
+
+    def refresh(self) -> "JobStore":
+        """Fold in records appended since the last load/refresh.
+
+        Tails the journal from the saved byte offset, so concurrent
+        writers' records (and this store's own, which re-apply as no-ops
+        under the replay rules) converge into the in-memory table without
+        re-reading the file.  Only newline-terminated lines advance the
+        offset — a torn tail is re-examined on the next refresh, by which
+        time the writer's atomic append has completed.
+        """
+        with self._lock:
+            self._tail()
+        return self
+
+    def _tail(self) -> None:
+        try:
+            f = open(self.path, "rb")
+        except FileNotFoundError:
+            return
+        with f:
+            f.seek(self._offset)
+            for line in f:
+                if not line.endswith(b"\n"):
+                    break  # in-flight append; retry next refresh
+                self._offset = f.tell()
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # damaged line (skipped, like read_jsonl)
+                if isinstance(record, dict):
+                    self._apply_record(record)
+
+    def _apply_record(self, record: dict) -> None:
+        kind = record.get("record")
+        if kind == "submit":
+            if record.get("id") in self._jobs:
+                # First submit wins: a re-read of our own append, or a
+                # redundant re-admission raced by a peer.
+                self.stale_records += 1
+                return
+            try:
+                job = Job(
+                    id=record["id"],
+                    spec=JobSpec.from_json(record.get("spec", {})),
+                    priority=int(record.get("priority", 0)),
+                    seq=int(record.get("seq", 0)),
+                    state=record.get("state", QUEUED),
+                    submitted_ts=float(record.get("ts", 0.0)),
+                    error=record.get("error"),
+                    shard=record.get("shard"),
+                )
+            except (KeyError, TypeError, ValueError):
+                return
+            self._jobs[job.id] = job
+            self._seq = max(self._seq, job.seq)
+        elif kind == "state":
+            job = self._jobs.get(record.get("id"))
+            if job is None or record.get("state") not in STATES:
+                return
+            if job.terminal:
+                # First terminal wins: a finished job's fate is sealed.
+                # Anything after — a zombie shard's late report, or this
+                # store re-reading its own terminal append — is dropped,
+                # so double-completion cannot exist in replayed state.
+                self.stale_records += 1
+                return
+            self._apply(job, record)
 
     @staticmethod
     def _apply(job: Job, record: dict) -> None:
@@ -311,6 +424,8 @@ class JobStore:
             job.hpwl = record["hpwl"]
         if "seconds" in record:
             job.seconds = record["seconds"]
+        if "shard" in record:
+            job.shard = record["shard"]
         if job.terminal:
             job.finished_ts = float(record.get("ts", 0.0))
 
@@ -358,6 +473,13 @@ class JobStore:
     def transition(self, job_id: str, state: str, **extra) -> Job:
         with self._lock:
             job = self._jobs[job_id]
+            if job.terminal:
+                # First terminal wins, live edition: once a job finished
+                # (possibly decided by a peer shard and folded in via
+                # refresh), nothing re-decides it — the attempted record
+                # is neither applied nor journaled.
+                self.stale_records += 1
+                return job
             record = {
                 "record": "state",
                 "id": job_id,

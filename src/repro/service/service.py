@@ -136,8 +136,9 @@ class PlacementService:
         backoff_base: float = 0.5,
         verify_results: bool = True,
         reject_malformed_after: float = 5.0,
+        paths: ServicePaths | None = None,
     ) -> None:
-        self.paths = ServicePaths(service_dir).ensure()
+        self.paths = (paths or ServicePaths(service_dir)).ensure()
         self.store = JobStore(self.paths.journal).load()
         self.metrics = ServiceMetrics()
         self.warm = WarmArtifactCache(self.paths.warm)
@@ -223,30 +224,43 @@ class PlacementService:
             if self.store.get(job_id) is not None:
                 os.remove(path)  # duplicate redelivery; already journaled
                 continue
-            if self.store.queue_depth() >= self.max_queue:
-                error = {
-                    "kind": "Backpressure",
-                    "message": (
-                        f"admission rejected: queue depth "
-                        f"{self.store.queue_depth()} >= max_queue "
-                        f"{self.max_queue}"
-                    ),
-                }
-                job = self.store.add(
-                    spec, job_id=job_id, priority=priority, state=FAILED,
-                    error=error, submitted_ts=submitted_ts,
-                )
-                self._write_result(job)
-                self.metrics.inc("jobs_rejected")
-            else:
-                job = self.store.add(
-                    spec, job_id=job_id, priority=priority,
-                    submitted_ts=submitted_ts,
-                )
+            job = self._journal_admission(
+                spec, job_id, priority, submitted_ts
+            )
+            if job.state == QUEUED:
                 admitted.append(job)
-                self.metrics.inc("jobs_admitted")
             os.remove(path)
         return admitted
+
+    def _journal_admission(
+        self, spec: JobSpec, job_id: str, priority: int, submitted_ts
+    ) -> Job:
+        """Journal one parsed submission: admit it QUEUED, or reject it
+        FAILED with a structured backpressure error when the queue is
+        full.  Shared by the single-daemon inbox poll and the fleet
+        shard's claim-gated admission."""
+        if self.store.queue_depth() >= self.max_queue:
+            error = {
+                "kind": "Backpressure",
+                "message": (
+                    f"admission rejected: queue depth "
+                    f"{self.store.queue_depth()} >= max_queue "
+                    f"{self.max_queue}"
+                ),
+            }
+            job = self.store.add(
+                spec, job_id=job_id, priority=priority, state=FAILED,
+                error=error, submitted_ts=submitted_ts,
+            )
+            self._write_result(job)
+            self.metrics.inc("jobs_rejected")
+        else:
+            job = self.store.add(
+                spec, job_id=job_id, priority=priority,
+                submitted_ts=submitted_ts,
+            )
+            self.metrics.inc("jobs_admitted")
+        return job
 
     def _reject_malformed(self, path: str, name: str, exc: Exception) -> None:
         """Quarantine an inbox file that outlived the half-written grace."""
@@ -316,11 +330,25 @@ class PlacementService:
         job = self.store.get(job_id)
         return job is not None and job.state == QUEUED
 
+    def _still_owner(self, job_id: str) -> bool:
+        """Fencing hook: does this daemon still own *job_id*?
+
+        The single-daemon service owns everything it journals.  The
+        fleet shard overrides this with a lease check so an attempt
+        whose lease was stolen (after a stall or partition) cannot
+        journal transitions or publish artifacts for a job a peer now
+        owns — its late writes are dropped, counted, and harmless.
+        """
+        return True
+
     def _execute(self, job_id: str) -> None:
         """Run one job attempt end to end; never raises (scheduler
         contract).  Failures are routed through the supervisor, which
         decides retry / quarantine / fail."""
         job = self.store.get(job_id)
+        if not self._still_owner(job.id):
+            self.metrics.inc("stale_lease_drops")
+            return
         run_dir = self.paths.run_dir(job.id)
         attempt = job.attempts + 1
         cold = self.supervisor.is_cold(job.id)
@@ -361,8 +389,21 @@ class PlacementService:
                 self.metrics.inc("warm_hits" if warm_hit else "warm_misses")
 
                 from repro.core.flow import MCTSGuidedPlacer
+                from repro.runtime import faults
 
-                result = MCTSGuidedPlacer(config).place(design, context=ctx)
+                # A per-job fault plan (chaos drills) is installed only
+                # when present, so it never clears a plan installed
+                # around the whole daemon by the process-level drill.
+                fault_plan = job.spec.build_fault_plan()
+                if fault_plan is not None:
+                    with faults.inject(fault_plan):
+                        result = MCTSGuidedPlacer(config).place(
+                            design, context=ctx
+                        )
+                else:
+                    result = MCTSGuidedPlacer(config).place(
+                        design, context=ctx
+                    )
             except PlacementError as exc:
                 self._resolve_attempt_failure(job, attempt, started, {
                     "kind": type(exc).__name__,
@@ -387,6 +428,15 @@ class PlacementService:
             # resolved the job (it may even be running a fresh attempt);
             # this thread's late result must not clobber that state.
             self.metrics.inc("stale_attempts_dropped")
+            return
+        if not self._still_owner(job.id):
+            # The lease was stolen mid-attempt: a peer shard now owns
+            # this job and may already be re-running it from the shared
+            # run dir's checkpoints.  Both attempts compute byte-identical
+            # artifacts (the flow is deterministic and every run-dir
+            # write is an atomic rename), so the only thing to do is
+            # refuse to journal a transition the peer would also journal.
+            self.metrics.inc("stale_lease_drops")
             return
         seconds = time.perf_counter() - started
         self.supervisor.clear_cold(job.id)
@@ -434,6 +484,9 @@ class PlacementService:
         seconds = round(time.perf_counter() - started, 3)
         if not self.supervisor.attempt_current(job.id, attempt):
             self.metrics.inc("stale_attempts_dropped")
+            return
+        if not self._still_owner(job.id):
+            self.metrics.inc("stale_lease_drops")
             return
         if error.get("kind") == "VerificationError":
             self.metrics.inc("verification_failures")
@@ -513,11 +566,16 @@ class PlacementService:
                 time.sleep(self.poll_interval)
         finally:
             self.scheduler.stop()
-            try:
-                os.remove(self.paths.stop_file)
-            except FileNotFoundError:
-                pass
+            self._clear_stop()
         return self.write_metrics()
+
+    def _clear_stop(self) -> None:
+        """Consume the stop file on exit (fleet shards leave it in
+        place so one shard's exit does not un-stop its peers)."""
+        try:
+            os.remove(self.paths.stop_file)
+        except FileNotFoundError:
+            pass
 
     def _drained(self) -> bool:
         if not self.scheduler.idle() or self.store.active():

@@ -40,13 +40,12 @@ from __future__ import annotations
 
 import hashlib
 import heapq
-import json
-import os
 import threading
 import time
 
 from repro.runtime import faults
 from repro.runtime.errors import StageStallError
+from repro.utils.events import append_jsonl
 from repro.service.jobs import (
     FAILED,
     QUARANTINED,
@@ -243,6 +242,16 @@ class JobSupervisor:
             if hb is not None and hb.attempt == attempt:
                 del self._heartbeats[job_id]
 
+    def heartbeat(self, job_id: str):
+        """The live attempt's heartbeat (None when nothing is running).
+
+        A fleet shard that loses a job's lease cancels this heartbeat so
+        the disowned attempt unwinds at its next progress poll instead of
+        burning a worker on a job a peer now owns.
+        """
+        with self._lock:
+            return self._heartbeats.get(job_id)
+
     def attempt_current(self, job_id: str, attempt: int) -> bool:
         """Is *attempt* still the live attempt of *job_id*?  False once
         the watchdog force-abandoned it (its slot was already resolved)."""
@@ -328,10 +337,8 @@ class JobSupervisor:
             "error": error,
             "spec": job.spec.to_json(),
         }
-        with open(self.quarantine_path, "a") as f:
-            f.write(json.dumps(record, sort_keys=True) + "\n")
-            f.flush()
-            os.fsync(f.fileno())
+        # Single-syscall atomic append: a fleet's shards share this journal.
+        append_jsonl(self.quarantine_path, record, fsync=True)
 
     def quarantined(self) -> list[dict]:
         """Parsed quarantine journal (offline triage surface)."""

@@ -16,6 +16,32 @@ import time
 from dataclasses import dataclass, field
 
 
+def append_jsonl(path: str, record: dict, fsync: bool = False) -> None:
+    """Append *record* as one JSONL line in a single ``write`` syscall.
+
+    This is the repo-wide convention for journals that may have
+    **concurrent writers in different processes** (the fleet-shared job
+    journal, terminal cache, and quarantine journal): the line is encoded
+    first and handed to one ``os.write`` on an ``O_APPEND`` descriptor,
+    which POSIX serializes against other appends to the same file — two
+    processes appending concurrently can interleave *records* but never
+    *bytes within a record*.  Buffered ``f.write`` gives no such
+    guarantee (the stdlib may split one line across flushes).  A partial
+    write (ENOSPC, signal) leaves at worst a torn tail line, which
+    :func:`read_jsonl` already skips.
+    """
+    data = (json.dumps(record, sort_keys=True) + "\n").encode()
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        written = os.write(fd, data)
+        while written < len(data):  # pathological; finish the tail
+            written += os.write(fd, data[written:])
+        if fsync:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def read_jsonl(path: str) -> list[dict]:
     """Parse a JSONL file into dicts, tolerating damaged lines.
 
@@ -78,10 +104,7 @@ class EventLog:
         event = Event(name=name, stage=stage, ts=time.time(), data=data)
         self.events.append(event)
         if self.path is not None:
-            with open(self.path, "a") as f:
-                f.write(json.dumps(event.to_json(), sort_keys=True) + "\n")
-                f.flush()
-                os.fsync(f.fileno())
+            append_jsonl(self.path, event.to_json(), fsync=True)
         if self.listener is not None:
             self.listener(event)
         return event

@@ -103,7 +103,7 @@ class TestPurity:
         expected = [
             make_env(coarse_small).evaluate_assignment(a) for a in assignments
         ]
-        with TerminalEvaluationPool(env, workers=2) as pool:
+        with TerminalEvaluationPool(env, workers=2, clamp=False) as pool:
             assert pool.parallel
             assert pool.evaluate_many(assignments) == expected
             assert pool.n_pooled == len(assignments)
@@ -124,7 +124,7 @@ class TestTerminalEvaluationPool:
         env = make_env(coarse_small)
         events = EventLog()
         with inject(FaultPlan(Fault("pool.spawn", at=1))):
-            pool = TerminalEvaluationPool(env, workers=2, events=events)
+            pool = TerminalEvaluationPool(env, workers=2, clamp=False, events=events)
         assert not pool.parallel
         degradations = events.of("degradation")
         assert len(degradations) == 1
@@ -147,7 +147,7 @@ class TestTerminalEvaluationPool:
         ]
         with inject(FaultPlan(Fault("pool.submit", at=1))):
             with TerminalEvaluationPool(
-                env, workers=2, events=events, respawn_limit=0
+                env, workers=2, clamp=False, events=events, respawn_limit=0
             ) as pool:
                 assert pool.parallel
                 results = [pool.evaluate(a) for a in assignments]
@@ -160,11 +160,66 @@ class TestTerminalEvaluationPool:
 
     def test_close_is_idempotent_and_degrades(self, coarse_small):
         env = make_env(coarse_small)
-        pool = TerminalEvaluationPool(env, workers=2)
+        pool = TerminalEvaluationPool(env, workers=2, clamp=False)
         pool.close()
         pool.close()
         a = [1] * env.n_steps
         assert pool.evaluate(a) == make_env(coarse_small).evaluate_assignment(a)
+
+
+# -- adaptive pool sizing (PR 6) ----------------------------------------------
+class TestAdaptivePoolSizing:
+    def test_oversubscription_clamped_to_cpu_count(self, coarse_small):
+        import os
+
+        cores = os.cpu_count() or 1
+        env = make_env(coarse_small)
+        events = EventLog()
+        pool = TerminalEvaluationPool(env, workers=cores + 3, events=events)
+        try:
+            assert pool.requested_workers == cores + 3
+            assert pool.workers == cores
+            degradations = events.of("degradation")
+            assert len(degradations) == 1
+            data = degradations[0].data
+            assert data["solver"] == "terminal_pool"
+            assert data["phase"] == "sizing"
+            assert data["requested"] == cores + 3
+            assert data["cpu_count"] == cores
+            assert data["workers"] == cores
+            expected_fallback = "in_process" if cores <= 1 else "clamp"
+            assert data["fallback"] == expected_fallback
+            # when the clamp leaves one worker, no pool is spawned at all
+            if cores <= 1:
+                assert not pool.parallel
+            # results are unchanged either way (purity)
+            a = [0] * env.n_steps
+            assert pool.evaluate(a) == (
+                make_env(coarse_small).evaluate_assignment(a)
+            )
+        finally:
+            pool.close()
+
+    def test_clamp_optout_keeps_the_literal_request(self, coarse_small):
+        env = make_env(coarse_small)
+        events = EventLog()
+        pool = TerminalEvaluationPool(
+            env, workers=2, clamp=False, events=events
+        )
+        try:
+            assert pool.workers == 2
+            assert pool.parallel
+            assert events.of("degradation") == []
+        finally:
+            pool.close()
+
+    def test_request_within_budget_emits_nothing(self, coarse_small):
+        env = make_env(coarse_small)
+        events = EventLog()
+        pool = TerminalEvaluationPool(env, workers=1, events=events)
+        assert pool.workers == 1
+        assert not pool.parallel
+        assert events.of("degradation") == []
 
 
 # -- the cross-run terminal cache ---------------------------------------------
@@ -211,6 +266,44 @@ class TestTerminalCache:
         assert reloaded.get([5]) == 50.0
         assert len(reloaded) == 1
 
+    def test_sha_mismatch_drops_only_the_damaged_record(self, tmp_path):
+        path = str(tmp_path / "terminal_cache.jsonl")
+        cache = TerminalCache("fp", path=path)
+        cache.put([1, 2], 100.0)
+        cache.put([3, 4], 200.0)
+        lines = open(path).read().splitlines()
+        # flip the recorded wirelength of the first entry without
+        # updating its sha — simulated bit rot
+        damaged = json.loads(lines[0])
+        damaged["wirelength"] = 999.0
+        with open(path, "w") as f:
+            f.write(json.dumps(damaged) + "\n")
+            f.write(lines[1] + "\n")
+        reloaded = TerminalCache("fp", path=path)
+        assert reloaded.corrupt_entries == 1
+        assert reloaded.get([1, 2]) is None  # poisoned value never served
+        assert reloaded.get([3, 4]) == 200.0
+
+    def test_legacy_records_without_sha_still_load(self, tmp_path):
+        path = str(tmp_path / "terminal_cache.jsonl")
+        with open(path, "w") as f:
+            f.write(json.dumps({
+                "fingerprint": "fp", "assignment": [7], "wirelength": 70.0,
+            }) + "\n")
+        cache = TerminalCache("fp", path=path)
+        assert cache.get([7]) == 70.0
+        assert cache.corrupt_entries == 0
+
+    def test_duplicate_keys_last_writer_wins(self, tmp_path):
+        # two shards appending the same (pure) evaluation: either record
+        # may land last; the replayed value is the shared one
+        path = str(tmp_path / "terminal_cache.jsonl")
+        TerminalCache("fp", path=path).put([1], 10.0)
+        TerminalCache("fp", path=path).put([1], 10.0)
+        reloaded = TerminalCache("fp", path=path)
+        assert len(reloaded) == 1
+        assert reloaded.get([1]) == 10.0
+
     def test_fingerprint_tracks_environment(self, coarse_small):
         env_a = make_env(coarse_small)
         env_b = make_env(coarse_small)
@@ -237,7 +330,7 @@ class TestMCTSIntegration:
 
     def test_pooled_search_equivalent(self, coarse_small):
         base, _ = self._search(coarse_small)
-        with TerminalEvaluationPool(make_env(coarse_small), workers=2) as pool:
+        with TerminalEvaluationPool(make_env(coarse_small), workers=2, clamp=False) as pool:
             pooled, _ = self._search(coarse_small, pool=pool)
         assert pooled.assignment == base.assignment
         assert pooled.wirelength == base.wirelength
@@ -248,7 +341,7 @@ class TestMCTSIntegration:
         base, _ = self._search(coarse_small)
         with inject(FaultPlan(Fault("pool.submit", at=2))):
             with TerminalEvaluationPool(
-                make_env(coarse_small), workers=2
+                make_env(coarse_small), workers=2, clamp=False
             ) as pool:
                 degraded, _ = self._search(coarse_small, pool=pool)
         assert degraded.assignment == base.assignment
@@ -328,7 +421,7 @@ class TestTrainerIntegration:
 
     def test_pooled_finalization_bitwise(self, coarse_small):
         base = self._trainer(coarse_small).play_episodes(4)
-        with TerminalEvaluationPool(make_env(coarse_small), workers=2) as pool:
+        with TerminalEvaluationPool(make_env(coarse_small), workers=2, clamp=False) as pool:
             pooled = self._trainer(coarse_small, pool=pool).play_episodes(4)
         assert [w for _, w in pooled] == [w for _, w in base]
         assert [
@@ -336,7 +429,7 @@ class TestTrainerIntegration:
         ] == [[t.action for t in ts] for ts, _ in base]
 
     def test_single_env_skips_pool(self, coarse_small):
-        with TerminalEvaluationPool(make_env(coarse_small), workers=2) as pool:
+        with TerminalEvaluationPool(make_env(coarse_small), workers=2, clamp=False) as pool:
             trainer = self._trainer(coarse_small, pool=pool, n_envs=1)
             trainer.play_episodes(1)
             assert pool.n_pooled == 0  # n==1 finalizes in-process

@@ -424,7 +424,7 @@ class TestPoolRespawn:
             make_env(coarse_small).evaluate_assignment(a) for a in assignments
         ]
         with inject(FaultPlan(Fault("pool.worker_kill", at=1))):
-            with TerminalEvaluationPool(env, workers=2, events=events) as pool:
+            with TerminalEvaluationPool(env, workers=2, clamp=False, events=events) as pool:
                 assert pool.parallel
                 results = [pool.evaluate(a) for a in assignments]
                 assert pool.parallel  # respawned, not broken
@@ -443,7 +443,7 @@ class TestPoolRespawn:
         expected = make_env(coarse_small).evaluate_assignment(a)
         with inject(FaultPlan(Fault("pool.submit", at=1, count=None))):
             with TerminalEvaluationPool(
-                env, workers=2, events=events, respawn_limit=1
+                env, workers=2, clamp=False, events=events, respawn_limit=1
             ) as pool:
                 assert pool.evaluate(a) == expected
                 assert pool.evaluate(a) == expected
