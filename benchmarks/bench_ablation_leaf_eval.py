@@ -103,15 +103,28 @@ def test_ablation_leaf_evaluation(benchmark, budget):
 
     def run():
         out = {}
-        for label, cls in (("value_net", MCTSPlacer), ("rollout", RolloutMCTSPlacer)):
+        arms = (
+            ("value_net", MCTSPlacer, None),
+            ("rollout", RolloutMCTSPlacer, None),
+            # PR 7's two-tier scheme on top of the paper's V_θ evaluation:
+            # terminal leaves surrogate-ranked, only the running top-K
+            # admitted to the exact pipeline.
+            ("surrogate_pruned", MCTSPlacer, 4),
+        )
+        for label, cls, topk in arms:
             e = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=2)
-            placer = cls(e, net, reward_fn, MCTSConfig(explorations=gamma, seed=0))
+            placer = cls(
+                e, net, reward_fn,
+                MCTSConfig(explorations=gamma, seed=0, exact_topk=topk),
+            )
             with timed() as elapsed:
                 result = placer.run()
                 seconds = elapsed()
             out[label] = {
                 "seconds": seconds,
                 "terminal_evals": result.n_terminal_evaluations,
+                "exact_evals": result.n_exact_evaluations,
+                "surrogate_evals": result.n_surrogate_evaluations,
                 "wirelength": result.wirelength,
                 "best_terminal": result.best_terminal_wirelength,
             }
@@ -127,5 +140,11 @@ def test_ablation_leaf_evaluation(benchmark, budget):
     # The paper's claim: the value-net scheme does far fewer true
     # evaluations (and is correspondingly cheaper).
     assert out["value_net"]["terminal_evals"] < out["rollout"]["terminal_evals"]
+    # The two-tier scheme prunes further still without giving up the
+    # exactness of the reported result.
+    assert (
+        out["surrogate_pruned"]["exact_evals"]
+        <= out["value_net"]["exact_evals"]
+    )
     if budget.name != "smoke":
         assert out["value_net"]["seconds"] <= out["rollout"]["seconds"]

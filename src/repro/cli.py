@@ -81,6 +81,8 @@ def cmd_place(args) -> int:
         config = replace(config, legalize_cells=True)
     if getattr(args, "terminal_workers", None):
         config = replace(config, terminal_workers=args.terminal_workers)
+    if getattr(args, "exact_topk", None) is not None:
+        config = replace(config, exact_topk=args.exact_topk)
     if getattr(args, "verify", False):
         config = replace(config, verify_results=True)
     if args.resume and not args.run_dir:
@@ -98,6 +100,14 @@ def cmd_place(args) -> int:
         print(f"legalized cells : HPWL {result.legal_hpwl:.1f} "
               f"({stats.placed} placed, {stats.failed} failed)")
     print(f"macro groups    : {result.n_macro_groups}")
+    search = result.search
+    evals = (f"terminal evals  : {search.n_exact_evaluations} exact, "
+             f"{search.n_surrogate_evaluations} surrogate")
+    if search.n_surrogate_evaluations:
+        evals += f" ({search.seconds_surrogate:.2f}s tier 1)"
+    if search.surrogate_spearman is not None:
+        evals += f", spearman {search.surrogate_spearman:.3f}"
+    print(evals)
     print(f"MCTS stage      : {result.mcts_runtime:.1f}s "
           f"(total {result.stopwatch.overall():.1f}s)")
     breakdown = " | ".join(
@@ -528,6 +538,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "place evaluations (results are bitwise-"
                               "identical for every count; default 1 = "
                               "in-process)")
+    p_place.add_argument("--exact-topk", type=int, default=None,
+                         dest="exact_topk",
+                         help="two-tier terminal evaluation: run the exact "
+                              "legalize-and-place pipeline only for leaves "
+                              "ranking in the search's running top-K by "
+                              "surrogate HPWL (default: every terminal "
+                              "exact)")
     p_place.add_argument("--run-dir", default=None, dest="run_dir",
                          help="persist stage checkpoints, the run manifest, "
                               "and the event log into this directory")

@@ -45,6 +45,13 @@ class PlacerConfig:
 
     # MCTS (Sec. IV)
     mcts: MCTSConfig = field(default_factory=MCTSConfig)
+    #: two-tier terminal evaluation: admit only candidates ranking in the
+    #: search's running top-K by surrogate HPWL to the exact
+    #: legalize-and-place pipeline (``repro.surrogate``).  ``None`` keeps
+    #: every terminal exact — bit-for-bit today's search.  Set here it is
+    #: mirrored into ``mcts.exact_topk``; a finite K changes which leaves
+    #: get exact values, so it IS part of the run-dir config fingerprint.
+    exact_topk: int | None = None
 
     # Fault-tolerant runtime (repro.runtime): stage checkpoint/resume,
     # wall-clock budgets, and guard tolerances.
@@ -101,12 +108,26 @@ class PlacerConfig:
     #: observes the result without changing it, so — like the execution
     #: knobs above — it is excluded from the run-dir config fingerprint.
     verify_results: bool = False
+    #: use :class:`repro.legalize.IncrementalMacroLegalizer` for terminal
+    #: evaluations: QP factorizations, the step-1 coarse netlist, and
+    #: axis-net topologies are cached across calls.  Results are
+    #: bitwise-identical to the from-scratch pipeline (equivalence-gated in
+    #: tests and bench_surrogate), so this is an execution knob — excluded
+    #: from the run-dir config fingerprint.
+    incremental_legalizer: bool = True
 
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.network.zeta != self.zeta:
             object.__setattr__(self, "network", replace(self.network, zeta=self.zeta))
+        if (
+            self.exact_topk is not None
+            and self.mcts.exact_topk != self.exact_topk
+        ):
+            object.__setattr__(
+                self, "mcts", replace(self.mcts, exact_topk=self.exact_topk)
+            )
 
     @classmethod
     def paper(cls) -> "PlacerConfig":

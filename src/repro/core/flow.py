@@ -36,7 +36,7 @@ from repro.core.config import PlacerConfig
 from repro.env.placement_env import MacroGroupPlacementEnv
 from repro.gp.mixed_size import MixedSizePlacer
 from repro.grid.plan import GridPlan
-from repro.legalize.pipeline import MacroLegalizer
+from repro.legalize.pipeline import IncrementalMacroLegalizer, MacroLegalizer
 from repro.mcts.search import MCTSPlacer, SearchResult
 from repro.netlist.model import Design
 from repro.parallel import (
@@ -128,9 +128,14 @@ class MCTSGuidedPlacer:
         )
 
     def build_environment(self, coarse: CoarseNetlist) -> MacroGroupPlacementEnv:
+        legalizer_cls = (
+            IncrementalMacroLegalizer
+            if self.config.incremental_legalizer
+            else MacroLegalizer
+        )
         return MacroGroupPlacementEnv(
             coarse,
-            legalizer=MacroLegalizer(events=self._events),
+            legalizer=legalizer_cls(events=self._events),
             cell_place_iters=self.config.cell_place_iterations,
         )
 

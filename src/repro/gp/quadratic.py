@@ -10,12 +10,60 @@ spreading loop) enter the same way with per-node weights and targets.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.gp.netmodel import QuadraticSystem
 from repro.netlist.hpwl import FlatNetlist
+
+
+class FactorizationCache:
+    """Memo of :func:`scipy.sparse.linalg.factorized` solvers by matrix content.
+
+    The legalization pipeline solves the same Laplacian over and over: the
+    matrix depends only on connectivity, the movable mask, and the anchor
+    weights — none of which change between terminal evaluations — while
+    only the right-hand sides (fixed-node positions) vary.  Keying the
+    factorized solver on a digest of the exact CSC triplet arrays makes the
+    reuse *structurally* bitwise-safe: a hit returns the same LU solver
+    object that a fresh ``factorized(A)`` call would rebuild from identical
+    bytes, so the triangular solves produce identical floats.  Any change
+    to the matrix — different netlist, mask, or regularization — changes
+    the digest and misses.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        self.max_entries = max_entries
+        self._entries: dict[tuple[tuple[int, int], str], object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _digest(A_csc) -> str:
+        h = hashlib.blake2b(digest_size=16)
+        h.update(A_csc.indptr.tobytes())
+        h.update(A_csc.indices.tobytes())
+        h.update(A_csc.data.tobytes())
+        return h.hexdigest()
+
+    def solver_for(self, A_csc):
+        """Return a solve callable for *A_csc*, factorizing on first sight."""
+        key = (A_csc.shape, self._digest(A_csc))
+        solver = self._entries.get(key)
+        if solver is not None:
+            self.hits += 1
+            return solver
+        self.misses += 1
+        solver = spla.factorized(A_csc)
+        if len(self._entries) >= self.max_entries:
+            # drop the oldest entry (insertion order); the pipeline cycles
+            # through a handful of matrices, so eviction is a formality
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = solver
+        return solver
 
 
 def solve_system(
@@ -25,6 +73,7 @@ def solve_system(
     anchor_x: np.ndarray | None = None,
     anchor_y: np.ndarray | None = None,
     regularization: float = 1e-6,
+    factor_cache: FactorizationCache | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Solve for unknown x/y positions.
 
@@ -35,6 +84,9 @@ def solve_system(
             unknown toward (anchor_x, anchor_y) — the spreading loop's handle.
         anchor_x/anchor_y: pseudo-net targets (default: die center).
         regularization: tiny diagonal term guaranteeing positive definiteness.
+        factor_cache: optional :class:`FactorizationCache`; repeated solves
+            against a byte-identical matrix reuse one LU factorization
+            (bitwise-identical results, the factorization cost amortized).
 
     Returns:
         (x, y) arrays over all unknowns (movables first, then star nodes).
@@ -53,7 +105,10 @@ def solve_system(
     if n == 0:
         return np.zeros(0), np.zeros(0)
     if n <= 2000:
-        solve = spla.factorized(A.tocsc())
+        if factor_cache is not None:
+            solve = factor_cache.solver_for(A.tocsc())
+        else:
+            solve = spla.factorized(A.tocsc())
         return solve(bx), solve(by)
     x, _ = spla.cg(A, bx, rtol=1e-8, maxiter=2000)
     y, _ = spla.cg(A, by, rtol=1e-8, maxiter=2000)
@@ -69,6 +124,7 @@ def solve_quadratic_placement(
     anchor_x: np.ndarray | None = None,
     anchor_y: np.ndarray | None = None,
     apply: bool = True,
+    factor_cache: FactorizationCache | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One-shot quadratic placement of the masked nodes of *flat*.
 
@@ -119,6 +175,7 @@ def solve_quadratic_placement(
         anchor_weight=w,
         anchor_x=ax,
         anchor_y=ay,
+        factor_cache=factor_cache,
     )
     mx, my = x[:n_mov], y[:n_mov]
     if apply:

@@ -52,6 +52,10 @@ class IterativeHistory:
     rewards: list[float] = field(default_factory=list)
     losses: list[float] = field(default_factory=list)
     terminal_evaluations: list[int] = field(default_factory=list)
+    #: exact legalize-and-place calls per round — diverges from
+    #: ``terminal_evaluations`` only when two-tier pruning
+    #: (``MCTSConfig.exact_topk``) is active
+    exact_evaluations: list[int] = field(default_factory=list)
 
     def best_wirelength(self) -> float:
         return min(self.wirelengths) if self.wirelengths else float("nan")
@@ -85,10 +89,19 @@ class IterativeMCTSTrainer:
         #: rounds (a round is the natural anytime boundary of this loop).
         self.events = events if events is not None else EventLog()
         self.budget = budget
+        #: tier-1 surrogate shared across rounds when two-tier pruning is
+        #: on — the anchor-centroid tables cost O(groups × grids) to build,
+        #: so each round's placer reuses one instance (its per-search top-K
+        #: heap and calibration still reset with every placer).
+        self._surrogate = None
+        if mcts_config.exact_topk is not None:
+            from repro.surrogate import GroupCentroidSurrogate
+
+            self._surrogate = GroupCentroidSurrogate(env.coarse)
 
     # -- sample generation ---------------------------------------------------
-    def _collect_round(self, seed: int) -> tuple[list[_Sample], float, int]:
-        """One MCTS placement; returns samples, wirelength, #terminal evals."""
+    def _collect_round(self, seed: int) -> tuple[list[_Sample], float, "MCTSPlacer"]:
+        """One MCTS placement; returns samples, wirelength, the placer."""
         from dataclasses import replace
 
         config = replace(
@@ -96,7 +109,10 @@ class IterativeMCTSTrainer:
             seed=seed,
             root_noise_frac=self.root_noise_frac,
         )
-        placer = MCTSPlacer(self.env, self.network, self.reward_fn, config)
+        placer = MCTSPlacer(
+            self.env, self.network, self.reward_fn, config,
+            surrogate=self._surrogate,
+        )
 
         # Re-run the search step by step, capturing visit distributions.
         from repro.agent.state import StateBuilder
@@ -153,7 +169,7 @@ class IterativeMCTSTrainer:
         z = float(self.reward_fn(wirelength))
         for s in samples:
             s.z = z
-        return samples, wirelength, placer.n_terminal_evaluations
+        return samples, wirelength, placer
 
     # -- network update ---------------------------------------------------------
     def _train_on(self, samples: list[_Sample]) -> float:
@@ -201,12 +217,13 @@ class IterativeMCTSTrainer:
                     elapsed=round(self.budget.elapsed(), 3),
                 )
                 break
-            samples, wirelength, n_term = self._collect_round(seed=round_idx)
+            samples, wirelength, placer = self._collect_round(seed=round_idx)
             loss = self._train_on(samples)
             history.wirelengths.append(wirelength)
             history.rewards.append(float(self.reward_fn(wirelength)))
             history.losses.append(loss)
-            history.terminal_evaluations.append(n_term)
+            history.terminal_evaluations.append(placer.n_terminal_evaluations)
+            history.exact_evaluations.append(placer.n_exact_evaluations)
             self.events.emit(
                 "round_completed",
                 stage="iterative",

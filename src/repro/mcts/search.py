@@ -38,10 +38,22 @@ overlaps the in-flight legalizations with the batched network forward, and
 resolves the results — in deterministic submission order — before
 backpropagation.  Pooled and in-process evaluations agree bitwise, so the
 search result is identical for every worker count.
+
+Two-tier terminal evaluation (``MCTSConfig.exact_topk``): with a finite K,
+every terminal leaf is first scored by an incremental
+:class:`~repro.surrogate.GroupCentroidSurrogate` (tier 1, microseconds);
+only candidates ranking in the search's running top-K by surrogate score
+are admitted to the exact legalize-and-place pipeline (tier 2).  Pruned
+leaves backpropagate a value calibrated from the (surrogate, exact) pairs
+the search has already paid for — but the surrogate never *reports*:
+``best_terminal_assignment`` and the final committed wirelength always
+come from exact evaluations.  K=None (the default) disables tier 1
+entirely and reproduces the single-tier search bit-for-bit.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass, field
 
@@ -54,6 +66,7 @@ from repro.env.placement_env import MacroGroupPlacementEnv
 from repro.mcts.node import Node
 from repro.parallel import TerminalCache, environment_fingerprint
 from repro.runtime import faults
+from repro.surrogate import GroupCentroidSurrogate, SurrogateCalibration
 from repro.utils.events import EventLog
 from repro.utils.rng import ensure_rng
 
@@ -88,6 +101,13 @@ class MCTSConfig:
     root_noise_frac: float = 0.0
     root_noise_alpha: float = 0.3
     seed: int = 0
+    #: two-tier terminal evaluation: admit only candidates ranking in the
+    #: search's running top-K by surrogate HPWL to the exact
+    #: legalize-and-place pipeline.  ``None`` (default) evaluates every
+    #: terminal exactly — bit-for-bit today's behavior; ``0`` prunes every
+    #: search-time exact call (the committed result is still evaluated
+    #: exactly at the end).
+    exact_topk: int | None = None
 
 
 @dataclass
@@ -118,6 +138,18 @@ class SearchResult:
     seconds_selection: float = 0.0
     seconds_evaluation: float = 0.0
     seconds_terminal: float = 0.0
+    #: exact legalize-and-place pipeline invocations (tier 2).  Equal to
+    #: ``n_terminal_evaluations`` today; kept separate so the two-tier
+    #: scheme's pruning is measurable at a glance.
+    n_exact_evaluations: int = 0
+    #: tier-1 surrogate HPWL scores computed (0 when ``exact_topk`` is None)
+    n_surrogate_evaluations: int = 0
+    #: wall-clock seconds spent in tier-1 surrogate scoring
+    seconds_surrogate: float = 0.0
+    #: Spearman rank correlation between surrogate and exact HPWL over the
+    #: (surrogate, exact) pairs observed during the search; ``None`` when
+    #: the surrogate was off or saw < 2 exact results.
+    surrogate_spearman: float | None = None
 
 
 class MCTSPlacer:
@@ -134,6 +166,7 @@ class MCTSPlacer:
         on_commit=None,
         terminal_pool=None,
         terminal_cache: TerminalCache | None = None,
+        surrogate: GroupCentroidSurrogate | None = None,
     ) -> None:
         self.env = env
         self.network = network
@@ -154,15 +187,34 @@ class MCTSPlacer:
         #: transposition-keyed evaluation cache: canonical state content
         #: ``(t, s_p bytes)`` maps to the network's (masked probs, value).
         self._eval_cache: dict[tuple[int, bytes], tuple[np.ndarray, float]] = {}
+        #: tier-1 surrogate scorer.  Built automatically when the config
+        #: asks for top-K pruning; passing one explicitly with
+        #: ``exact_topk=None`` enables *measure-only* mode (every terminal
+        #: still evaluated exactly, but fidelity pairs are collected so
+        #: ``surrogate_spearman`` is reported without any pruning).
+        self.surrogate = surrogate
+        if self.surrogate is None and config.exact_topk is not None:
+            self.surrogate = GroupCentroidSurrogate(env.coarse)
+        self._calibration = SurrogateCalibration()
+        #: max-heap (negated) of the K best surrogate scores seen so far —
+        #: the streaming admission filter for tier 2.
+        self._topk_heap: list[float] = []
+        #: assignment key → in-flight pooled future; dedupes submissions so
+        #: a key never runs on two workers at once (avoided resubmissions
+        #: count as terminal-cache hits).
+        self._inflight: dict[tuple[int, ...], object] = {}
         self.n_terminal_evaluations = 0
         self.n_network_evaluations = 0
         self.n_eval_cache_hits = 0
         self.n_terminal_cache_hits = 0
         self.n_waves = 0
         self.n_wave_leaves = 0
+        self.n_exact_evaluations = 0
+        self.n_surrogate_evaluations = 0
         self.seconds_selection = 0.0
         self.seconds_evaluation = 0.0
         self.seconds_terminal = 0.0
+        self.seconds_surrogate = 0.0
         self.best_terminal_assignment: list[int] | None = None
         self.best_terminal_wirelength = float("inf")
         #: runtime plumbing (optional): event log, wall-clock budget polled
@@ -221,23 +273,90 @@ class MCTSPlacer:
             self.best_terminal_wirelength = wirelength
             self.best_terminal_assignment = list(key)
 
-    def _terminal_value(self, assignment: list[int]) -> float:
-        """Reward of a complete assignment (cached, pure, poolable)."""
-        key = tuple(int(a) for a in assignment)
-        wirelength = self._terminal_cache.get(key)
-        if wirelength is None:
-            started = time.perf_counter()
-            if self.terminal_pool is not None:
-                wirelength = self.terminal_pool.evaluate(key)
-            else:
-                wirelength = self.env.evaluate_assignment(list(key))
-            self.seconds_terminal += time.perf_counter() - started
-            self.n_terminal_evaluations += 1
-            self._terminal_cache.put(key, wirelength)
+    # -- two-tier terminal evaluation ------------------------------------------
+    def _surrogate_score(self, key: tuple[int, ...]) -> float:
+        """Tier-1 incremental surrogate HPWL of a complete assignment."""
+        started = time.perf_counter()
+        score = self.surrogate.score(key)
+        self.seconds_surrogate += time.perf_counter() - started
+        self.n_surrogate_evaluations += 1
+        return score
+
+    def _admit_exact(self, score: float) -> bool:
+        """Streaming top-K admission: does *score* earn a tier-2 call?
+
+        The first K distinct candidates are always admitted; afterwards a
+        candidate must beat the current K-th best surrogate score
+        (strictly — ties are pruned).  Total admissions can exceed K as
+        better candidates keep arriving, but every admission was in the
+        running top-K at the moment it was seen, which is the deterministic
+        streaming analogue of "exact evaluation for the top-K finalists".
+        """
+        k = self.config.exact_topk
+        if k is None:
+            return True
+        if k <= 0:
+            return False
+        heap = self._topk_heap
+        if len(heap) < k:
+            heapq.heappush(heap, -score)
+            return True
+        if -score > heap[0]:
+            heapq.heapreplace(heap, -score)
+            return True
+        return False
+
+    def _pruned_value(self, score: float) -> float:
+        """Backprop value for a tier-1-pruned leaf: calibrated to the exact
+        wirelength scale from the pairs the search has already paid for."""
+        return float(self.reward_fn(self._calibration.predict(score)))
+
+    def _evaluate_exact(
+        self, key: tuple[int, ...], score: float | None = None
+    ) -> float:
+        """Tier 2: the real legalize-and-place, counted, cached, noted."""
+        started = time.perf_counter()
+        if self.terminal_pool is not None:
+            wirelength = self.terminal_pool.evaluate(key)
         else:
-            self.n_terminal_cache_hits += 1
+            wirelength = self.env.evaluate_assignment(list(key))
+        self.seconds_terminal += time.perf_counter() - started
+        self.n_terminal_evaluations += 1
+        self.n_exact_evaluations += 1
+        self._terminal_cache.put(key, wirelength)
+        if score is not None:
+            self._calibration.observe(score, wirelength)
         self._note_terminal(key, wirelength)
         return float(self.reward_fn(wirelength))
+
+    def _terminal_value(self, assignment: list[int]) -> float:
+        """Reward of a complete assignment (cached, deduped, poolable).
+
+        Order of business: memoized result → in-flight pooled future
+        (reuse instead of resubmitting; the avoided call counts as a cache
+        hit) → tier-1 surrogate gate (finite ``exact_topk`` only) → tier-2
+        exact evaluation.
+        """
+        key = tuple(int(a) for a in assignment)
+        wirelength = self._terminal_cache.get(key)
+        if wirelength is not None:
+            self.n_terminal_cache_hits += 1
+            self._note_terminal(key, wirelength)
+            return float(self.reward_fn(wirelength))
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            started = time.perf_counter()
+            wirelength = inflight.result()
+            self.seconds_terminal += time.perf_counter() - started
+            self.n_terminal_cache_hits += 1
+            self._note_terminal(key, wirelength)
+            return float(self.reward_fn(wirelength))
+        score = None
+        if self.surrogate is not None:
+            score = self._surrogate_score(key)
+            if not self._admit_exact(score):
+                return self._pruned_value(score)
+        return self._evaluate_exact(key, score)
 
     def _apply_root_noise(self, node: Node) -> None:
         frac = self.config.root_noise_frac
@@ -348,8 +467,10 @@ class MCTSPlacer:
         # carry state=None and read node.terminal_value at backprop time.
         descents: list[list] = []
         #: in-flight pooled terminal evaluations, in submission order:
-        #: assignment tuple → (future, node)
-        pending: dict[tuple[int, ...], tuple[object, Node]] = {}
+        #: assignment tuple → (future, node, surrogate score | None, owned).
+        #: owned=False entries ride a future submitted earlier (the
+        #: in-flight dedupe) — the owner counts and caches the result.
+        pending: dict[tuple[int, ...], tuple[object, Node, float | None, bool]] = {}
         for _ in range(k):
             builder = prefix_builder.clone()
             path: list[tuple[Node, int]] = list(path_to_target)
@@ -375,17 +496,42 @@ class MCTSPlacer:
                 if node.terminal_value is None and key not in pending:
                     if pool is not None:
                         wirelength = self._terminal_cache.get(key)
+                        inflight = (
+                            self._inflight.get(key) if wirelength is None else None
+                        )
                         if wirelength is not None:
                             self.n_terminal_cache_hits += 1
                             self._note_terminal(key, wirelength)
                             node.terminal_value = float(self.reward_fn(wirelength))
+                        elif inflight is not None:
+                            # a worker is already computing this key — ride
+                            # the in-flight future instead of resubmitting
+                            # (owned=False: the owner counts/caches it)
+                            self.n_terminal_cache_hits += 1
+                            pending[key] = (inflight, node, None, False)
                         else:
-                            # dispatch now; legalization overlaps with the
-                            # rest of the wave and the network forward
-                            pending[key] = (pool.submit(key), node)
+                            score = None
+                            admit = True
+                            if self.surrogate is not None:
+                                self.seconds_selection += (
+                                    time.perf_counter() - started
+                                )
+                                score = self._surrogate_score(key)
+                                admit = self._admit_exact(score)
+                                started = time.perf_counter()
+                            if not admit:
+                                node.terminal_value = self._pruned_value(score)
+                            else:
+                                # dispatch now; legalization overlaps with
+                                # the rest of the wave and the network
+                                # forward
+                                future = pool.submit(key)
+                                self._inflight[key] = future
+                                pending[key] = (future, node, score, True)
                     else:
                         # keep the legalize-and-place call out of the
                         # selection timer — it bills to seconds_terminal
+                        # (and the surrogate gate to seconds_surrogate)
                         self.seconds_selection += time.perf_counter() - started
                         node.terminal_value = self._terminal_value(actions_taken)
                         started = time.perf_counter()
@@ -421,13 +567,18 @@ class MCTSPlacer:
         # Resolve the in-flight terminal evaluations (submission order is
         # deterministic, so best-terminal tie-breaking matches the
         # sequential path).
-        for key, (future, node) in pending.items():
+        for key, (future, node, score, owned) in pending.items():
             started = time.perf_counter()
             wirelength = future.result()
             self.seconds_terminal += time.perf_counter() - started
-            self.n_terminal_evaluations += 1
-            self._terminal_cache.put(key, wirelength)
-            self._note_terminal(key, wirelength)
+            if owned:
+                self.n_terminal_evaluations += 1
+                self.n_exact_evaluations += 1
+                self._terminal_cache.put(key, wirelength)
+                if score is not None:
+                    self._calibration.observe(score, wirelength)
+                self._note_terminal(key, wirelength)
+                self._inflight.pop(key, None)
             node.terminal_value = float(self.reward_fn(wirelength))
 
         # Expansion, virtual-loss revert, backpropagation (Eq. 12).
@@ -475,6 +626,14 @@ class MCTSPlacer:
             "seconds_selection": self.seconds_selection,
             "seconds_evaluation": self.seconds_evaluation,
             "seconds_terminal": self.seconds_terminal,
+            "n_exact_evaluations": self.n_exact_evaluations,
+            "n_surrogate_evaluations": self.n_surrogate_evaluations,
+            "seconds_surrogate": self.seconds_surrogate,
+            #: ordered (surrogate, exact) pairs — the calibration's running
+            #: sums are rebuilt by replaying these, so a resumed search
+            #: predicts (and therefore prunes) bit-identically
+            "surrogate_pairs": self._calibration.export_pairs(),
+            "topk_heap": list(self._topk_heap),
             "rng": self.rng.bit_generator.state,
         }
 
@@ -505,6 +664,16 @@ class MCTSPlacer:
         self.seconds_selection = state.get("seconds_selection", 0.0)
         self.seconds_evaluation = state.get("seconds_evaluation", 0.0)
         self.seconds_terminal = state.get("seconds_terminal", 0.0)
+        # pre-two-tier snapshots: every terminal evaluation was exact
+        self.n_exact_evaluations = state.get(
+            "n_exact_evaluations", self.n_terminal_evaluations
+        )
+        self.n_surrogate_evaluations = state.get("n_surrogate_evaluations", 0)
+        self.seconds_surrogate = state.get("seconds_surrogate", 0.0)
+        self._calibration = SurrogateCalibration.from_pairs(
+            state.get("surrogate_pairs", [])
+        )
+        self._topk_heap = list(state.get("topk_heap", []))
         self.rng.bit_generator.state = state["rng"]
         committed_path: list[tuple[Node, int]] = []
         current = root
@@ -589,6 +758,7 @@ class MCTSPlacer:
                 self.on_commit(self._export_state(step, committed, path, root))
 
         wirelength = env.evaluate_assignment(committed)
+        surrogate_spearman = self._surrogate_fidelity()
         self.events.emit(
             "search_stats",
             stage="mcts",
@@ -598,9 +768,13 @@ class MCTSPlacer:
             terminal_cache_hits=self.n_terminal_cache_hits,
             waves=self.n_waves,
             wave_leaves=self.n_wave_leaves,
+            exact_evaluations=self.n_exact_evaluations,
+            surrogate_evaluations=self.n_surrogate_evaluations,
+            surrogate_spearman=surrogate_spearman,
             seconds_selection=round(self.seconds_selection, 6),
             seconds_evaluation=round(self.seconds_evaluation, 6),
             seconds_terminal=round(self.seconds_terminal, 6),
+            seconds_surrogate=round(self.seconds_surrogate, 6),
         )
         return SearchResult(
             assignment=committed,
@@ -618,7 +792,20 @@ class MCTSPlacer:
             seconds_selection=self.seconds_selection,
             seconds_evaluation=self.seconds_evaluation,
             seconds_terminal=self.seconds_terminal,
+            n_exact_evaluations=self.n_exact_evaluations,
+            n_surrogate_evaluations=self.n_surrogate_evaluations,
+            seconds_surrogate=self.seconds_surrogate,
+            surrogate_spearman=surrogate_spearman,
         )
+
+    def _surrogate_fidelity(self) -> float | None:
+        """JSON-safe Spearman of the observed (surrogate, exact) pairs."""
+        if self.surrogate is None or len(self._calibration.pairs) < 2:
+            return None
+        fidelity = self._calibration.fidelity()
+        if fidelity != fidelity:  # NaN: degenerate rank variance
+            return None
+        return float(fidelity)
 
 
 def principal_variation(root: Node, max_depth: int = 10_000) -> list[int]:

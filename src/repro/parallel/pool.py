@@ -52,10 +52,15 @@ def _init_worker(payload: bytes) -> None:
     """Pool initializer: unpickle the problem and build a private env."""
     global _WORKER_ENV
     from repro.env.placement_env import MacroGroupPlacementEnv
-    from repro.legalize.pipeline import MacroLegalizer
+    from repro.legalize.pipeline import IncrementalMacroLegalizer, MacroLegalizer
 
     spec = pickle.loads(payload)
-    legalizer = MacroLegalizer(**spec["legalizer"])
+    # Workers mirror the parent's legalizer class so their per-process
+    # caches amortize the same way (results are bitwise-identical either
+    # way; "incremental" is deliberately absent from the environment
+    # fingerprint, so terminal-cache keys do not change).
+    cls = IncrementalMacroLegalizer if spec.get("incremental") else MacroLegalizer
+    legalizer = cls(**spec["legalizer"])
     _WORKER_ENV = MacroGroupPlacementEnv(
         spec["coarse"],
         legalizer=legalizer,
@@ -183,6 +188,8 @@ class TerminalEvaluationPool:
         # Pin the canonical start state *before* pickling so every worker
         # legalizes from exactly the parent's rewind point.
         self.env.coarse.restore_canonical()
+        from repro.legalize.pipeline import IncrementalMacroLegalizer
+
         payload = pickle.dumps(
             {
                 "coarse": self.env.coarse,
@@ -191,6 +198,9 @@ class TerminalEvaluationPool:
                     "cleanup": self.env.legalizer.cleanup,
                     "qp_clique_threshold": self.env.legalizer.qp_clique_threshold,
                 },
+                "incremental": isinstance(
+                    self.env.legalizer, IncrementalMacroLegalizer
+                ),
                 "cell_place_iters": self.env.cell_place_iters,
             },
             protocol=pickle.HIGHEST_PROTOCOL,

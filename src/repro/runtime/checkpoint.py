@@ -71,6 +71,11 @@ def config_fingerprint(config) -> str:
     ``verify_results`` only re-checks a finished placement (it can fail
     a run, never change its coordinates), so verified and unverified
     runs share warm artifacts and resume each other freely.
+    ``incremental_legalizer`` swaps in a cache-reusing pipeline whose
+    results are bitwise-identical to the from-scratch one, so it is an
+    execution knob too.  ``exact_topk`` stays IN the fingerprint: a
+    finite K changes which terminal leaves receive exact values, so two
+    runs differing in K are different computations.
     """
     payload = dataclasses.asdict(config)
     payload.pop("run_dir", None)
@@ -79,6 +84,7 @@ def config_fingerprint(config) -> str:
     payload.pop("terminal_pool_clamp", None)
     payload.pop("terminal_cache_path", None)
     payload.pop("verify_results", None)
+    payload.pop("incremental_legalizer", None)
     text = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(text.encode()).hexdigest()[:16]
 

@@ -349,6 +349,12 @@ class RunContext:
                 "best_terminal_wirelength": (
                     None if best_w == float("inf") else best_w
                 ),
+                # seconds_surrogate is deliberately NOT persisted: search.json
+                # must be bit-for-bit identical across kill/resume, and wall
+                # clock is not part of the search result.
+                "n_exact_evaluations": result.n_exact_evaluations,
+                "n_surrogate_evaluations": result.n_surrogate_evaluations,
+                "surrogate_spearman": result.surrogate_spearman,
             },
         )
         self._record_checksum("search.json")
@@ -376,6 +382,14 @@ class RunContext:
             best_terminal_wirelength=(
                 float("inf") if best_w is None else best_w
             ),
+            # .get defaults keep search.json files from before the two-tier
+            # engine loadable (every terminal evaluation was exact then)
+            n_exact_evaluations=payload.get(
+                "n_exact_evaluations", payload["n_terminal_evaluations"]
+            ),
+            n_surrogate_evaluations=payload.get("n_surrogate_evaluations", 0),
+            seconds_surrogate=payload.get("seconds_surrogate", 0.0),
+            surrogate_spearman=payload.get("surrogate_spearman"),
         )
 
     # -- final -----------------------------------------------------------------

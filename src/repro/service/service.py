@@ -449,6 +449,14 @@ class PlacementService:
         for event in result.events.of("terminal_cache"):
             self.metrics.inc("terminal_cache_hits", event.data["hits"])
             self.metrics.inc("terminal_cache_misses", event.data["misses"])
+        self.metrics.inc("exact_evaluations", result.search.n_exact_evaluations)
+        self.metrics.inc(
+            "surrogate_evaluations", result.search.n_surrogate_evaluations
+        )
+        if result.search.surrogate_spearman is not None:
+            self.metrics.observe(
+                "surrogate_spearman", result.search.surrogate_spearman
+            )
         self.metrics.inc("degradations", len(result.events.of("degradation")))
         if result.verification is not None:
             self.metrics.inc("jobs_verified")

@@ -1,0 +1,135 @@
+"""Surrogate→exact calibration and rank-fidelity measurement.
+
+The surrogate's job is ordering, not absolute wirelength: span-center
+HPWL over the coarse netlist undercounts everything the exact pipeline
+adds (legalized overlap resolution, cell spreading).  Two small tools
+keep that honest:
+
+- :func:`spearman` measures how well the surrogate *ranks* assignments
+  against exact HPWL — the fidelity gate (≥ 0.9 at bench scale) that
+  PAPERS.md's Cheng/Kahng assessment insists on measuring rather than
+  assuming;
+- :class:`SurrogateCalibration` fits an online least-squares line from
+  surrogate to exact wirelength over the (surrogate, exact) pairs the
+  search has already paid for, so terminal leaves *pruned* by the top-K
+  filter can still backpropagate a value on the exact reward scale
+  instead of poisoning the tree with raw surrogate magnitudes.
+
+Both are dependency-free numpy (no scipy.stats) and deterministic:
+calibration state is an ordered list of pairs, and the running sums are
+rebuilt by replaying that list, so a resumed search sees bit-identical
+predictions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def spearman(a, b) -> float:
+    """Spearman rank correlation with average ranks for ties.
+
+    Returns ``nan`` when either side has fewer than two points or zero
+    rank variance (a constant surrogate cannot be said to rank anything).
+    """
+    x = np.asarray(a, dtype=float)
+    y = np.asarray(b, dtype=float)
+    if x.shape != y.shape or x.ndim != 1 or x.size < 2:
+        return float("nan")
+    rx = _average_ranks(x)
+    ry = _average_ranks(y)
+    rx = rx - rx.mean()
+    ry = ry - ry.mean()
+    denom = math.sqrt(float(rx @ rx) * float(ry @ ry))
+    if denom == 0.0:
+        return float("nan")
+    return float(rx @ ry) / denom
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """1-based ranks; tied values share the mean of their rank span."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=float)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+class SurrogateCalibration:
+    """Online least-squares map from surrogate HPWL to exact HPWL.
+
+    Every exact evaluation the search performs anyway feeds one
+    ``observe(surrogate, exact)`` pair; ``predict`` then returns the
+    fitted ``slope * s + intercept``.  Degenerate regimes fall back
+    gracefully: with < 2 pairs or zero surrogate variance the mean
+    exact-to-surrogate ratio is used, and with no pairs at all the
+    surrogate value passes through unchanged.
+
+    The pair list is the canonical state (ordered, JSON-serializable);
+    running sums are derived by replay so that a search resumed from a
+    snapshot predicts bit-identically to one that never stopped.
+    """
+
+    def __init__(self) -> None:
+        self.pairs: list[tuple[float, float]] = []
+        self._n = 0
+        self._sx = 0.0
+        self._sy = 0.0
+        self._sxx = 0.0
+        self._sxy = 0.0
+
+    def observe(self, surrogate: float, exact: float) -> None:
+        s = float(surrogate)
+        e = float(exact)
+        self.pairs.append((s, e))
+        self._n += 1
+        self._sx += s
+        self._sy += e
+        self._sxx += s * s
+        self._sxy += s * e
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def predict(self, surrogate: float) -> float:
+        s = float(surrogate)
+        if self._n == 0:
+            return s
+        if self._n >= 2:
+            var = self._n * self._sxx - self._sx * self._sx
+            if var > 0.0:
+                slope = (self._n * self._sxy - self._sx * self._sy) / var
+                intercept = (self._sy - slope * self._sx) / self._n
+                return slope * s + intercept
+        # Ratio fallback: scale by the mean exact/surrogate ratio.
+        if self._sx != 0.0:
+            return s * (self._sy / self._sx)
+        return self._sy / self._n
+
+    def fidelity(self) -> float:
+        """Spearman rank correlation over all observed pairs."""
+        if len(self.pairs) < 2:
+            return float("nan")
+        return spearman(
+            [p[0] for p in self.pairs], [p[1] for p in self.pairs]
+        )
+
+    # -- snapshot round-trip ---------------------------------------------------
+    def export_pairs(self) -> list[list[float]]:
+        return [[s, e] for s, e in self.pairs]
+
+    @classmethod
+    def from_pairs(cls, pairs) -> "SurrogateCalibration":
+        cal = cls()
+        for s, e in pairs:
+            cal.observe(float(s), float(e))
+        return cal

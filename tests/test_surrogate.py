@@ -1,0 +1,356 @@
+"""Two-tier terminal evaluation tests.
+
+Three contracts are locked in here:
+
+- the incremental surrogate is an *optimization, never an approximation*:
+  ``score`` must equal ``score_from_scratch`` bitwise across arbitrary
+  move sequences (property-tested with random single-group moves);
+- ``exact_topk=None`` (and measure-only mode, surrogate attached but no
+  pruning) reproduces the single-tier search bit-for-bit;
+- whatever K prunes, the *reported* results stay exact: the committed
+  wirelength and ``best_terminal_wirelength`` always re-derive from the
+  real legalize-and-place pipeline.
+
+Plus the incremental legalizer's equivalence gate: cached-pipeline
+positions must match the from-scratch pipeline bitwise.
+"""
+
+import copy
+import math
+
+import numpy as np
+import pytest
+
+from repro.agent.network import NetworkConfig, PolicyValueNet
+from repro.agent.reward import NormalizedReward
+from repro.env.placement_env import MacroGroupPlacementEnv
+from repro.legalize.pipeline import IncrementalMacroLegalizer, MacroLegalizer
+from repro.mcts.search import MCTSConfig, MCTSPlacer
+from repro.surrogate import GroupCentroidSurrogate, SurrogateCalibration, spearman
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert spearman([1.0, 2.0, 3.0], [10.0, 20.0, 30.0]) == pytest.approx(1.0)
+
+    def test_perfect_inversion(self):
+        assert spearman([1.0, 2.0, 3.0], [5.0, 4.0, 3.0]) == pytest.approx(-1.0)
+
+    def test_monotone_nonlinear_is_still_one(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        assert spearman(x, [v**3 for v in x]) == pytest.approx(1.0)
+
+    def test_ties_use_average_ranks(self):
+        # [1, 2, 2, 3] vs [1, 2, 2, 3]: ties on both sides, still rho=1.
+        assert spearman([1, 2, 2, 3], [10, 20, 20, 30]) == pytest.approx(1.0)
+
+    def test_degenerate_inputs_are_nan(self):
+        assert math.isnan(spearman([1.0], [2.0]))
+        assert math.isnan(spearman([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]))
+        assert math.isnan(spearman([1.0, 2.0], [1.0, 2.0, 3.0]))
+
+
+class TestSurrogateCalibration:
+    def test_empty_is_identity(self):
+        assert SurrogateCalibration().predict(123.5) == 123.5
+
+    def test_single_pair_uses_ratio(self):
+        cal = SurrogateCalibration()
+        cal.observe(10.0, 30.0)
+        assert cal.predict(20.0) == pytest.approx(60.0)
+
+    def test_least_squares_recovers_linear_map(self):
+        cal = SurrogateCalibration()
+        for s in [1.0, 2.0, 5.0, 9.0]:
+            cal.observe(s, 3.0 * s + 7.0)
+        assert cal.predict(4.0) == pytest.approx(19.0)
+
+    def test_zero_variance_falls_back_to_ratio(self):
+        cal = SurrogateCalibration()
+        cal.observe(10.0, 20.0)
+        cal.observe(10.0, 40.0)
+        assert cal.predict(10.0) == pytest.approx(30.0)
+
+    def test_pair_replay_is_bit_identical(self):
+        cal = SurrogateCalibration()
+        rng = np.random.default_rng(3)
+        for s, e in rng.random((17, 2)):
+            cal.observe(float(s * 100), float(e * 100 + 50))
+        clone = SurrogateCalibration.from_pairs(cal.export_pairs())
+        for probe in [0.0, 13.7, 91.2]:
+            assert clone.predict(probe) == cal.predict(probe)
+        assert clone.fidelity() == cal.fidelity()
+
+
+class TestGroupCentroidSurrogate:
+    def test_incremental_matches_scratch_on_random_moves(self, coarse_small):
+        """Property: after any sequence of random single-group re-anchors,
+        the prefix-stack score equals the from-scratch score bitwise."""
+        sur = GroupCentroidSurrogate(coarse_small)
+        n, grids = sur.n_macro_groups, coarse_small.plan.n_grids
+        rng = np.random.default_rng(0)
+        assignment = [int(a) for a in rng.integers(0, grids, size=n)]
+        for _ in range(200):
+            assignment[int(rng.integers(0, n))] = int(rng.integers(0, grids))
+            assert sur.score(assignment) == sur.score_from_scratch(assignment)
+
+    def test_suffix_only_recompute(self, coarse_small):
+        """Changing only the last group must re-push exactly one move."""
+        sur = GroupCentroidSurrogate(coarse_small)
+        n, grids = sur.n_macro_groups, coarse_small.plan.n_grids
+        if n < 2:
+            pytest.skip("needs >= 2 macro groups")
+        base = [0] * n
+        sur.score(base)
+        moved = sur.n_moves_applied
+        base[-1] = grids - 1
+        sur.score(base)
+        assert sur.n_moves_applied == moved + 1
+
+    def test_scoring_does_not_disturb_the_design(self, coarse_small):
+        """Tier 1 must never leak coordinates into what tier 2 sees."""
+        before = {
+            node.name: (node.x, node.y) for node in coarse_small.design.netlist
+        }
+        sur = GroupCentroidSurrogate(coarse_small)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            sur.score(
+                rng.integers(0, coarse_small.plan.n_grids, size=sur.n_macro_groups)
+            )
+        after = {
+            node.name: (node.x, node.y) for node in coarse_small.design.netlist
+        }
+        assert after == before
+
+    def test_rejects_incomplete_assignment(self, coarse_small):
+        sur = GroupCentroidSurrogate(coarse_small)
+        with pytest.raises(ValueError):
+            sur.score([0] * (sur.n_macro_groups + 1))
+
+
+class TestTwoTierSearch:
+    @pytest.fixture
+    def setup(self, coarse_small):
+        env = MacroGroupPlacementEnv(coarse_small, cell_place_iters=1)
+        net = PolicyValueNet(NetworkConfig(zeta=4, channels=4, res_blocks=1, seed=0))
+        reward_fn = NormalizedReward(
+            w_max=2000.0, w_min=500.0, w_avg=1200.0, alpha=0.75
+        )
+        return env, net, reward_fn
+
+    def _fresh_env(self, env):
+        return MacroGroupPlacementEnv(copy.deepcopy(env.coarse), cell_place_iters=1)
+
+    def test_measure_only_mode_is_bitwise_identical(self, setup):
+        """Surrogate attached with exact_topk=None: fidelity is measured
+        but nothing is pruned — the search result must not move a bit."""
+        env, net, reward_fn = setup
+        cfg = MCTSConfig(explorations=6, seed=2)
+        base = MCTSPlacer(env, net, reward_fn, cfg).run()
+        env2 = self._fresh_env(env)
+        placer = MCTSPlacer(
+            env2, net, reward_fn, cfg,
+            surrogate=GroupCentroidSurrogate(env2.coarse),
+        )
+        measured = placer.run()
+        assert measured.assignment == base.assignment
+        assert measured.wirelength == base.wirelength
+        assert measured.best_terminal_wirelength == base.best_terminal_wirelength
+        assert measured.n_exact_evaluations == base.n_exact_evaluations
+        assert measured.n_surrogate_evaluations > 0
+
+    def test_huge_k_is_bitwise_identical(self, setup):
+        """A K larger than the number of terminals admits everything —
+        bit-for-bit the single-tier search."""
+        env, net, reward_fn = setup
+        base = MCTSPlacer(
+            env, net, reward_fn, MCTSConfig(explorations=6, seed=2)
+        ).run()
+        topk = MCTSPlacer(
+            self._fresh_env(env), net, reward_fn,
+            MCTSConfig(explorations=6, seed=2, exact_topk=10**6),
+        ).run()
+        assert topk.assignment == base.assignment
+        assert topk.wirelength == base.wirelength
+        assert topk.best_terminal_wirelength == base.best_terminal_wirelength
+        assert topk.n_exact_evaluations == base.n_exact_evaluations
+
+    def test_small_k_prunes_but_reports_exact(self, setup):
+        env, net, reward_fn = setup
+        base = MCTSPlacer(
+            env, net, reward_fn, MCTSConfig(explorations=8, seed=1)
+        ).run()
+        env2 = self._fresh_env(env)
+        pruned = MCTSPlacer(
+            env2, net, reward_fn,
+            MCTSConfig(explorations=8, seed=1, exact_topk=2),
+        ).run()
+        assert pruned.n_exact_evaluations <= base.n_exact_evaluations
+        assert pruned.n_surrogate_evaluations > 0
+        # The committed wirelength is always a real pipeline measurement.
+        check_env = self._fresh_env(env)
+        assert pruned.wirelength == check_env.evaluate_assignment(
+            pruned.assignment
+        )
+        # ... and so is the anytime best-terminal.
+        if pruned.best_terminal_assignment is not None:
+            assert pruned.best_terminal_wirelength == check_env.evaluate_assignment(
+                pruned.best_terminal_assignment
+            )
+
+    def test_k_zero_prunes_every_search_time_exact_call(self, setup):
+        env, net, reward_fn = setup
+        result = MCTSPlacer(
+            self._fresh_env(env), net, reward_fn,
+            MCTSConfig(explorations=4, seed=0, exact_topk=0),
+        ).run()
+        assert result.n_exact_evaluations == 0
+        assert result.n_surrogate_evaluations > 0
+        assert len(result.assignment) == env.n_steps
+        assert math.isfinite(result.wirelength)
+
+    def test_inflight_future_reused_not_resubmitted(self, setup):
+        """A key already in flight on a pool worker rides that future;
+        the avoided resubmission counts as a terminal-cache hit."""
+        env, net, reward_fn = setup
+
+        class _Done:
+            def __init__(self, value):
+                self._value = value
+
+            def result(self):
+                return self._value
+
+        placer = MCTSPlacer(env, net, reward_fn, MCTSConfig(explorations=2))
+        key = tuple([0] * env.n_steps)
+        placer._inflight[key] = _Done(1234.5)
+        value = placer._terminal_value(list(key))
+        assert value == pytest.approx(float(reward_fn(1234.5)))
+        assert placer.n_terminal_cache_hits == 1
+        assert placer.n_exact_evaluations == 0
+
+    def test_pooled_waves_never_submit_a_key_twice(self, setup):
+        env, net, reward_fn = setup
+
+        class _Done:
+            def __init__(self, value):
+                self._value = value
+
+            def result(self):
+                return self._value
+
+        class _CountingPool:
+            """In-process stand-in for TerminalEvaluationPool: resolves
+            immediately but journals every submission per key."""
+
+            parallel = True
+
+            def __init__(self, pool_env):
+                self.env = pool_env
+                self.submissions: dict[tuple[int, ...], int] = {}
+
+            def submit(self, key):
+                self.submissions[key] = self.submissions.get(key, 0) + 1
+                return _Done(self.env.evaluate_assignment(list(key)))
+
+            def evaluate(self, key):
+                return self.env.evaluate_assignment(list(key))
+
+        cfg = MCTSConfig(explorations=8, seed=4, leaf_batch=4, exact_topk=3)
+        env_pool = self._fresh_env(env)
+        pool = _CountingPool(self._fresh_env(env))
+        pooled = MCTSPlacer(
+            env_pool, net, reward_fn, cfg, terminal_pool=pool
+        ).run()
+        assert pool.submissions  # the wave path actually dispatched
+        assert max(pool.submissions.values()) == 1
+        # Pooled and in-process two-tier searches agree bitwise.
+        inproc = MCTSPlacer(self._fresh_env(env), net, reward_fn, cfg).run()
+        assert pooled.assignment == inproc.assignment
+        assert pooled.wirelength == inproc.wirelength
+
+    def test_checkpoint_resume_is_bitwise_with_pruning(self, setup):
+        """Heap + calibration pairs round-trip through a snapshot: a
+        resumed pruned search finishes exactly like an uninterrupted one."""
+        env, net, reward_fn = setup
+        cfg = MCTSConfig(explorations=6, seed=5, exact_topk=2)
+        snapshots = []
+        full = MCTSPlacer(
+            self._fresh_env(env), net, reward_fn, cfg,
+            # The harness pickles each snapshot to disk, freezing it; the
+            # in-memory dict holds live tree references, so freeze by copy.
+            on_commit=lambda state: snapshots.append(copy.deepcopy(state)),
+        ).run()
+        if len(snapshots) < 2:
+            pytest.skip("search too short to interrupt")
+        resumed = MCTSPlacer(
+            self._fresh_env(env), net, reward_fn, cfg
+        ).run(resume_state=snapshots[len(snapshots) // 2 - 1])
+        assert resumed.assignment == full.assignment
+        assert resumed.wirelength == full.wirelength
+        assert resumed.best_terminal_wirelength == full.best_terminal_wirelength
+
+    def test_fidelity_reported_when_surrogate_active(self, setup):
+        env, net, reward_fn = setup
+        result = MCTSPlacer(
+            self._fresh_env(env), net, reward_fn,
+            MCTSConfig(explorations=8, seed=1, exact_topk=4),
+        ).run()
+        if result.surrogate_spearman is not None:
+            assert -1.0 <= result.surrogate_spearman <= 1.0
+        base = MCTSPlacer(
+            self._fresh_env(env), net, reward_fn, MCTSConfig(explorations=4)
+        ).run()
+        assert base.surrogate_spearman is None
+        assert base.n_surrogate_evaluations == 0
+
+
+class TestIncrementalLegalizer:
+    def _positions(self, coarse):
+        return {node.name: (node.x, node.y) for node in coarse.design.netlist}
+
+    def test_bitwise_equivalent_to_from_scratch(self, coarse_small):
+        """Every cached reuse (LU factorization, step-1 netlist, axis-net
+        topology, region memo) must reproduce from-scratch positions
+        exactly — including on repeated assignments."""
+        baseline_coarse = coarse_small
+        incr_coarse = copy.deepcopy(coarse_small)
+        baseline = MacroLegalizer()
+        incremental = IncrementalMacroLegalizer()
+        n, grids = coarse_small.n_macro_groups, coarse_small.plan.n_grids
+        rng = np.random.default_rng(7)
+        assignments = [
+            [int(a) for a in rng.integers(0, grids, size=n)] for _ in range(4)
+        ]
+        assignments.append(list(assignments[0]))  # repeat → memo hits
+        for assignment in assignments:
+            baseline.legalize(baseline_coarse, assignment)
+            incremental.legalize(incr_coarse, assignment)
+            assert self._positions(incr_coarse) == self._positions(
+                baseline_coarse
+            )
+        stats = incremental.cache_stats()
+        assert stats["legalize_calls"] == len(assignments)
+        assert stats["factor_hits"] > 0
+        assert stats["region_memo_hits"] > 0
+
+    def test_self_check_finds_no_divergence(self, coarse_small):
+        legalizer = IncrementalMacroLegalizer(self_check=True)
+        n, grids = coarse_small.n_macro_groups, coarse_small.plan.n_grids
+        rng = np.random.default_rng(9)
+        for _ in range(3):
+            legalizer.legalize(
+                coarse_small,
+                [int(a) for a in rng.integers(0, grids, size=n)],
+            )
+        assert legalizer.cache_stats()["equivalence_failures"] == 0
+
+    def test_new_coarse_drops_caches(self, coarse_small):
+        legalizer = IncrementalMacroLegalizer()
+        n = coarse_small.n_macro_groups
+        legalizer.legalize(coarse_small, [0] * n)
+        other = copy.deepcopy(coarse_small)
+        legalizer.legalize(other, [0] * n)
+        # Second coarse rebuilt everything: misses again, no stale reuse.
+        assert legalizer.cache_stats()["legalize_calls"] == 2
