@@ -1,0 +1,41 @@
+"""Shared inference: one batched :class:`PolicyValueNet` serving many jobs.
+
+BENCH_pr2 put the network's throughput knee at B=32 (7657 forwards/s vs
+1809 at B=1), yet every service/fleet job historically owned a private
+network and submitted ``leaf_batch``-sized batches — N concurrent jobs
+never reached the knee.  This package moves the network into a broker
+process that coalesces evaluation requests from every concurrent job into
+large cross-job batches:
+
+- :class:`~repro.inference.broker.InferenceBroker` — parent-side handle
+  for the spawn-context broker process (weights shipped once per
+  version, bounded respawn, graceful in-process fallback with a
+  degradation event — the same lifecycle discipline as
+  :class:`~repro.parallel.pool.TerminalEvaluationPool`);
+- :class:`~repro.inference.client.InferenceClient` — drop-in
+  evaluate/evaluate_batch replacement that MCTS virtual-loss waves and
+  RL ``n_envs`` rollouts consume unchanged.
+
+**Bitwise contract.**  Every broker-mode forward — broker-served, client
+fallback, and the private-network baseline — runs as fixed
+:data:`INFERENCE_TILE`-row zero-padded chunks
+(:meth:`~repro.agent.network.PolicyValueNet.forward_eval_tiled`), which
+makes each state's result invariant to how requests were coalesced.  Per
+job, results are bitwise-identical at every concurrency, across broker
+crashes, and under the degraded in-process path.  The broker *off*
+default keeps the historical untiled forward byte-for-byte.
+"""
+
+from repro.inference.broker import (
+    INFERENCE_TILE,
+    BrokerUnavailable,
+    InferenceBroker,
+)
+from repro.inference.client import InferenceClient
+
+__all__ = [
+    "INFERENCE_TILE",
+    "BrokerUnavailable",
+    "InferenceBroker",
+    "InferenceClient",
+]

@@ -1,0 +1,582 @@
+"""Inference broker: a spawn-context process batching cross-job forwards.
+
+The broker owns the :class:`~repro.agent.network.PolicyValueNet` replicas
+and drains a single request queue with a deadline-based coalescing
+window: requests accumulate until ``max_batch`` states are pending or
+``coalesce_us`` microseconds have passed since the first pending arrival
+— whichever comes first — then flush as one fixed-tile forward per
+weight version.  Coalescing only engages while more than one client is
+registered; a lone job pays no added latency.
+
+Weight versions are ``(namespace, epoch)`` pairs.  Static consumers
+(MCTS search) use a content-hash namespace, so concurrent jobs running
+identical weights share one replica *and one batch*; RL trainers use a
+unique namespace and bump the epoch on every publish, so an update can
+never produce a torn read — a request pins the epoch it wants and a
+replica is replaced atomically between batches.  A request naming an
+unknown version (broker respawned, replica evicted) is answered with an
+``unknown_weights`` error and the client re-ships — self-healing instead
+of stateful handshakes.
+
+Lifecycle mirrors :class:`~repro.parallel.pool.TerminalEvaluationPool`:
+spawn failures degrade to in-process evaluation with a ``degradation``
+event; a broker that dies mid-run is respawned up to ``respawn_limit``
+times before the handle permanently degrades; the ``stats()`` round-trip
+doubles as a heartbeat.  The ``inference.worker_kill`` fault site
+hard-kills the live broker (``os._exit``) so crash drills can exercise
+every path deterministically.
+
+The network interface the broker consumes is deliberately narrow —
+construct from a config dict, load a flat parameter dict, run
+``forward_eval_tiled`` — so an alternative (torch/GPU) backend can slot
+in behind the same protocol later.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import queue
+import threading
+import time
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.runtime import faults
+from repro.utils.events import EventLog
+
+#: fixed forward-batch row count for every broker-mode evaluation.  BLAS
+#: results are bitwise stable only at a fixed GEMM row count, so *all*
+#: broker-mode forwards (broker, client fallback, private baseline) run
+#: as zero-padded 32-row chunks — the BENCH_pr2 throughput knee.  This is
+#: deliberately independent of the ``max_batch``/``coalesce_us`` knobs,
+#: which therefore never influence numerics.
+INFERENCE_TILE = 32
+
+#: broker replicas kept per process before the oldest namespace is
+#: dropped (clients self-heal via ``unknown_weights`` re-ship)
+MAX_NAMESPACES = 16
+
+
+class BrokerUnavailable(RuntimeError):
+    """The broker cannot serve this request; evaluate in-process."""
+
+
+# -- weight shipping -----------------------------------------------------------
+
+
+def export_params(net) -> dict:
+    """Flatten a network's parameters + BN stats into an array dict.
+
+    Same ``p{i}``/``bn{j}_*`` keying as
+    :func:`repro.nn.serialization.save_params`, but in-memory (copies, so
+    a trainer's next step cannot mutate an in-flight shipment).
+    """
+    from repro.nn.serialization import _batchnorms
+
+    arrays = {f"p{i}": p.data.copy() for i, p in enumerate(net.parameters())}
+    for j, bn in enumerate(_batchnorms(net)):
+        arrays[f"bn{j}_mean"] = bn.running_mean.copy()
+        arrays[f"bn{j}_var"] = bn.running_var.copy()
+    return arrays
+
+
+def import_params(net, arrays: dict) -> None:
+    """Load an :func:`export_params` dict into *net* (shapes must match)."""
+    from repro.nn.serialization import _batchnorms
+
+    for i, p in enumerate(net.parameters()):
+        p.data[...] = arrays[f"p{i}"]
+    for j, bn in enumerate(_batchnorms(net)):
+        bn.running_mean[...] = arrays[f"bn{j}_mean"]
+        bn.running_var[...] = arrays[f"bn{j}_var"]
+
+
+def weights_fingerprint(net) -> str:
+    """Content hash of a network's topology + current weights.
+
+    Static clients use this as their broker namespace, so any number of
+    jobs running identical weights resolve to the same replica — which
+    is what makes their requests coalescible into one batch.
+    """
+    h = hashlib.sha256()
+    h.update(repr(sorted(asdict(net.config).items())).encode())
+    for p in net.parameters():
+        h.update(np.ascontiguousarray(p.data).tobytes())
+    from repro.nn.serialization import _batchnorms
+
+    for bn in _batchnorms(net):
+        h.update(np.ascontiguousarray(bn.running_mean).tobytes())
+        h.update(np.ascontiguousarray(bn.running_var).tobytes())
+    return "net-" + h.hexdigest()[:16]
+
+
+# -- broker process (child side) -----------------------------------------------
+
+
+def _percentile(window: list, q: float) -> float:
+    if not window:
+        return 0.0
+    ordered = sorted(window)
+    idx = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return float(ordered[idx])
+
+
+def _broker_main(request_q, reply_q, max_batch: int, coalesce_us: int) -> None:
+    """Broker process entry point: drain, coalesce, forward, reply."""
+    import os
+
+    from repro.agent.network import NetworkConfig, PolicyValueNet
+
+    networks: dict[str, tuple[int, object]] = {}  # namespace -> (epoch, net)
+    clients: set = set()
+    started = time.monotonic()
+    stats = {
+        "requests": 0,
+        "states": 0,
+        "batches": 0,
+        "coalesced_batches": 0,
+        "tile_forwards": 0,
+        "unknown_weights": 0,
+        "registers": 0,
+    }
+    batch_window: list[int] = []  # states per forward group (last 512)
+    wait_window: list[float] = []  # request wait in µs (last 512)
+
+    def observe(window: list, value) -> None:
+        window.append(value)
+        if len(window) > 512:
+            del window[0]
+
+    def snapshot() -> dict:
+        try:
+            depth = request_q.qsize()
+        except (NotImplementedError, OSError):
+            depth = -1
+        return {
+            **stats,
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - started, 3),
+            "active_clients": len(clients),
+            "namespaces": len(networks),
+            "queue_depth": depth,
+            "max_batch": max_batch,
+            "coalesce_us": coalesce_us,
+            "tile": INFERENCE_TILE,
+            "batch_size_mean": (
+                float(np.mean(batch_window)) if batch_window else 0.0
+            ),
+            "batch_size_max": max(batch_window, default=0),
+            "batch_size_p50": _percentile(batch_window, 0.50),
+            "batch_size_p90": _percentile(batch_window, 0.90),
+            "wait_us_mean": (
+                float(np.mean(wait_window)) if wait_window else 0.0
+            ),
+            "wait_us_max": max(wait_window, default=0.0),
+            "wait_us_p90": _percentile(wait_window, 0.90),
+        }
+
+    def handle_control(msg) -> bool:
+        """Process a non-eval message; returns False if *msg* is an eval."""
+        kind = msg[0]
+        if kind == "eval":
+            return False
+        if kind == "hello":
+            clients.add(msg[1])
+        elif kind == "goodbye":
+            clients.discard(msg[1])
+        elif kind == "register":
+            _, namespace, epoch, cfg_dict, arrays = msg
+            stats["registers"] += 1
+            entry = networks.pop(namespace, None)
+            if entry is None:
+                net = PolicyValueNet(NetworkConfig(**cfg_dict))
+                net.eval()
+            else:
+                net = entry[1]
+            import_params(net, arrays)
+            networks[namespace] = (int(epoch), net)
+            while len(networks) > MAX_NAMESPACES:
+                networks.pop(next(iter(networks)))
+        elif kind == "stats":
+            reply_q.put(("stats", msg[1], snapshot()))
+        elif kind == "die":
+            os._exit(86)  # the inference.worker_kill fault site
+        elif kind == "stop":
+            raise SystemExit(0)
+        return True
+
+    def flush(pending: list) -> None:
+        """Answer every pending eval with one tiled forward per version."""
+        stats["batches"] += 1
+        groups: dict[tuple, list] = {}
+        for item in pending:
+            groups.setdefault((item[2], item[3]), []).append(item)
+        now = time.monotonic()
+        for (namespace, epoch), items in groups.items():
+            entry = networks.get(namespace)
+            if entry is None or entry[0] != epoch:
+                stats["unknown_weights"] += len(items)
+                for _, rid, *_rest in items:
+                    reply_q.put(("error", rid, "unknown_weights"))
+                continue
+            net = entry[1]
+            x = np.concatenate([item[4] for item in items], axis=0)
+            logits, v = net.forward_eval_tiled(x, INFERENCE_TILE)
+            stats["tile_forwards"] += -(-len(x) // INFERENCE_TILE)
+            stats["states"] += len(x)
+            observe(batch_window, len(x))
+            if len(items) > 1:
+                stats["coalesced_batches"] += 1
+            offset = 0
+            for arrival, rid, _ns, _ep, xi in items:
+                rows = len(xi)
+                reply_q.put(
+                    ("result", rid, logits[offset : offset + rows],
+                     v[offset : offset + rows])
+                )
+                offset += rows
+                observe(wait_window, (now - arrival) * 1e6)
+
+    pending: list = []  # (arrival, request_id, namespace, epoch, x)
+    pending_states = 0
+    try:
+        while True:
+            if not pending:
+                try:
+                    msg = request_q.get(timeout=0.25)
+                except queue.Empty:
+                    continue
+                if handle_control(msg):
+                    continue
+                pending.append((time.monotonic(),) + tuple(msg[1:]))
+                pending_states = len(pending[0][4])
+            # Coalescing window: only worth waiting when several clients
+            # could contribute; a lone job flushes immediately.
+            deadline = pending[0][0] + coalesce_us / 1e6
+            while len(clients) > 1 and pending_states < max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    msg = request_q.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if handle_control(msg):
+                    continue
+                pending.append((time.monotonic(),) + tuple(msg[1:]))
+                pending_states += len(pending[-1][4])
+            stats["requests"] += len(pending)
+            flush(pending)
+            pending = []
+            pending_states = 0
+    except (SystemExit, KeyboardInterrupt):
+        pass
+
+
+# -- parent-side handle --------------------------------------------------------
+
+
+class _Slot:
+    """One in-flight request's rendezvous point."""
+
+    __slots__ = ("event", "payload")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.payload = None
+
+
+class InferenceBroker:
+    """Parent-side handle owning the broker process and its channels.
+
+    One handle serves every client thread of a process (all scheduler
+    slots of a daemon share it); a dispatcher thread routes replies from
+    the single reply queue to per-request slots, so concurrent clients
+    block only on their own request.
+
+    Args:
+        max_batch: coalescing cap — flush once this many states pend.
+        coalesce_us: coalescing window in microseconds, measured from the
+            first pending request's arrival.
+        events: degradation events (spawn failure, death, respawn) land
+            here.
+        respawn_limit: broker restarts attempted before the handle
+            permanently degrades (clients then evaluate in-process).
+        request_timeout: seconds a client waits for a reply before the
+            broker is presumed hung and treated as dead.
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 64,
+        coalesce_us: int = 2000,
+        events: EventLog | None = None,
+        respawn_limit: int = 1,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.max_batch = max(1, int(max_batch))
+        self.coalesce_us = max(0, int(coalesce_us))
+        self.events = events if events is not None else EventLog()
+        self.respawn_limit = max(0, int(respawn_limit))
+        self.request_timeout = float(request_timeout)
+        self.respawns = 0
+        self._lock = threading.RLock()
+        self._slots: dict[int, _Slot] = {}
+        self._slots_lock = threading.Lock()
+        self._rid = itertools.count(1)
+        self._proc = None
+        self._request_q = None
+        self._reply_q = None
+        self._dispatcher = None
+        self._epoch = 0  # process generation, for failure dedup
+        self._broken = False
+        self._closed = False
+
+    @property
+    def available(self) -> bool:
+        """True while broker-served evaluation is worth attempting."""
+        return not self._broken and not self._closed
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "InferenceBroker":
+        """Spawn the broker process (idempotent); degrade on failure."""
+        with self._lock:
+            if self._proc is not None or self._broken or self._closed:
+                return self
+            import multiprocessing
+
+            try:
+                ctx = multiprocessing.get_context("spawn")
+                if self._request_q is None:
+                    self._request_q = ctx.Queue()
+                    self._reply_q = ctx.Queue()
+                self._proc = ctx.Process(
+                    target=_broker_main,
+                    args=(self._request_q, self._reply_q,
+                          self.max_batch, self.coalesce_us),
+                    daemon=True,
+                )
+                self._proc.start()
+                self._epoch += 1
+            except Exception as exc:
+                self._proc = None
+                self._broken = True
+                self.events.emit(
+                    "degradation",
+                    solver="inference_broker",
+                    phase="spawn",
+                    fallback="in_process",
+                    error=str(exc),
+                )
+                return self
+            if self._dispatcher is None:
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop, daemon=True,
+                    name="inference-dispatch",
+                )
+                self._dispatcher.start()
+        return self
+
+    def _dispatch_loop(self) -> None:
+        while not self._closed:
+            try:
+                msg = self._reply_q.get(timeout=0.25)
+            except queue.Empty:
+                continue
+            except (EOFError, OSError):
+                return
+            rid = msg[1]
+            with self._slots_lock:
+                slot = self._slots.pop(rid, None)
+            if slot is not None:
+                slot.payload = msg
+                slot.event.set()
+
+    def _handle_failure(self, phase: str, error: str, epoch: int) -> None:
+        """Broker died or hung: bounded respawn, then permanent fallback."""
+        with self._lock:
+            if self._broken or self._closed or epoch != self._epoch:
+                return
+            proc, self._proc = self._proc, None
+            if proc is not None:
+                try:
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+                except Exception:
+                    pass
+            if self.respawns < self.respawn_limit:
+                self.respawns += 1
+                self.events.emit(
+                    "degradation",
+                    solver="inference_broker",
+                    phase=phase,
+                    fallback="respawn",
+                    respawn=self.respawns,
+                    error=error,
+                )
+                self.start()
+                if self._proc is not None:
+                    return
+            self._broken = True
+            self.events.emit(
+                "degradation",
+                solver="inference_broker",
+                phase=phase,
+                fallback="in_process",
+                error=error,
+            )
+
+    def close(self) -> None:
+        """Stop the broker process; further evaluation runs in-process."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            proc, self._proc = self._proc, None
+        if proc is not None:
+            try:
+                self._request_q.put(("stop",))
+                proc.join(timeout=3.0)
+            except Exception:
+                pass
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        with self._slots_lock:
+            for slot in self._slots.values():
+                slot.event.set()
+            self._slots.clear()
+
+    def __enter__(self) -> "InferenceBroker":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- protocol --------------------------------------------------------------
+    def _put(self, msg, epoch: int) -> bool:
+        try:
+            self._request_q.put(msg)
+            return True
+        except Exception as exc:
+            self._handle_failure("send", str(exc), epoch)
+            return False
+
+    def hello(self, client_id: str) -> None:
+        """Register a client (enables the coalescing window at >1)."""
+        if self.available and self._proc is not None:
+            self._put(("hello", client_id), self._epoch)
+
+    def goodbye(self, client_id: str) -> None:
+        if self.available and self._proc is not None:
+            self._put(("goodbye", client_id), self._epoch)
+
+    def register(self, namespace: str, epoch: int, cfg_dict: dict,
+                 arrays: dict) -> None:
+        """Ship one weight version (fire-and-forget; replicas replace
+        atomically between batches, so a publish can never tear)."""
+        if not self.available:
+            raise BrokerUnavailable("broker degraded")
+        self.start()
+        if self._proc is None:
+            raise BrokerUnavailable("broker failed to start")
+        if not self._put(("register", namespace, int(epoch), cfg_dict,
+                          arrays), self._epoch):
+            raise BrokerUnavailable("broker send failed")
+
+    def kill_worker(self) -> None:
+        """Hard-kill the live broker (the ``inference.worker_kill`` drill)."""
+        with self._lock:
+            if self._proc is not None:
+                self._put(("die",), self._epoch)
+
+    def _round_trip(self, make_msg, timeout: float):
+        """Send a request carrying a fresh id; wait for its reply slot."""
+        if not self.available:
+            raise BrokerUnavailable("broker degraded")
+        self.start()
+        with self._lock:
+            epoch = self._epoch
+            proc = self._proc
+        if proc is None:
+            raise BrokerUnavailable("broker failed to start")
+        rid = next(self._rid)
+        slot = _Slot()
+        with self._slots_lock:
+            self._slots[rid] = slot
+        try:
+            if not self._put(make_msg(rid), epoch):
+                raise BrokerUnavailable("broker send failed")
+            deadline = time.monotonic() + timeout
+            while not slot.event.wait(timeout=0.05):
+                if time.monotonic() >= deadline:
+                    self._handle_failure("timeout", "request timed out",
+                                         epoch)
+                    raise BrokerUnavailable("request timed out")
+                if not proc.is_alive():
+                    # Give the dispatcher a beat to drain already-queued
+                    # replies, then declare the broker dead.
+                    if slot.event.wait(timeout=0.2):
+                        break
+                    self._handle_failure(
+                        "death", f"broker exited {proc.exitcode}", epoch
+                    )
+                    raise BrokerUnavailable("broker died")
+            return slot.payload
+        finally:
+            with self._slots_lock:
+                self._slots.pop(rid, None)
+
+    def eval(self, namespace: str, epoch: int, x: np.ndarray,
+             reship=None) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate packed states *x* under weight version
+        ``(namespace, epoch)``; returns raw ``(logits, v)`` rows.
+
+        ``unknown_weights`` replies invoke *reship* (a callable
+        re-registering the version) and retry — the self-heal path for a
+        respawned broker or an evicted replica.  Any unrecoverable
+        condition raises :class:`BrokerUnavailable`; the caller falls
+        back to the bitwise-identical in-process tiled path.
+        """
+        if faults.should_fire("inference.worker_kill"):
+            self.kill_worker()
+        last = "unknown_weights"
+        for _attempt in range(3):
+            reply = self._round_trip(
+                lambda rid: ("eval", rid, namespace, int(epoch), x),
+                self.request_timeout,
+            )
+            if reply is None:
+                raise BrokerUnavailable("broker closed")
+            if reply[0] == "result":
+                return reply[2], reply[3]
+            last = reply[2] if len(reply) > 2 else "error"
+            if last == "unknown_weights" and reship is not None:
+                reship()
+                continue
+            break
+        raise BrokerUnavailable(f"broker error: {last}")
+
+    def stats(self, timeout: float = 5.0) -> dict | None:
+        """Broker-side counters/histograms; doubles as the heartbeat.
+
+        Returns None when the broker is unavailable (degraded handles
+        still report their parent-side state via :meth:`handle_stats`).
+        """
+        try:
+            reply = self._round_trip(lambda rid: ("stats", rid), timeout)
+        except BrokerUnavailable:
+            return None
+        if reply is None or reply[0] != "stats":
+            return None
+        return {**reply[2], **self.handle_stats()}
+
+    def handle_stats(self) -> dict:
+        """Parent-side lifecycle counters (valid even when degraded)."""
+        return {
+            "respawns": self.respawns,
+            "broken": self._broken,
+            "process_epoch": self._epoch,
+        }

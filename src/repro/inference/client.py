@@ -1,0 +1,181 @@
+"""Client-side adapter: the evaluate/evaluate_batch surface, broker-backed.
+
+:class:`InferenceClient` wraps a :class:`~repro.agent.network.PolicyValueNet`
+and an optional :class:`~repro.inference.broker.InferenceBroker` handle
+behind the exact interface MCTS virtual-loss waves and RL ``n_envs``
+rollouts already consume — both plug in unchanged.
+
+The split of work keeps broker-served and in-process results literally
+the same code: the client packs states
+(:meth:`~repro.agent.network.PolicyValueNet.pack_planes_batch`) and
+ships the raw tensor; the broker answers with raw ``(logits, value)``
+rows from a fixed-tile forward; the client applies the identical masking
+tail (:meth:`~repro.agent.network.PolicyValueNet.policy_masks` +
+``masked_softmax`` + float64 cast) that ``evaluate_batch`` itself uses.
+When the broker is absent, degraded, or mid-crash, the client runs
+``evaluate_batch(states, tile=INFERENCE_TILE)`` locally — the same tiled
+numerics, so a broker death changes wall-clock, never results.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.agent.network import PlaneView
+from repro.inference.broker import (
+    INFERENCE_TILE,
+    BrokerUnavailable,
+    export_params,
+    weights_fingerprint,
+)
+from repro.utils.events import EventLog
+
+
+class InferenceClient:
+    """Evaluate/evaluate_batch against a shared broker, with fallback.
+
+    Args:
+        network: the caller's network — source of weights for the broker
+            replica and the in-process fallback evaluator.
+        broker: the shared :class:`InferenceBroker` handle; ``None``
+            evaluates in-process (tiled) unconditionally — the
+            "private-network path" every broker result must match
+            bitwise.
+        events: ``degradation`` events (first fallback after a broker
+            loss) land here.
+        publishable: True for RL trainers whose weights change: the
+            client gets a unique namespace and :meth:`publish` bumps the
+            weight epoch.  False (static weights, e.g. MCTS) derives the
+            namespace from a content hash, so jobs running identical
+            weights share one broker replica and coalesce into the same
+            batches.
+    """
+
+    def __init__(
+        self,
+        network,
+        broker=None,
+        events: EventLog | None = None,
+        publishable: bool = False,
+    ) -> None:
+        self.network = network
+        self.broker = broker
+        self.events = events if events is not None else EventLog()
+        self.publishable = publishable
+        self.tile = INFERENCE_TILE
+        self.client_id = "client-" + uuid.uuid4().hex[:12]
+        self.epoch = 0
+        self.n_broker = 0
+        self.n_local = 0
+        self._namespace = (
+            "trainer-" + uuid.uuid4().hex[:12] if publishable else None
+        )
+        self._registered = False
+        self._degraded_logged = False
+        self._said_hello = False
+
+    # -- weight versioning -----------------------------------------------------
+    @property
+    def namespace(self) -> str:
+        """Weight namespace; static clients hash lazily so the fingerprint
+        reflects the weights at first use (e.g. post-training), not at
+        construction."""
+        if self._namespace is None:
+            self._namespace = weights_fingerprint(self.network)
+        return self._namespace
+
+    def _reship(self) -> None:
+        self.broker.register(
+            self.namespace,
+            self.epoch,
+            asdict(self.network.config),
+            export_params(self.network),
+        )
+
+    def publish(self) -> None:
+        """Advance the weight epoch and ship the current parameters.
+
+        RL trainers call this after every (guarded) update — including
+        rollback restores — so the broker replica can never serve a
+        half-written version: requests pin the epoch they expect and the
+        replica swaps atomically between batches.  A no-op without a
+        live broker (the in-process fallback always reads the live
+        network).
+        """
+        if not self.publishable:
+            raise RuntimeError("publish() requires a publishable client")
+        self.epoch += 1
+        self._registered = False
+        if self.broker is not None and self.broker.available:
+            try:
+                self._reship()
+                self._registered = True
+            except BrokerUnavailable as exc:
+                self._log_degraded("publish", exc)
+
+    # -- evaluation ------------------------------------------------------------
+    def evaluate(
+        self, s_p: np.ndarray, s_a: np.ndarray, t: int, total_steps: int
+    ) -> tuple[np.ndarray, float]:
+        """Single-state inference, delegating to :meth:`evaluate_batch`."""
+        probs, values = self.evaluate_batch(
+            [PlaneView(s_p, s_a, t, total_steps)]
+        )
+        return probs[0], float(values[0])
+
+    def evaluate_batch(self, states) -> tuple[np.ndarray, np.ndarray]:
+        """Batched inference: (masked probabilities (B, ζ²), values (B,)).
+
+        Broker-served when possible, in-process (same tile) otherwise —
+        bitwise-identical either way.
+        """
+        if len(states) == 0 or self.broker is None:
+            return self.network.evaluate_batch(states, tile=self.tile)
+        if self.broker.available:
+            try:
+                if not self._said_hello:
+                    self.broker.hello(self.client_id)
+                    self._said_hello = True
+                if not self._registered:
+                    self._reship()
+                    self._registered = True
+                x = self.network.pack_planes_batch(states)
+                logits, v = self.broker.eval(
+                    self.namespace, self.epoch, x, reship=self._reship
+                )
+                self.n_broker += 1
+                from repro.nn.functional import masked_softmax
+
+                probs = masked_softmax(
+                    logits, self.network.policy_masks(states), axis=1
+                )
+                return probs, np.asarray(v, dtype=np.float64)
+            except BrokerUnavailable as exc:
+                self._log_degraded("evaluate", exc)
+        self.n_local += 1
+        return self.network.evaluate_batch(states, tile=self.tile)
+
+    def _log_degraded(self, phase: str, exc: Exception) -> None:
+        if self._degraded_logged:
+            return
+        self._degraded_logged = True
+        self.events.emit(
+            "degradation",
+            solver="inference_client",
+            phase=phase,
+            fallback="in_process",
+            error=str(exc),
+        )
+
+    def close(self) -> None:
+        """Deregister from the broker (shrinks its coalescing quorum)."""
+        if (
+            self.broker is not None
+            and self._said_hello
+            and self.broker.available
+        ):
+            self.broker.goodbye(self.client_id)
+        self._said_hello = False

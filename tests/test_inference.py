@@ -1,0 +1,349 @@
+"""Shared inference broker: bitwise equivalence of broker-served,
+fallback, and private-network tiled evaluation; coalescing across
+concurrent clients; crash/timeout degradation; weight-epoch rollover
+during RL training; and the config-fingerprint exclusions."""
+
+import copy
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.agent.actorcritic import ActorCriticTrainer
+from repro.agent.network import NetworkConfig, PlaneView, PolicyValueNet
+from repro.agent.reward import NormalizedReward
+from repro.env.placement_env import MacroGroupPlacementEnv
+from repro.inference import (
+    INFERENCE_TILE,
+    BrokerUnavailable,
+    InferenceBroker,
+    InferenceClient,
+)
+from repro.inference.broker import (
+    export_params,
+    import_params,
+    weights_fingerprint,
+)
+from repro.mcts.search import MCTSConfig, MCTSPlacer
+from repro.runtime.faults import Fault, FaultPlan, inject
+from repro.utils.events import EventLog
+
+REWARD = NormalizedReward(w_max=2000.0, w_min=500.0, w_avg=1200.0)
+
+
+def _net(zeta=4, seed=0):
+    net = PolicyValueNet(
+        NetworkConfig(zeta=zeta, channels=4, res_blocks=1, seed=seed)
+    )
+    # Populate BN running stats so eval mode is meaningful.
+    net.train(True)
+    net.forward(
+        np.random.default_rng(9).random((8, 3, zeta, zeta)).astype(net.dtype)
+    )
+    net.eval()
+    return net
+
+
+def _states(zeta, n, seed=0):
+    rng = np.random.default_rng(seed)
+    states = []
+    for i in range(n):
+        s_a = rng.random((zeta, zeta))
+        s_a[s_a < 0.3] = 0.0
+        states.append(PlaneView(rng.random((zeta, zeta)), s_a, i, n))
+    return states
+
+
+def _assert_bitwise(a, b):
+    np.testing.assert_array_equal(a[0], b[0])
+    np.testing.assert_array_equal(a[1], b[1])
+
+
+# -- weight shipping -----------------------------------------------------------
+class TestWeightShipping:
+    def test_export_import_roundtrip_bitwise(self):
+        src, dst = _net(seed=1), _net(seed=2)
+        import_params(dst, export_params(src))
+        states = _states(4, 5)
+        _assert_bitwise(
+            src.evaluate_batch(states, tile=INFERENCE_TILE),
+            dst.evaluate_batch(states, tile=INFERENCE_TILE),
+        )
+
+    def test_export_copies_do_not_alias(self):
+        net = _net()
+        arrays = export_params(net)
+        p0 = next(iter(net.parameters()))
+        p0.data += 1.0
+        assert not np.array_equal(arrays["p0"], p0.data)
+
+    def test_fingerprint_tracks_weights(self):
+        a, b = _net(seed=3), _net(seed=3)
+        assert weights_fingerprint(a) == weights_fingerprint(b)
+        next(iter(b.parameters())).data += 1e-3
+        assert weights_fingerprint(a) != weights_fingerprint(b)
+
+    def test_tiled_forward_invariant_to_batch_size(self):
+        """The fixed-tile contract: a state's tiled result is identical
+        whether it arrives alone or inside a larger batch."""
+        net = _net()
+        states = _states(4, 7, seed=4)
+        probs_all, values_all = net.evaluate_batch(
+            states, tile=INFERENCE_TILE
+        )
+        for i, s in enumerate(states):
+            p, v = net.evaluate_batch([s], tile=INFERENCE_TILE)
+            np.testing.assert_array_equal(probs_all[i], p[0])
+            assert values_all[i] == v[0]
+
+
+# -- broker-served vs private-network equivalence ------------------------------
+class TestBrokerEquivalence:
+    def test_broker_matches_private_tiled_bitwise(self):
+        net = _net()
+        states = _states(4, 9, seed=1)
+        private = InferenceClient(net, broker=None)
+        reference = private.evaluate_batch(states)
+        with InferenceBroker(coalesce_us=0) as broker:
+            client = InferenceClient(net, broker)
+            served = client.evaluate_batch(states)
+            assert client.n_broker == 1 and client.n_local == 0
+            _assert_bitwise(served, reference)
+            p1, v1 = client.evaluate(
+                states[0].s_p, states[0].s_a, states[0].t,
+                states[0].total_steps,
+            )
+            np.testing.assert_array_equal(p1, reference[0][0])
+            assert v1 == float(reference[1][0])
+            client.close()
+
+    def test_restart_mid_search_bitwise(self, coarse_small):
+        """inference.worker_kill mid-search: the broker respawns, the
+        client re-ships, and the search finishes with the exact result
+        of a private-network run."""
+        cfg = MCTSConfig(explorations=6, leaf_batch=3, seed=0)
+
+        def run(inference):
+            env = MacroGroupPlacementEnv(
+                copy.deepcopy(coarse_small), cell_place_iters=1
+            )
+            return MCTSPlacer(env, net, REWARD, cfg, inference=inference).run()
+
+        net = _net()
+        baseline = run(InferenceClient(net, broker=None))
+        with InferenceBroker(coalesce_us=0, respawn_limit=2) as broker:
+            client = InferenceClient(net, broker)
+            with inject(FaultPlan(Fault("inference.worker_kill", at=3))):
+                faulted = run(client)
+            # Under load the respawned child's slow startup can race a
+            # pending request's liveness check into a second respawn
+            # cycle (respawn_limit=2 absorbs it) — the invariant is that
+            # the kill fired and the broker survived, not the exact count.
+            assert broker.respawns >= 1 and broker.available
+            client.close()
+        assert faulted.assignment == baseline.assignment
+        assert faulted.wirelength == baseline.wirelength
+
+    def test_exhausted_respawns_degrade_in_process(self):
+        """Killing the broker on every eval exhausts the bounded respawn
+        budget; the client degrades permanently, emits one degradation
+        event, and stays bitwise-correct."""
+        net = _net()
+        states = _states(4, 6, seed=2)
+        reference = InferenceClient(net, broker=None).evaluate_batch(states)
+        events = EventLog()
+        with InferenceBroker(coalesce_us=0, respawn_limit=1) as broker:
+            client = InferenceClient(net, broker, events=events)
+            with inject(
+                FaultPlan(Fault("inference.worker_kill", at=1, count=None))
+            ):
+                first = client.evaluate_batch(states)
+                second = client.evaluate_batch(states)
+            assert not broker.available
+            assert client.n_local >= 1
+        _assert_bitwise(first, reference)
+        _assert_bitwise(second, reference)
+        degradations = events.of("degradation")
+        assert [e.data["solver"] for e in degradations].count(
+            "inference_client"
+        ) == 1
+
+
+# -- client timeout ------------------------------------------------------------
+class TestClientTimeout:
+    def test_hung_broker_times_out_to_fallback(self):
+        """A broker that is alive but unresponsive (SIGSTOP) trips the
+        request timeout; the client falls back bitwise and logs one
+        degradation event."""
+        net = _net()
+        states = _states(4, 5, seed=3)
+        reference = InferenceClient(net, broker=None).evaluate_batch(states)
+        events = EventLog()
+        broker = InferenceBroker(coalesce_us=0, respawn_limit=0).start()
+        try:
+            client = InferenceClient(net, broker, events=events)
+            warm = client.evaluate_batch(states)  # registers + proves liveness
+            _assert_bitwise(warm, reference)
+            broker.request_timeout = 0.5  # past spawn startup; now tighten
+            pid = broker._proc.pid
+            os.kill(pid, signal.SIGSTOP)
+            try:
+                started = time.monotonic()
+                result = client.evaluate_batch(states)
+                elapsed = time.monotonic() - started
+            finally:
+                os.kill(pid, signal.SIGCONT)
+            _assert_bitwise(result, reference)
+            assert elapsed >= 0.5
+            assert not broker.available  # respawn_limit=0: permanent
+            assert client.n_local == 1
+            assert [
+                e.data["solver"] for e in events.of("degradation")
+            ].count("inference_client") == 1
+        finally:
+            broker.close()
+
+
+# -- cross-job coalescing ------------------------------------------------------
+class TestCoalescing:
+    def test_two_clients_coalesce_and_stay_bitwise(self):
+        """Two concurrent clients with identical weights share a replica;
+        their requests coalesce into cross-job batches and each client's
+        rows are bitwise what its private network would produce."""
+        net_a, net_b = _net(seed=5), _net(seed=5)
+        states = [_states(4, 8, seed=10 + i) for i in range(2)]
+        reference = [
+            InferenceClient(net, broker=None).evaluate_batch(s)
+            for net, s in zip((net_a, net_b), states)
+        ]
+        with InferenceBroker(max_batch=64, coalesce_us=200_000) as broker:
+            clients = [
+                InferenceClient(net, broker) for net in (net_a, net_b)
+            ]
+            # Same weights -> same content-hash namespace -> one replica.
+            assert clients[0].namespace == clients[1].namespace
+            barrier = threading.Barrier(2)
+            results: list = [None, None]
+
+            def job(i):
+                for _round in range(4):
+                    barrier.wait()
+                    results[i] = clients[i].evaluate_batch(states[i])
+
+            threads = [
+                threading.Thread(target=job, args=(i,)) for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = broker.stats()
+            for client in clients:
+                client.close()
+        for got, want in zip(results, reference):
+            _assert_bitwise(got, want)
+        assert stats is not None
+        assert stats["coalesced_batches"] >= 1
+        assert stats["batch_size_max"] == 16  # two 8-state requests fused
+        assert stats["active_clients"] == 2
+
+    def test_stats_shape(self):
+        with InferenceBroker() as broker:
+            client = InferenceClient(_net(), broker)
+            client.evaluate_batch(_states(4, 3))
+            stats = broker.stats()
+            client.close()
+        for key in (
+            "requests", "states", "batches", "queue_depth",
+            "batch_size_mean", "wait_us_mean", "respawns", "tile",
+        ):
+            assert key in stats
+        assert stats["tile"] == INFERENCE_TILE
+        assert stats["states"] == 3
+
+
+# -- weight-epoch rollover during RL training ----------------------------------
+class TestEpochRollover:
+    def _trainer(self, coarse, net, inference, seed=3):
+        env = MacroGroupPlacementEnv(coarse, cell_place_iters=1)
+        return ActorCriticTrainer(
+            env, net, REWARD, lr=1e-3, update_every=2, rng=seed,
+            inference=inference,
+        )
+
+    def test_training_through_broker_bitwise(self, coarse_small):
+        """Training with a publishable broker client — epochs bumped on
+        every guarded update — reproduces the broker-off tiled run
+        bitwise: rewards, losses, and final parameters."""
+        net_ref = _net(seed=7)
+        ref = self._trainer(
+            copy.deepcopy(coarse_small), net_ref,
+            InferenceClient(net_ref, broker=None),
+        )
+        hist_ref = ref.train(4)
+
+        net_brk = _net(seed=7)
+        with InferenceBroker(coalesce_us=0) as broker:
+            client = InferenceClient(net_brk, broker, publishable=True)
+            trainer = self._trainer(
+                copy.deepcopy(coarse_small), net_brk, client
+            )
+            hist = trainer.train(4)
+            # Two guarded updates happened -> two publishes.
+            assert client.epoch == 2
+            # The replica serves the latest epoch without re-ship errors.
+            stats = broker.stats()
+            client.close()
+        assert hist.rewards == hist_ref.rewards
+        assert hist.losses == hist_ref.losses
+        assert hist.wirelengths == hist_ref.wirelengths
+        for pa, pb in zip(net_brk.parameters(), net_ref.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+        assert stats["unknown_weights"] == 0
+
+    def test_publish_requires_publishable(self):
+        client = InferenceClient(_net(), broker=None)
+        with pytest.raises(RuntimeError):
+            client.publish()
+
+
+# -- config plumbing -----------------------------------------------------------
+class TestConfigPlumbing:
+    def test_fingerprint_excludes_broker_knobs(self):
+        from dataclasses import replace
+
+        from repro.core.config import PlacerConfig
+        from repro.runtime.checkpoint import config_fingerprint
+
+        base = PlacerConfig()
+        assert base.inference_broker is False
+        for variant in (
+            replace(base, inference_broker=True),
+            replace(base, inference_max_batch=8),
+            replace(base, inference_coalesce_us=0),
+        ):
+            assert config_fingerprint(variant) == config_fingerprint(base)
+
+    def test_default_off_uses_network_directly(self, coarse_small):
+        """Without an inference adapter the search and trainer evaluate
+        on the raw network — the historical untiled path."""
+        env = MacroGroupPlacementEnv(coarse_small, cell_place_iters=1)
+        net = _net()
+        placer = MCTSPlacer(env, net, REWARD, MCTSConfig(seed=0))
+        assert placer._infer is net
+        trainer = ActorCriticTrainer(
+            env, net, REWARD, lr=1e-3, update_every=2, rng=0
+        )
+        assert trainer._infer is net
+
+    def test_untiled_evaluate_batch_unchanged(self):
+        """tile=None must be the historical code path byte-for-byte —
+        the broker-off default cannot shift numerics."""
+        net = _net()
+        states = _states(4, 6, seed=6)
+        a = net.evaluate_batch(states)
+        b = net.evaluate_batch(states, tile=None)
+        _assert_bitwise(a, b)
