@@ -5,6 +5,10 @@ average reward sits *slightly above zero*.  This bench trains the same
 agent under α ∈ {−0.75, 0, 0.5, 0.75, 1.0, 3.0} and reports early-phase
 improvement per α.  Expected shape: the paper's band [0.5, 1] performs at
 least as well as the extremes (strongly negative or far-positive shifts).
+
+The α values come from a :class:`repro.study.StudySpec` expansion — the
+same declarative sweep machinery behind ``repro study run`` — instead of
+a private loop, so the bench and a real α study agree on the points.
 """
 
 from __future__ import annotations
@@ -26,8 +30,16 @@ from repro.env import MacroGroupPlacementEnv
 from repro.gp.mixed_size import MixedSizePlacer
 from repro.grid.plan import GridPlan
 from repro.netlist.suites import make_iccad04_circuit
+from repro.study import StudySpec
 
-ALPHAS = (-0.75, 0.0, 0.5, 0.75, 1.0, 3.0)
+#: the declarative sweep; ``alpha`` is the PlacerConfig knob the flow
+#: feeds into NormalizedReward (Eq. 9)
+ALPHA_SWEEP = StudySpec.from_json({
+    "name": "ablation-alpha",
+    "circuit": "ibm06",
+    "preset": "fast",
+    "axes": [{"knob": "alpha", "values": [-0.75, 0.0, 0.5, 0.75, 1.0, 3.0]}],
+})
 
 
 def test_ablation_alpha(benchmark, budget):
@@ -63,7 +75,12 @@ def test_ablation_alpha(benchmark, budget):
         return head - tail  # improvement (positive = converging)
 
     def run():
-        return {a: train_alpha(a) for a in ALPHAS}
+        return {
+            point.assignment()["alpha"]: train_alpha(
+                point.assignment()["alpha"]
+            )
+            for point in ALPHA_SWEEP.expand()
+        }
 
     out = run_once(benchmark, run)
     print("\nAblation: reward shift alpha sweep (paper: alpha in [0.5, 1])")

@@ -4,6 +4,11 @@ Sweeps c over a range spanning pure exploitation (c → 0) to heavy
 exploration and reports the committed wirelength for each.  Expected
 shape: extreme settings do not dominate the paper's moderate choice — the
 c = 1.05 result is within a few percent of the best sweep point.
+
+The sweep itself is expanded through the study engine's spec API
+(:class:`repro.study.StudySpec`), the same expansion ``repro study run``
+uses — so the bench's points are, by construction, the points a c-sweep
+study would submit.
 """
 
 from __future__ import annotations
@@ -23,8 +28,16 @@ from repro.gp.mixed_size import MixedSizePlacer
 from repro.grid.plan import GridPlan
 from repro.mcts.search import MCTSConfig, MCTSPlacer
 from repro.netlist.suites import make_iccad04_circuit
+from repro.study import StudySpec
 
-C_VALUES = (0.05, 0.5, 1.05, 2.5, 8.0)
+#: the declarative sweep; its expansion order (deterministic) is the
+#: bench's execution order
+PUCT_SWEEP = StudySpec.from_json({
+    "name": "ablation-puct-c",
+    "circuit": "ibm01",
+    "preset": "fast",
+    "axes": [{"knob": "mcts.c_puct", "values": [0.05, 0.5, 1.05, 2.5, 8.0]}],
+})
 
 
 def test_ablation_puct_c(benchmark, budget):
@@ -49,7 +62,8 @@ def test_ablation_puct_c(benchmark, budget):
 
     def run():
         out = {}
-        for c in C_VALUES:
+        for point in PUCT_SWEEP.expand():
+            c = point.assignment()["mcts.c_puct"]
             e = MacroGroupPlacementEnv(copy.deepcopy(coarse), cell_place_iters=2)
             result = MCTSPlacer(
                 e, net, reward_fn,

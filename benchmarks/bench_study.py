@@ -1,0 +1,324 @@
+"""Study-engine benchmark: warm sharing, kill-resume, report quality.
+
+Runs one small 2x2 MCTS-knob sweep (all four points share a single
+pre-training fingerprint) three ways and gates on the study engine's
+headline claims:
+
+1. **Warm sharing** — an uninterrupted ``Study.run`` performs exactly one
+   cold pre-train; the other N-1 points reuse the warm artifacts
+   (verified from both the per-run manifest tags and the per-fingerprint
+   cache counters in ``metrics.json``).
+2. **Kill and resume** — the same sweep is driven by ``repro study run``
+   in a subprocess that is SIGKILLed as soon as its first point lands;
+   re-running the same command completes the study without ever
+   resubmitting a DONE point, and every per-point HPWL is bit-identical
+   to the uninterrupted run's.
+3. **Report quality** — the consolidated report carries a non-empty
+   Pareto front and a sensitivity entry for every swept knob.
+4. **Ablation parity** — the sweeps the refactored ablation benches
+   expand through the study spec API produce the historical point lists,
+   and their expanded configs fingerprint identically to configs built
+   by direct field replacement (the pre-refactor construction).
+
+Writes a JSON report (default ``BENCH_pr9.json``)::
+
+    python benchmarks/bench_study.py --quick --output BENCH_pr9.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+import repro
+from repro.runtime.checkpoint import config_fingerprint
+from repro.service.jobs import write_json_atomic
+from repro.study import Study, StudySpec, build_report, save_report
+from repro.utils.events import read_jsonl
+from repro.utils.host import host_metadata
+
+#: the benchmark sweep: two MCTS knobs, so every point shares one
+#: pre-training fingerprint and the warm DAG collapses to 1 cold + N-1 warm
+SPEC_PAYLOAD = {
+    "name": "bench-study",
+    "circuit": "ibm01",
+    "scale": 0.004,
+    "macro_scale": 0.04,
+    "preset": "fast",
+    "seeds": [3],
+    "axes": [
+        {"knob": "mcts.c_puct", "values": [0.5, 2.5]},
+        {"knob": "mcts.explorations", "values": [4, 8]},
+    ],
+}
+
+
+def _spec(quick: bool) -> StudySpec:
+    payload = dict(SPEC_PAYLOAD)
+    if not quick:
+        payload["seeds"] = [3, 4]
+    return StudySpec.from_json(payload)
+
+
+def _point_hpwls(study: Study) -> dict[str, float]:
+    return {
+        p["point_id"]: p["hpwl"] for p in study.status()["points"]
+    }
+
+
+def bench_warm_sharing(root: str, spec: StudySpec) -> tuple[dict, dict]:
+    """Uninterrupted in-process run; returns (section, baseline hpwls)."""
+    study_dir = os.path.join(root, "study-a")
+    service_dir = os.path.join(root, "svc-a")
+    study = Study.create(study_dir, spec)
+
+    start = time.perf_counter()
+    status = study.run(service_dir, serve=True, workers=1, poll=0.05)
+    wall = time.perf_counter() - start
+    report = build_report(study, service_dir)
+    save_report(study, report)
+
+    n = status["total"]
+    groups = report["warm_groups"]
+    counters = report["warm_fingerprint_counters"] or {}
+    group_counter = counters.get(groups[0]["fingerprint"], {}) if groups else {}
+    section = {
+        "points": n,
+        "done": status["counts"]["DONE"],
+        "wall_seconds": round(wall, 3),
+        "groups": len(groups),
+        "cold_pretrains": sum(g["cold_pretrains"] for g in groups),
+        "warm_reuses": sum(g["warm_reuses"] for g in groups),
+        "one_cold_per_fingerprint": report["one_cold_per_fingerprint"],
+        "counter_stores": group_counter.get("stores"),
+        "counter_hits": group_counter.get("hits"),
+        "pareto_points": len(report["pareto"]),
+        "sensitivity_knobs": sorted(report["sensitivity"]),
+        "failures": len(report["failures"]),
+    }
+    return section, _point_hpwls(study)
+
+
+def _run_study_cli(study_dir: str, spec_path: str, service_dir: str,
+                   timeout: float, kill_on_first_done: bool) -> dict:
+    """Drive ``repro study run --serve`` in a subprocess.
+
+    With *kill_on_first_done*, SIGKILL the process the moment the study
+    journal records its first DONE point (mid-flight, followers pending).
+    """
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [
+        sys.executable, "-m", "repro", "study", "run",
+        "--study-dir", study_dir, "--spec", spec_path,
+        "--service-dir", service_dir, "--serve", "--poll", "0.05",
+    ]
+    journal = os.path.join(study_dir, "journal.jsonl")
+    proc = subprocess.Popen(
+        cmd, env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    if not kill_on_first_done:
+        try:
+            out, _ = proc.communicate(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            return {"rc": None, "timed_out": True}
+        return {"rc": proc.returncode, "timed_out": False,
+                "tail": out.splitlines()[-3:]}
+
+    deadline = time.monotonic() + timeout
+    killed_with_pending = False
+    while time.monotonic() < deadline and proc.poll() is None:
+        records = [r for r in read_jsonl(journal)
+                   if r.get("record") == "point"]
+        done = {r["id"] for r in records if r.get("state") == "DONE"}
+        if done:
+            proc.kill()
+            proc.wait()
+            # Mid-flight if any point had not yet reached a terminal state.
+            terminal = {r["id"] for r in records
+                        if r.get("state") in
+                        ("DONE", "FAILED", "CANCELLED", "QUARANTINED")}
+            killed_with_pending = bool(
+                {r["id"] for r in records} - terminal
+            ) or len(terminal) < len(done) + 1
+            break
+        time.sleep(0.02)
+    else:
+        proc.kill()
+        proc.wait()
+        return {"rc": proc.returncode, "timed_out": True}
+    return {"rc": proc.returncode, "timed_out": False,
+            "killed_midflight": killed_with_pending}
+
+
+def bench_kill_resume(root: str, spec: StudySpec,
+                      baseline: dict[str, float], timeout: float) -> dict:
+    """SIGKILL drill: kill after first DONE, resume, compare bitwise."""
+    study_dir = os.path.join(root, "study-b")
+    service_dir = os.path.join(root, "svc-b")
+    spec_path = os.path.join(root, "spec.json")
+    write_json_atomic(spec_path, spec.to_json())
+
+    kill = _run_study_cli(study_dir, spec_path, service_dir,
+                          timeout=timeout, kill_on_first_done=True)
+    resume = _run_study_cli(study_dir, spec_path, service_dir,
+                            timeout=timeout, kill_on_first_done=False)
+
+    # A DONE resubmission would show up as a SUBMITTED journal record for
+    # a point that already journalled DONE.
+    done_seen: set[str] = set()
+    resubmitted_after_done = 0
+    for record in read_jsonl(os.path.join(study_dir, "journal.jsonl")):
+        if record.get("record") != "point":
+            continue
+        if record.get("state") == "DONE":
+            done_seen.add(record["id"])
+        elif record.get("state") == "SUBMITTED" and record["id"] in done_seen:
+            resubmitted_after_done += 1
+
+    study = Study.load(study_dir)
+    status = study.status()
+    resumed = _point_hpwls(study)
+    return {
+        "kill": kill,
+        "resume_rc": resume.get("rc"),
+        "resume_timed_out": resume.get("timed_out"),
+        "done": status["counts"]["DONE"],
+        "points": status["total"],
+        "done_resubmissions": resubmitted_after_done,
+        "bitwise_identical_to_uninterrupted": resumed == baseline,
+        "hpwls": {k: resumed[k] for k in sorted(resumed)},
+    }
+
+
+def bench_ablation_parity() -> dict:
+    """The refactored benches must expand the historical sweep points."""
+    from benchmarks.bench_ablation_alpha import ALPHA_SWEEP
+    from benchmarks.bench_ablation_puct_c import PUCT_SWEEP
+
+    historical = {
+        "mcts.c_puct": [0.05, 0.5, 1.05, 2.5, 8.0],
+        "alpha": [-0.75, 0.0, 0.5, 0.75, 1.0, 3.0],
+    }
+    out: dict = {}
+    for label, sweep, knob in (
+        ("puct_c", PUCT_SWEEP, "mcts.c_puct"),
+        ("alpha", ALPHA_SWEEP, "alpha"),
+    ):
+        points = sweep.expand()
+        values = [p.assignment()[knob] for p in points]
+        spec_fps = []
+        direct_fps = []
+        for point in points:
+            config = point.to_job_spec(sweep).build_config()
+            spec_fps.append(config_fingerprint(config))
+            base_spec = dataclasses.replace(point.to_job_spec(sweep),
+                                            overrides=None)
+            base = base_spec.build_config()
+            value = point.assignment()[knob]
+            if knob == "mcts.c_puct":
+                direct = dataclasses.replace(
+                    base, mcts=dataclasses.replace(base.mcts, c_puct=value)
+                )
+            else:
+                direct = dataclasses.replace(base, alpha=value)
+            direct_fps.append(config_fingerprint(direct))
+        out[label] = {
+            "values": values,
+            "matches_historical": values == historical[knob],
+            "config_fingerprints": spec_fps,
+            "fingerprints_match_direct_construction": spec_fps == direct_fps,
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single seed (4 points) and shorter subprocess timeouts",
+    )
+    parser.add_argument("--output", default="BENCH_pr9.json")
+    args = parser.parse_args(argv)
+
+    spec = _spec(args.quick)
+    timeout = 600.0 if args.quick else 1200.0
+    root = tempfile.mkdtemp(prefix="bench_study_")
+    report = {
+        "benchmark": "study_engine",
+        "quick": args.quick,
+        "config": {"spec": spec.to_json(), "subprocess_timeout": timeout},
+        "host": host_metadata(),
+    }
+    try:
+        print(f"== warm sharing ({len(spec.expand())} points, "
+              "uninterrupted) ==")
+        warm, baseline = bench_warm_sharing(root, spec)
+        report["warm_sharing"] = warm
+        print(json.dumps(warm, indent=2))
+
+        print("== kill and resume (SIGKILL after first DONE) ==")
+        resume = bench_kill_resume(root, spec, baseline, timeout)
+        report["kill_resume"] = resume
+        print(json.dumps(resume, indent=2))
+
+        print("== ablation sweep parity ==")
+        parity = bench_ablation_parity()
+        report["ablation_parity"] = parity
+        print(json.dumps(parity, indent=2))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    n = warm["points"]
+    gates = {
+        "all_points_done": warm["done"] == n and warm["failures"] == 0,
+        "single_pretrain_group": warm["groups"] == 1,
+        "one_cold_pretrain": (
+            warm["one_cold_per_fingerprint"]
+            and warm["cold_pretrains"] == 1
+            and warm["warm_reuses"] == n - 1
+        ),
+        "counters_agree": (
+            warm["counter_stores"] == 1 and warm["counter_hits"] == n - 1
+        ),
+        "pareto_front_nonempty": warm["pareto_points"] > 0,
+        "sensitivity_covers_every_knob": (
+            warm["sensitivity_knobs"]
+            == sorted(a.knob for a in spec.axes)
+        ),
+        "resume_completed": (
+            resume["resume_rc"] == 0 and resume["done"] == resume["points"]
+        ),
+        "zero_done_resubmissions": resume["done_resubmissions"] == 0,
+        "resume_bitwise_identical": (
+            resume["bitwise_identical_to_uninterrupted"]
+        ),
+        "ablation_sweeps_unchanged": all(
+            parity[k]["matches_historical"]
+            and parity[k]["fingerprints_match_direct_construction"]
+            for k in parity
+        ),
+    }
+    gates["all_passed"] = all(gates.values())
+    report["gates"] = gates
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+    print(f"\n== gates ==\n{json.dumps(gates, indent=2)}")
+    print(f"report written to {args.output}")
+    return 0 if gates["all_passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

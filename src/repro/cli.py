@@ -30,6 +30,13 @@ Subcommands:
   ``fleet shard`` runs a single shard in the foreground, ``fleet
   status`` shows jobs + leases + aggregated metrics, ``fleet drain``
   asks every shard to exit after in-flight work.
+- ``study``     — design-space-exploration studies: ``study run``
+  expands a declarative sweep spec (JSON/TOML) into a warm-aware job
+  DAG and drives it through the service (crash-safe; re-running resumes
+  without resubmitting DONE points), ``study status`` shows per-point
+  and per-fingerprint-group progress, ``study report`` consolidates the
+  results into a HPWL-vs-runtime Pareto front with per-knob sensitivity
+  and warm-sharing evidence.
 
 The service verbs speak a file-based protocol (``inbox/``, ``control/``,
 ``results/``, ``jobs.jsonl``), so clients and daemon need no network
@@ -232,6 +239,28 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _parse_set(pairs: list[str] | None) -> tuple | None:
+    """``--set knob=value`` pairs → override tuples (values parse as
+    JSON, falling back to a bare string)."""
+    import json
+
+    if not pairs:
+        return None
+    out = []
+    for pair in pairs:
+        knob, sep, raw = pair.partition("=")
+        if not sep or not knob:
+            raise UsageError(
+                f"--set needs knob=value, got {pair!r}", set=pair
+            )
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        out.append((knob, value))
+    return tuple(out)
+
+
 def cmd_submit(args) -> int:
     """Queue one placement job; prints the job id."""
     from repro.service import JobSpec
@@ -246,6 +275,7 @@ def cmd_submit(args) -> int:
         seed=args.seed,
         terminal_workers=args.terminal_workers or 1,
         budget_seconds=args.budget_seconds,
+        overrides=_parse_set(args.set),
     )
     job_id = submit_job(args.service_dir, spec, priority=args.priority)
     print(job_id)
@@ -267,6 +297,20 @@ def cmd_status(args) -> int:
         if not jobs:
             raise UsageError(f"unknown job {args.job!r}",
                              service_dir=args.service_dir)
+    if args.json:
+        metrics = None
+        if os.path.exists(paths.metrics):
+            with open(paths.metrics) as f:
+                metrics = json.load(f)
+        print(json.dumps(
+            {
+                "jobs": [job.to_json() for job in jobs],
+                "counts": store.counts(),
+                "metrics": metrics,
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
     print(f"{'JOB':16s} {'STATE':10s} {'PRI':>3s} {'WARM':>4s} "
           f"{'SECONDS':>8s}  HPWL")
     for job in jobs:
@@ -462,6 +506,73 @@ def cmd_fleet_drain(args) -> int:
     print("fleet drain requested (shards exit after in-flight jobs; "
           "the stop file stays until 'fleet serve' clears it)")
     return 0
+
+
+# -- design-space-exploration studies ----------------------------------------
+def _load_study(args):
+    from repro.study import Study, StudySpec
+
+    if getattr(args, "spec", None):
+        spec = StudySpec.from_file(args.spec)
+        return Study.create(args.study_dir, spec)
+    return Study.load(args.study_dir)
+
+
+def cmd_study_run(args) -> int:
+    """Expand the spec and drive every point through the service."""
+    study = _load_study(args)
+    status = study.run(
+        args.service_dir,
+        serve=args.serve,
+        workers=args.workers,
+        poll=args.poll,
+        max_seconds=args.max_seconds,
+    )
+    counts = status["counts"]
+    print(f"study {status['name']}: {counts['DONE']}/{status['total']} done "
+          + ", ".join(f"{k}={v}" for k, v in counts.items() if v))
+    if not status["complete"]:
+        print("study incomplete (re-run to resume; DONE points are never "
+              "resubmitted)")
+        return 1
+    return 0 if counts["DONE"] == status["total"] else 1
+
+
+def cmd_study_status(args) -> int:
+    """Show study progress (optionally overlaying live service state)."""
+    import json
+
+    study = _load_study(args)
+    status = study.status(service_dir=args.service_dir)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    counts = status["counts"]
+    print(f"study {status['name']}  [{status['fingerprint']}]  "
+          f"{counts['DONE']}/{status['total']} done")
+    print("points: " + ", ".join(f"{k}={v}" for k, v in counts.items()))
+    for group in status["groups"]:
+        states = ", ".join(f"{k}={v}" for k, v in group["states"].items())
+        print(f"  group {group['fingerprint']}: {group['points']} points "
+              f"({states})")
+    return 0
+
+
+def cmd_study_report(args) -> int:
+    """Fold per-job results into the consolidated Pareto report."""
+    import json
+
+    from repro.study import build_report, render_report, save_report
+
+    study = _load_study(args)
+    report = build_report(study, args.service_dir)
+    path = save_report(study, report)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+        print(f"report written to {path}")
+    return 0 if report["complete"] and not report["failures"] else 1
 
 
 def cmd_doctor(args) -> int:
@@ -670,6 +781,12 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="terminal_workers",
                        help="worker processes for terminal evaluation "
                             "inside this job")
+    p_sub.add_argument("--set", action="append", default=None,
+                       metavar="KNOB=VALUE",
+                       help="dotted-path config override on top of the "
+                            "preset (repeatable), e.g. --set "
+                            "mcts.c_puct=2.5 --set zeta=10; values parse "
+                            "as JSON, bare words as strings")
     p_sub.set_defaults(func=cmd_submit)
 
     p_status = sub.add_parser("status", help="show jobs and service metrics")
@@ -677,6 +794,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_status.add_argument("--job", default=None, help="show only this job")
     p_status.add_argument("--metrics", action="store_true",
                           help="also dump the full metrics.json snapshot")
+    p_status.add_argument("--json", action="store_true",
+                          help="machine-readable output: jobs, counts, and "
+                               "the latest metrics snapshot as one JSON "
+                               "document")
     p_status.set_defaults(func=cmd_status)
 
     p_cancel = sub.add_parser("cancel", help="cancel a queued job")
@@ -758,6 +879,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     service_dir(p_fdrain)
     p_fdrain.set_defaults(func=cmd_fleet_drain)
+
+    p_study = sub.add_parser(
+        "study",
+        help="design-space-exploration studies over the service "
+             "(sweep spec -> warm-aware job DAG -> Pareto report)",
+    )
+    study_sub = p_study.add_subparsers(dest="study_command", required=True)
+
+    def study_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--study-dir", required=True, dest="study_dir",
+                       help="study directory (spec.json, journal.jsonl, "
+                            "report.json, records/)")
+        p.add_argument("--spec", default=None,
+                       help="sweep spec file (.json or .toml); required "
+                            "the first time, optional afterwards (the "
+                            "study dir remembers its spec)")
+
+    p_srun = study_sub.add_parser(
+        "run", help="expand the spec and drive every point to a terminal "
+                    "state (safe to re-run after a kill; DONE points are "
+                    "never resubmitted)"
+    )
+    study_dir(p_srun)
+    service_dir(p_srun)
+    p_srun.add_argument("--serve", action="store_true",
+                        help="run an inline single-host daemon for the "
+                             "study's duration instead of requiring an "
+                             "external 'repro serve'/'repro fleet serve'")
+    p_srun.add_argument("--workers", type=int, default=1,
+                        help="inline daemon worker slots (with --serve)")
+    p_srun.add_argument("--poll", type=float, default=0.25,
+                        help="seconds between scheduling cycles")
+    p_srun.add_argument("--max-seconds", type=float, default=None,
+                        dest="max_seconds",
+                        help="return after this long even if incomplete "
+                             "(the study resumes on the next run)")
+    p_srun.set_defaults(func=cmd_study_run)
+
+    p_sstat = study_sub.add_parser(
+        "status", help="show per-point and per-fingerprint-group progress"
+    )
+    study_dir(p_sstat)
+    p_sstat.add_argument("--service-dir", default=None, dest="service_dir",
+                         help="overlay live job states from this service "
+                              "directory")
+    p_sstat.add_argument("--json", action="store_true",
+                         help="machine-readable status")
+    p_sstat.set_defaults(func=cmd_study_status)
+
+    p_srep = study_sub.add_parser(
+        "report", help="consolidate results: Pareto front, per-knob "
+                       "sensitivity, best config, warm-sharing evidence"
+    )
+    study_dir(p_srep)
+    service_dir(p_srep)
+    p_srep.add_argument("--json", action="store_true",
+                        help="print the full report JSON instead of the "
+                             "rendered summary")
+    p_srep.set_defaults(func=cmd_study_report)
 
     p_doc = sub.add_parser("doctor", help="validate a run directory offline")
     p_doc.add_argument("run_dir", help="run directory to validate")

@@ -1,6 +1,6 @@
 """The paper's primary contribution: the MCTS-guided, RL-pretrained placer."""
 
-from repro.core.config import PlacerConfig
+from repro.core.config import PlacerConfig, apply_overrides
 from repro.core.flow import FlowResult, MCTSGuidedPlacer
 
-__all__ = ["FlowResult", "MCTSGuidedPlacer", "PlacerConfig"]
+__all__ = ["FlowResult", "MCTSGuidedPlacer", "PlacerConfig", "apply_overrides"]

@@ -9,6 +9,7 @@ cost of hours of single-core runtime.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
 
 from repro.agent.network import NetworkConfig
@@ -187,6 +188,10 @@ class PlacerConfig:
             seed=seed,
         )
 
+    def override(self, knob: str, value) -> "PlacerConfig":
+        """One dotted-path override; see :func:`apply_overrides`."""
+        return apply_overrides(self, {knob: value})
+
     @classmethod
     def fast(cls, seed: int = 0) -> "PlacerConfig":
         """Smallest sensible configuration (unit tests, CI)."""
@@ -201,3 +206,99 @@ class PlacerConfig:
             prototype_iterations=2,
             seed=seed,
         )
+
+
+#: knobs that must stay under the caller's (job spec / service) control —
+#: overriding them through the generic path would desynchronize the
+#: service's run-dir, cache, and pool management from the config it thinks
+#: it is running.
+_RESERVED_KNOBS = frozenset(
+    {
+        "run_dir",
+        "resume",
+        "terminal_cache_path",
+        "terminal_workers",
+        "terminal_pool_clamp",
+    }
+)
+
+
+def _coerce(current, value, path: str):
+    """Nudge a JSON-decoded *value* toward the type *current* holds.
+
+    JSON has no int/float or list/tuple distinction, so a sweep spec
+    saying ``"episodes": [100.0, 200.0]`` or ``"seeds": [0, 1]`` must not
+    fail on a spurious type mismatch.  Only safe, lossless conversions
+    are applied; anything else is returned unchanged (``replace`` — and
+    eventually the flow — surfaces genuinely wrong values).
+    """
+    if isinstance(current, bool) or isinstance(value, bool):
+        return value
+    if isinstance(current, int) and isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        from repro.runtime.errors import UsageError
+
+        raise UsageError(
+            f"config knob {path!r} holds an int; got {value!r}",
+            knob=path,
+            value=value,
+        )
+    if isinstance(current, float) and isinstance(value, int):
+        return float(value)
+    if isinstance(current, tuple) and isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def _apply_one(obj, parts: list[str], value, path: str):
+    from repro.runtime.errors import UsageError
+
+    head, rest = parts[0], parts[1:]
+    if not dataclasses.is_dataclass(obj):
+        raise UsageError(
+            f"config knob {path!r}: {head!r} is not a config section",
+            knob=path,
+        )
+    names = {f.name for f in dataclasses.fields(obj)}
+    if head not in names:
+        raise UsageError(
+            f"unknown config knob {path!r} ({head!r} is not a field of "
+            f"{type(obj).__name__}; choose from {sorted(names)})",
+            knob=path,
+        )
+    current = getattr(obj, head)
+    if rest:
+        return replace(obj, **{head: _apply_one(current, rest, value, path)})
+    return replace(obj, **{head: _coerce(current, value, path)})
+
+
+def apply_overrides(config: PlacerConfig, overrides) -> PlacerConfig:
+    """Apply dotted-path knob overrides to a :class:`PlacerConfig`.
+
+    *overrides* maps dotted paths to values (a mapping, or an iterable of
+    ``(path, value)`` pairs): ``"zeta"`` hits a top-level knob,
+    ``"mcts.c_puct"`` / ``"network.channels"`` / ``"gamma_params.k1"``
+    reach into the nested config dataclasses.  Every application goes
+    through ``dataclasses.replace``, so ``__post_init__`` invariants
+    (network ζ sync, ``exact_topk`` mirroring) re-run on each step.
+    Unknown paths raise :class:`~repro.runtime.errors.UsageError` —
+    a sweep spec with a typo fails at expansion, not after hours of
+    placement.  This is the single override path shared by the study
+    engine, ``JobSpec.overrides``, and ``repro submit --set``.
+    """
+    from repro.runtime.errors import UsageError
+
+    items = overrides.items() if hasattr(overrides, "items") else overrides
+    for path, value in items:
+        parts = [p for p in str(path).split(".") if p]
+        if not parts:
+            raise UsageError("empty config knob path", knob=path)
+        if parts[0] in _RESERVED_KNOBS:
+            raise UsageError(
+                f"config knob {path!r} is reserved (execution knobs are "
+                "set by the job spec / service, not by overrides)",
+                knob=path,
+            )
+        config = _apply_one(config, parts, value, str(path))
+    return config

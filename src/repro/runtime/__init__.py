@@ -9,7 +9,12 @@ handling") for the run-dir layout and the degradation ladder.
 """
 
 from repro.runtime.budget import StageBudget
-from repro.runtime.checkpoint import STAGES, RunDir, config_fingerprint
+from repro.runtime.checkpoint import (
+    STAGES,
+    RunDir,
+    config_fingerprint,
+    pretraining_fingerprint,
+)
 from repro.runtime.errors import (
     ArtifactCorruptError,
     CalibrationError,
@@ -46,5 +51,6 @@ __all__ = [
     "config_fingerprint",
     "corrupt_file",
     "inject",
+    "pretraining_fingerprint",
     "sha256_file",
 ]

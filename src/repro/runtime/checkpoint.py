@@ -86,16 +86,57 @@ def config_fingerprint(config) -> str:
     runs differing in K are different computations.
     """
     payload = dataclasses.asdict(config)
-    payload.pop("run_dir", None)
-    payload.pop("resume", None)
-    payload.pop("terminal_workers", None)
-    payload.pop("terminal_pool_clamp", None)
-    payload.pop("terminal_cache_path", None)
-    payload.pop("verify_results", None)
-    payload.pop("incremental_legalizer", None)
-    payload.pop("inference_broker", None)
-    payload.pop("inference_max_batch", None)
-    payload.pop("inference_coalesce_us", None)
+    for knob in _EXECUTION_KNOBS:
+        payload.pop(knob, None)
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+#: knobs excluded from every fingerprint: where/how a run persists or
+#: executes, never what it computes (see :func:`config_fingerprint`).
+_EXECUTION_KNOBS = (
+    "run_dir",
+    "resume",
+    "terminal_workers",
+    "terminal_pool_clamp",
+    "terminal_cache_path",
+    "verify_results",
+    "incremental_legalizer",
+    "inference_broker",
+    "inference_max_batch",
+    "inference_coalesce_us",
+)
+
+#: result-affecting knobs that only the *post-training* stages consume.
+#: Calibration and RL pre-training never read the MCTS section (or the
+#: ``exact_topk`` mirror into it), the MCTS stage budget, or the optional
+#: final cell legalization — see ``core/flow.py``: stages 3–4 touch none
+#: of them.  Two configs equal everywhere else therefore compute
+#: byte-identical ``calibration.json`` / ``network.npz`` /
+#: ``training.json`` artifacts.
+_POST_TRAINING_KNOBS = (
+    "mcts",
+    "exact_topk",
+    "mcts_budget_seconds",
+    "legalize_cells",
+)
+
+
+def pretraining_fingerprint(config) -> str:
+    """Stable hash of every knob that influences *pre-training* artifacts.
+
+    Coarser than :func:`config_fingerprint`: search-only knobs
+    (:data:`_POST_TRAINING_KNOBS`) are excluded on top of the execution
+    knobs, so two configs that differ only in MCTS settings — a PUCT-c or
+    γ sweep point, a different ``exact_topk`` — share one fingerprint.
+    The warm-artifact cache keys on this, which is what lets a
+    design-space-exploration study pay for pre-training once per unique
+    (pre-training config × design) and serve every other sweep point
+    warm, bit-for-bit.
+    """
+    payload = dataclasses.asdict(config)
+    for knob in _EXECUTION_KNOBS + _POST_TRAINING_KNOBS:
+        payload.pop(knob, None)
     text = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(text.encode()).hexdigest()[:16]
 

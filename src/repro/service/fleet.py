@@ -527,6 +527,7 @@ class FleetShard(PlacementService):
             shard=self.shard,
             queue_depth=counts[QUEUED],
             jobs=counts,
+            warm_fingerprints=self.warm.per_key(),
         )
         try:
             write_fleet_metrics(self.paths, counts=counts)
@@ -570,6 +571,7 @@ def write_fleet_metrics(
     counters: dict[str, float] = {}
     gauges: dict[str, float] = {}
     histograms: dict[str, dict] = {}
+    warm_fingerprints: dict[str, dict] = {}
     shards: dict[str, dict] = {}
     try:
         names = sorted(os.listdir(paths.shards))
@@ -594,6 +596,10 @@ def write_fleet_metrics(
         for key, value in snap.get("gauges", {}).items():
             gauges[key] = gauges.get(key, 0) + value
         _merge_histograms(histograms, snap.get("histograms", {}))
+        for key, counts_by_event in snap.get("warm_fingerprints", {}).items():
+            merged = warm_fingerprints.setdefault(key, {})
+            for event, value in counts_by_event.items():
+                merged[event] = merged.get(event, 0) + value
     payload = {
         "ts": round(time.time(), 3),
         "n_shards": len(shards),
@@ -602,6 +608,7 @@ def write_fleet_metrics(
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(gauges.items())),
         "histograms": dict(sorted(histograms.items())),
+        "warm_fingerprints": dict(sorted(warm_fingerprints.items())),
     }
     write_json_atomic(paths.fleet_metrics, payload)
     return payload

@@ -129,6 +129,13 @@ class JobSpec:
     #: processes — meaningful on single-worker daemons (the plan is
     #: process-global while the attempt runs).
     faults: tuple | list | None = None
+    #: dotted-path config overrides applied on top of the preset:
+    #: ``((\"mcts.c_puct\", 2.5), ...)`` pairs, routed through
+    #: :func:`repro.core.config.apply_overrides` so the same validation
+    #: and coercion rules cover study sweep points and ``repro submit
+    #: --set``.  Applied *before* the terminal execution knobs, so a
+    #: spec can never alias them.
+    overrides: tuple | list | None = None
 
     def validate(self) -> None:
         if not self.circuit and not self.aux:
@@ -145,6 +152,16 @@ class JobSpec:
                     "job faults must be (site, at?, count?) triples",
                     faults=self.faults,
                 )
+        for item in self.overrides or ():
+            if (
+                not isinstance(item, (list, tuple))
+                or len(item) != 2
+                or not isinstance(item[0], str)
+            ):
+                raise UsageError(
+                    "job overrides must be (knob_path, value) pairs",
+                    overrides=self.overrides,
+                )
 
     def build_design(self):
         return resolve_design(
@@ -155,13 +172,15 @@ class JobSpec:
         )
 
     def build_config(self, terminal_cache_path: str | None = None):
-        from repro.core.config import PlacerConfig
+        from repro.core.config import PlacerConfig, apply_overrides
 
         self.validate()
         if self.preset == "paper":
             config = replace(PlacerConfig.paper(), seed=self.seed)
         else:
             config = getattr(PlacerConfig, self.preset)(seed=self.seed)
+        if self.overrides:
+            config = apply_overrides(config, self.overrides)
         return replace(
             config,
             terminal_workers=self.terminal_workers,
@@ -193,6 +212,13 @@ class JobSpec:
     @classmethod
     def from_json(cls, payload: dict) -> "JobSpec":
         known = {k: payload[k] for k in cls.__dataclass_fields__ if k in payload}
+        if known.get("overrides"):
+            # JSON round-trips tuples as lists; renormalize so replayed
+            # specs compare equal to freshly built ones.
+            known["overrides"] = tuple(
+                tuple(pair) if isinstance(pair, (list, tuple)) else pair
+                for pair in known["overrides"]
+            )
         return cls(**known)
 
 
@@ -220,6 +246,24 @@ class Job:
     @property
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
+
+    def to_json(self) -> dict:
+        """Machine-readable snapshot for ``repro status --json`` pollers."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "priority": self.priority,
+            "seq": self.seq,
+            "attempts": self.attempts,
+            "submitted_ts": self.submitted_ts,
+            "finished_ts": self.finished_ts,
+            "warm_hit": self.warm_hit,
+            "hpwl": self.hpwl,
+            "seconds": self.seconds,
+            "shard": self.shard,
+            "error": self.error,
+            "spec": self.spec.to_json(),
+        }
 
 
 @dataclass(frozen=True)

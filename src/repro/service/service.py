@@ -595,6 +595,7 @@ class PlacementService:
             self.paths.metrics,
             queue_depth=counts[QUEUED],
             jobs=counts,
+            warm_fingerprints=self.warm.per_key(),
         )
 
     # -- daemon loop -----------------------------------------------------------

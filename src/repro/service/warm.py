@@ -30,7 +30,7 @@ import shutil
 import uuid
 
 from repro.runtime import faults
-from repro.runtime.checkpoint import config_fingerprint
+from repro.runtime.checkpoint import pretraining_fingerprint
 from repro.runtime.integrity import CHECKSUMS_KEY, corrupt_file, sha256_file
 
 #: the stage artifacts that constitute "pre-training is done"
@@ -62,6 +62,20 @@ def design_key(design) -> str:
     return hashlib.sha256(text.encode()).hexdigest()[:12]
 
 
+def warm_key(config, design) -> str:
+    """``<pre-training fingerprint>-<design hash>`` — the cache key.
+
+    Keyed on :func:`pretraining_fingerprint`, not the full config
+    fingerprint: the cached artifacts are produced before the MCTS stage
+    ever runs, so search-only knobs (``mcts.*``, ``exact_topk``, the MCTS
+    budget, cell legalization) must not split the key.  That is what lets
+    a sweep over MCTS knobs pre-train once and serve every other point
+    warm.  Execution knobs are already excluded by the fingerprint
+    itself.
+    """
+    return f"{pretraining_fingerprint(config)}-{design_key(design)}"
+
+
 class WarmArtifactCache:
     """Fingerprint-keyed store of pre-trained flow artifacts."""
 
@@ -72,11 +86,23 @@ class WarmArtifactCache:
         self.misses = 0
         self.stores = 0
         self.corruptions = 0
+        # per-fingerprint counters, surfaced in metrics.json so a study
+        # report can prove the one-cold-pretrain-per-fingerprint property
+        self._by_key: dict[str, dict[str, int]] = {}
 
     def key(self, config, design) -> str:
-        """``<config fingerprint>-<design hash>``; the config fingerprint
-        already excludes execution knobs (run dir, workers, cache path)."""
-        return f"{config_fingerprint(config)}-{design_key(design)}"
+        """See :func:`warm_key`."""
+        return warm_key(config, design)
+
+    def _count(self, key: str, event: str) -> None:
+        entry = self._by_key.setdefault(
+            key, {"hits": 0, "misses": 0, "stores": 0, "corruptions": 0}
+        )
+        entry[event] += 1
+
+    def per_key(self) -> dict[str, dict[str, int]]:
+        """Snapshot of per-fingerprint hit/miss/store/corruption counts."""
+        return {key: dict(counts) for key, counts in sorted(self._by_key.items())}
 
     def _entry_dir(self, key: str) -> str:
         return os.path.join(self.root, key)
@@ -118,6 +144,7 @@ class WarmArtifactCache:
         if faults.should_fire("warm.corrupt"):
             corrupt_file(os.path.join(self._entry_dir(key), "network.npz"))
         self.stores += 1
+        self._count(key, "stores")
         return True
 
     # -- validation ------------------------------------------------------------
@@ -169,11 +196,14 @@ class WarmArtifactCache:
             return False
         if not self.has(key):
             self.misses += 1
+            self._count(key, "misses")
             return False
         if not self.validate(key):
             self.discard(key)
             self.corruptions += 1
             self.misses += 1
+            self._count(key, "corruptions")
+            self._count(key, "misses")
             ctx.events.emit(
                 "warm_artifact_corrupt", key=key, action="discarded"
             )
@@ -188,6 +218,7 @@ class WarmArtifactCache:
             ctx.manifest.setdefault(CHECKSUMS_KEY, {}).update(checksums)
         ctx.dir.write_manifest(ctx.manifest)
         self.hits += 1
+        self._count(key, "hits")
         ctx.events.emit("warm_artifacts_injected", key=key)
         return True
 

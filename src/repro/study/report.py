@@ -1,0 +1,294 @@
+"""Study analysis: fold per-job results into one consolidated report.
+
+The report answers the three questions a sweep is run to answer:
+
+- **Pareto front** — which configs are undominated on HPWL vs runtime
+  (runtime = the *search-side* stage seconds when the job's result file
+  carries a stage breakdown, so warm and cold points compare fairly;
+  whole-job seconds otherwise);
+- **sensitivity** — per swept knob, the mean HPWL at each value
+  marginalized over every other axis and the seeds, with bootstrap CIs
+  (:func:`repro.analysis.stats.bootstrap_mean_ci`) and the value spread;
+- **best config** — the lowest-HPWL completed point (ties broken by
+  runtime).
+
+It also folds in the warm-cache evidence: per-fingerprint counters from
+``metrics.json`` plus the authoritative per-run manifest tags
+(``stages.rl_training.warm``), which survive daemon restarts where the
+in-memory counters do not.  ``one_cold_per_fingerprint`` is the study's
+headline efficiency claim, checked rather than assumed.
+
+Reports persist twice: ``<study_dir>/report.json`` (latest, for the CLI
+and CI gates) and an :class:`~repro.experiments.records.RecordStore`
+history under ``<study_dir>/records/`` for append-and-compare workflows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.experiments.records import ExperimentRecord, RecordStore
+from repro.service.jobs import DONE, ServicePaths, write_json_atomic
+
+#: stages whose seconds count as "search runtime" — everything after
+#: pre-training, so a warm point's runtime is comparable to a cold one's
+SEARCH_STAGES = ("mcts", "final", "cell_legalization", "verify")
+
+
+def pareto_front(rows: list[dict]) -> list[int]:
+    """Indices of rows undominated on (hpwl, runtime), both minimized.
+
+    Sorted by hpwl ascending; rows missing either metric never make the
+    front.  Duplicate metric pairs keep their first row only.
+    """
+    candidates = [
+        (i, float(r["hpwl"]), float(r["runtime"]))
+        for i, r in enumerate(rows)
+        if r.get("hpwl") is not None and r.get("runtime") is not None
+    ]
+    candidates.sort(key=lambda t: (t[1], t[2]))
+    front: list[int] = []
+    best_runtime = float("inf")
+    seen: set[tuple[float, float]] = set()
+    for i, hpwl, runtime in candidates:
+        if runtime < best_runtime and (hpwl, runtime) not in seen:
+            front.append(i)
+            best_runtime = runtime
+            seen.add((hpwl, runtime))
+    return front
+
+
+def axis_sensitivity(axes, rows: list[dict]) -> dict:
+    """Per-knob marginal effect on HPWL.
+
+    For each axis, completed rows are bucketed by that axis's value
+    (marginalizing over the other axes and seeds); each bucket reports
+    its sample count, mean HPWL, and — with two or more samples — a
+    bootstrap CI.  ``spread`` (max mean − min mean) is the knob's
+    marginal leverage, and ``best`` its lowest-mean value.
+    """
+    from repro.analysis.stats import bootstrap_mean_ci
+
+    out: dict[str, dict] = {}
+    for axis in axes:
+        buckets: dict[str, list[float]] = {}
+        labels: dict[str, object] = {}
+        for row in rows:
+            if row.get("hpwl") is None:
+                continue
+            value = dict(row["values"]).get(axis.knob)
+            label = json.dumps(value)
+            buckets.setdefault(label, []).append(float(row["hpwl"]))
+            labels[label] = value
+        entries = []
+        for label in sorted(buckets, key=lambda k: str(labels[k])):
+            samples = buckets[label]
+            entry = {
+                "value": labels[label],
+                "n": len(samples),
+                "mean": float(sum(samples) / len(samples)),
+            }
+            if len(samples) >= 2:
+                ci = bootstrap_mean_ci(samples, rng=0)
+                entry["low"], entry["high"] = ci.low, ci.high
+            entries.append(entry)
+        means = [e["mean"] for e in entries]
+        out[axis.knob] = {
+            "values": entries,
+            "spread": (max(means) - min(means)) if means else 0.0,
+            "best": (
+                entries[min(range(len(means)), key=means.__getitem__)]["value"]
+                if means else None
+            ),
+        }
+    return out
+
+
+def _search_runtime(result: dict | None, fallback) -> float | None:
+    """Search-side seconds from a result file's stage breakdown."""
+    if result:
+        stage_seconds = result.get("stage_seconds") or {}
+        total = sum(
+            float(stage_seconds.get(stage, 0.0)) for stage in SEARCH_STAGES
+        )
+        if total > 0.0:
+            return round(total, 6)
+    return fallback
+
+
+def _manifest_warm(run_dir: str) -> dict:
+    """The run's authoritative pre-training provenance.
+
+    Returns ``{"completed": bool, "warm": bool}`` for the rl_training
+    stage of the run-dir manifest — the durable record of whether this
+    run actually trained (cold) or was injected (warm), regardless of
+    which daemon incarnation ran it or how it was later resumed.
+    """
+    path = os.path.join(run_dir, "manifest.json")
+    try:
+        with open(path) as f:
+            stage = json.load(f).get("stages", {}).get("rl_training", {})
+    except (OSError, json.JSONDecodeError):
+        return {"completed": False, "warm": False}
+    return {
+        "completed": bool(stage.get("completed")),
+        "warm": bool(stage.get("warm")),
+    }
+
+
+def build_report(study, service_dir: str) -> dict:
+    """Assemble the consolidated report for *study* against *service_dir*."""
+    paths = ServicePaths(service_dir)
+    status = study.status()
+    rows = []
+    failures = []
+    for point in status["points"]:
+        result = None
+        result_path = paths.result_file(point["job_id"])
+        if os.path.exists(result_path):
+            with open(result_path) as f:
+                result = json.load(f)
+        row = {
+            "point_id": point["point_id"],
+            "index": point["index"],
+            "job_id": point["job_id"],
+            "seed": point["seed"],
+            "values": point["values"],
+            "state": point["state"],
+            "hpwl": point.get("hpwl"),
+            "seconds": point.get("seconds"),
+            "runtime": _search_runtime(result, point.get("seconds")),
+            "warm_hit": point.get("warm_hit"),
+            "pretrain": _manifest_warm(paths.run_dir(point["job_id"])),
+        }
+        rows.append(row)
+        if point["state"] not in (DONE, "PENDING", "SUBMITTED"):
+            failures.append({
+                "point_id": point["point_id"],
+                "state": point["state"],
+                "error": (result or {}).get("error"),
+            })
+    done = [r for r in rows if r["state"] == DONE]
+    front = pareto_front(done)
+    best = None
+    if done:
+        ranked = sorted(
+            (r for r in done if r["hpwl"] is not None),
+            key=lambda r: (r["hpwl"], r["runtime"] or float("inf")),
+        )
+        best = ranked[0] if ranked else None
+
+    # Warm-sharing evidence: manifest tags (durable) + live counters.
+    groups = []
+    all_single_cold = True
+    by_id = {r["point_id"]: r for r in rows}
+    for group in study.plan():
+        members = [by_id[pid] for pid in group.point_ids]
+        cold = sum(
+            1 for m in members
+            if m["pretrain"]["completed"] and not m["pretrain"]["warm"]
+        )
+        warm = sum(1 for m in members if m["pretrain"]["warm"])
+        done_members = sum(1 for m in members if m["state"] == DONE)
+        if done_members and cold != 1:
+            all_single_cold = False
+        groups.append({
+            "fingerprint": group.key,
+            "points": len(members),
+            "done": done_members,
+            "cold_pretrains": cold,
+            "warm_reuses": warm,
+        })
+    warm_counters = None
+    if os.path.exists(paths.metrics):
+        try:
+            with open(paths.metrics) as f:
+                warm_counters = json.load(f).get("warm_fingerprints")
+        except (OSError, json.JSONDecodeError):
+            warm_counters = None
+
+    report = {
+        "study": status["name"],
+        "spec_fingerprint": status["fingerprint"],
+        "spec": study.spec.to_json(),
+        "total_points": status["total"],
+        "counts": status["counts"],
+        "complete": status["complete"],
+        "points": rows,
+        "pareto_front": [done[i]["point_id"] for i in front],
+        "pareto": [
+            {k: done[i][k] for k in
+             ("point_id", "values", "seed", "hpwl", "runtime")}
+            for i in front
+        ],
+        "sensitivity": axis_sensitivity(study.spec.axes, done),
+        "best": best,
+        "warm_groups": groups,
+        "one_cold_per_fingerprint": all_single_cold,
+        "warm_fingerprint_counters": warm_counters,
+        "failures": failures,
+    }
+    return report
+
+
+def save_report(study, report: dict) -> str:
+    """Persist the report (latest file + record-store history)."""
+    write_json_atomic(study.paths.report, report)
+    store = RecordStore(study.paths.records)
+    store.save(
+        ExperimentRecord(
+            experiment=f"study-{study.spec.name}",
+            data=report,
+            budget="study",
+        )
+    )
+    return study.paths.report
+
+
+def render_report(report: dict) -> str:
+    """Human-readable rendering for ``repro study report``."""
+    lines = [
+        f"study {report['study']}  "
+        f"[{report['spec_fingerprint']}]  "
+        f"{report['counts'].get('DONE', 0)}/{report['total_points']} done"
+        + ("" if report["complete"] else "  (incomplete)"),
+    ]
+    if report["best"]:
+        b = report["best"]
+        knobs = ", ".join(f"{k}={v}" for k, v in b["values"]) or "(baseline)"
+        lines.append(
+            f"best: HPWL {b['hpwl']:.1f}  runtime {b['runtime']:.2f}s  "
+            f"seed {b['seed']}  {knobs}"
+        )
+    lines.append(f"pareto front ({len(report['pareto'])} points):")
+    for entry in report["pareto"]:
+        knobs = ", ".join(f"{k}={v}" for k, v in entry["values"]) or "(baseline)"
+        lines.append(
+            f"  HPWL {entry['hpwl']:.1f}  runtime {entry['runtime']:.2f}s  "
+            f"seed {entry['seed']}  {knobs}"
+        )
+    if report["sensitivity"]:
+        lines.append("sensitivity (mean HPWL by value, marginalized):")
+        for knob, sens in report["sensitivity"].items():
+            parts = ", ".join(
+                f"{e['value']}: {e['mean']:.1f} (n={e['n']})"
+                for e in sens["values"]
+            )
+            lines.append(
+                f"  {knob}: spread {sens['spread']:.1f}, "
+                f"best {sens['best']}  [{parts}]"
+            )
+    lines.append("warm sharing (one cold pre-train per fingerprint: "
+                 f"{'yes' if report['one_cold_per_fingerprint'] else 'NO'}):")
+    for group in report["warm_groups"]:
+        lines.append(
+            f"  {group['fingerprint']}: {group['points']} points, "
+            f"{group['cold_pretrains']} cold, {group['warm_reuses']} warm"
+        )
+    for failure in report["failures"]:
+        lines.append(
+            f"  FAILED {failure['point_id']} [{failure['state']}]: "
+            f"{(failure.get('error') or {}).get('message', '?')}"
+        )
+    return "\n".join(lines)
