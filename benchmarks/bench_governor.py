@@ -1,0 +1,311 @@
+"""Resource-governance benchmark: GC under quota, and what it costs.
+
+Four questions, one tiny suite circuit:
+
+1. **Can the fleet finish inside a quota it cannot fit ungoverned?**
+   Runs the governed chaos drill (:func:`repro.service.chaos.
+   run_governed_drill`): a 3-shard fleet inside a synthetic disk quota
+   at 80% of the ungoverned footprint, plus one transient and one
+   persistent ``disk.enospc`` fault.  Gate: every job DONE bit-identical
+   to the ungoverned baseline or QUARANTINED with a structured reason,
+   zero shard deaths, final footprint within quota, GC and ENOSPC
+   degradation both actually observed.
+2. **Is GC lossless?**  Drains a service, then runs the offline
+   collector at full strength (``repro gc --emergency``: run dirs
+   retired, terminal cache compacted, journal compacted to snapshot
+   records).  Gate: a daemon restarted on the collected dir replays the
+   identical job ledger, and resubmitting a collected job is still a
+   warm hit with a bit-identical HPWL.
+3. **Does usage plateau under sustained load?**  Soaks one governed
+   service dir with fresh-seed rounds under a quota sized from round
+   one.  Gate: every post-round footprint stays within the quota
+   (growth is collected, not accumulated).
+4. **What does the governor cost when nothing is under pressure?**
+   Min-of-N wall-clock of idle daemon poll cycles with the governor
+   sampling versus stubbed out.  Gate: overhead under 2%.
+
+Writes a JSON report (default ``BENCH_pr10.json``)::
+
+    python benchmarks/bench_governor.py --quick --output BENCH_pr10.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import replace
+
+from repro.runtime.resources import dir_usage_bytes
+from repro.service.chaos import (
+    DEFAULT_SPEC,
+    format_governed_report,
+    run_governed_drill,
+)
+from repro.service.governor import ResourceGovernor
+from repro.service.jobs import DONE, JobStore, ServicePaths
+from repro.service.metrics import ServiceMetrics
+from repro.service.service import PlacementService, submit_job
+from repro.service.warm import WarmArtifactCache
+from repro.utils.host import host_metadata
+
+SPEC_KW = dict(circuit="ibm01", scale=0.004, macro_scale=0.04, preset="fast")
+
+
+def _drain(service_dir: str, max_seconds: float, **kwargs) -> PlacementService:
+    """Boot a daemon on *service_dir*, drain it, release the guard hooks."""
+    service = PlacementService(
+        service_dir, workers=1, poll_interval=0.02, backoff_base=0.05,
+        **kwargs,
+    )
+    try:
+        service.run(drain=True, max_seconds=max_seconds)
+    finally:
+        service.governor.uninstall()
+    return service
+
+
+def _ledger(store: JobStore) -> list[tuple]:
+    """The replayed journal state, reduced to what must survive GC."""
+    return sorted(
+        (
+            j.id, j.state, j.attempts, j.hpwl, j.warm_hit,
+            (j.error or {}).get("kind"),
+        )
+        for j in store.jobs()
+    )
+
+
+def bench_drill(root: str, max_seconds: float) -> dict:
+    report = run_governed_drill(root, max_seconds=max_seconds)
+    print(format_governed_report(report))
+    return {
+        "ok": report["ok"],
+        "baseline_bytes": report.get("baseline_bytes"),
+        "disk_quota_bytes": report.get("disk_quota_bytes"),
+        "final_bytes": report.get("final_bytes"),
+        "gc_runs": report.get("gc_runs"),
+        "emergency_gc_runs": report.get("emergency_gc_runs"),
+        "resource_degradations": report.get("resource_degradations"),
+        "shard_exit_codes": report.get("shard_exit_codes"),
+        "seconds": report.get("seconds"),
+        "failed_checks": [
+            c["name"] for c in report.get("checks", []) if not c["ok"]
+        ],
+    }
+
+
+def bench_post_gc(root: str, max_seconds: float) -> dict:
+    """Emergency-GC a drained dir, restart, replay + warm-resubmit."""
+    seeds = [DEFAULT_SPEC.seed, DEFAULT_SPEC.seed + 1]
+    for seed in seeds:
+        submit_job(root, replace(DEFAULT_SPEC, seed=seed))
+    service = _drain(root, max_seconds)
+    before = _ledger(service.store)
+    before_ok = bool(before) and all(row[1] == DONE for row in before)
+    hpwl_by_seed = {
+        j.spec.seed: j.hpwl for j in service.store.jobs()
+    }
+    before_bytes = dir_usage_bytes(root)
+
+    # The offline collector, exactly as ``repro gc --emergency`` builds
+    # it: plain components, no daemon, no leases.
+    paths = ServicePaths(root).ensure()
+    store = JobStore(paths.journal)
+    store.load()
+    governor = ResourceGovernor(
+        paths, store, ServiceMetrics(), WarmArtifactCache(paths.warm),
+        retention_runs=0,
+    )
+    gc_summary = governor.gc(emergency=True)
+    after_bytes = dir_usage_bytes(root)
+
+    restarted = JobStore(paths.journal)
+    restarted.load()
+    replay_identical = _ledger(restarted) == before
+
+    # A collected job must still be a warm hit with the same answer.
+    resubmit_id = submit_job(root, replace(DEFAULT_SPEC, seed=seeds[0]))
+    service = _drain(root, max_seconds)
+    job = service.store.get(resubmit_id)
+    warm_hit = job is not None and job.state == DONE and bool(job.warm_hit)
+    hpwl_identical = (
+        job is not None and job.hpwl == hpwl_by_seed[seeds[0]]
+    )
+    result = {
+        "before_bytes": before_bytes,
+        "after_bytes": after_bytes,
+        "run_dirs_deleted": gc_summary["run_dirs_deleted"],
+        "journal": gc_summary["journal"],
+        "terminal_cache": gc_summary["terminal_cache"],
+        "baseline_done": before_ok,
+        "replay_identical": replay_identical,
+        "resubmit_warm_hit": warm_hit,
+        "resubmit_hpwl_identical": hpwl_identical,
+        "ok": before_ok and replay_identical and warm_hit and hpwl_identical,
+    }
+    for key, value in result.items():
+        print(f"  {key:26s} {value}")
+    return result
+
+
+def bench_soak(root: str, rounds: int, max_seconds: float) -> dict:
+    """Fresh-seed rounds under one quota; footprint must plateau."""
+    seed0 = DEFAULT_SPEC.seed + 100
+    submit_job(root, replace(DEFAULT_SPEC, seed=seed0))
+    _drain(root, max_seconds)
+    round1 = dir_usage_bytes(root)
+    quota = int(round1 * 2.5)
+    warm_quota = int(
+        max(1, dir_usage_bytes(ServicePaths(root).warm)) * 1.5
+    )
+    governed = dict(
+        disk_quota_bytes=quota,
+        retention_runs=1,
+        warm_quota_bytes=warm_quota,
+        journal_quota_bytes=round1,
+        terminal_cache_quota_bytes=round1,
+        high_water=0.8, low_water=0.5,
+        rundir_projection_bytes=max(1, round1 // 2),
+        resource_sample_interval=0.02,
+    )
+    usage = []
+    states = []
+    for i in range(1, rounds):
+        job_id = submit_job(root, replace(DEFAULT_SPEC, seed=seed0 + i))
+        service = _drain(root, max_seconds, **governed)
+        job = service.store.get(job_id)
+        states.append(job.state if job else "MISSING")
+        usage.append(dir_usage_bytes(root))
+    result = {
+        "rounds": rounds,
+        "round1_bytes": round1,
+        "disk_quota_bytes": quota,
+        "warm_quota_bytes": warm_quota,
+        "post_round_bytes": usage,
+        "round_states": states,
+        "all_rounds_done": all(s == DONE for s in states),
+        "plateaued": all(u <= quota for u in usage),
+    }
+    result["ok"] = result["all_rounds_done"] and result["plateaued"]
+    for key, value in result.items():
+        print(f"  {key:26s} {value}")
+    return result
+
+
+def bench_overhead(root: str, repeats: int, cycles: int) -> dict:
+    """Min-of-*repeats* cost of *cycles* idle poll loops, governor on/off.
+
+    The governed side runs the real thing — a disk quota set and the
+    default 1s sampling cadence, so most cycles pay only the rate-limit
+    check.  The baseline stubs the governor's poll out of the identical
+    service, emulating the pre-governor daemon loop.
+    """
+    service = PlacementService(
+        root, workers=1, poll_interval=0.02,
+        disk_quota_bytes=64 << 20, retention_runs=8,
+    )
+    try:
+        governed_poll = service.governor.poll
+        # One sample up front so the resource_* gauges exist during both
+        # timings — every cycle writes metrics.json, and the baseline
+        # must pay for the same payload it would carry at steady state.
+        service.governor.sample()
+
+        def _run(poll) -> float:
+            service.governor.poll = poll
+            service.poll()  # warm-up (inbox scan, metrics write)
+            started = time.perf_counter()
+            for _ in range(cycles):
+                service.poll()
+            return time.perf_counter() - started
+
+        base, governed = [], []
+        for _ in range(repeats):
+            base.append(_run(lambda: None))
+            governed.append(_run(governed_poll))
+        service.governor.poll = governed_poll
+    finally:
+        service.governor.uninstall()
+    base_min, gov_min = min(base), min(governed)
+    result = {
+        "repeats": repeats,
+        "cycles": cycles,
+        "base_seconds_min": round(base_min, 4),
+        "governed_seconds_min": round(gov_min, 4),
+        "overhead_pct": round((gov_min / base_min - 1.0) * 100.0, 2),
+    }
+    for key, value in result.items():
+        print(f"  {key:26s} {value}")
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: fewer soak rounds and overhead repeats",
+    )
+    parser.add_argument("--output", default="BENCH_pr10.json")
+    parser.add_argument("--max-seconds", type=float, default=150.0,
+                        dest="max_seconds")
+    args = parser.parse_args(argv)
+
+    rounds = 3 if args.quick else 5
+    repeats = 3 if args.quick else 5
+    cycles = 600 if args.quick else 2000
+    root = tempfile.mkdtemp(prefix="bench-governor-")
+    report = {
+        "config": {
+            "quick": args.quick, **SPEC_KW,
+            "seed": DEFAULT_SPEC.seed, "rounds": rounds,
+            "repeats": repeats, "cycles": cycles,
+        },
+        "host": host_metadata(),
+    }
+    try:
+        print("== governed chaos drill (fleet inside a tight quota) ==")
+        report["drill"] = bench_drill(f"{root}/drill", args.max_seconds)
+
+        print("== post-GC correctness (collect, restart, resubmit) ==")
+        report["post_gc"] = bench_post_gc(f"{root}/postgc", args.max_seconds)
+
+        print("== steady-state soak (footprint plateau under quota) ==")
+        report["soak"] = bench_soak(f"{root}/soak", rounds, args.max_seconds)
+
+        print("== governor poll overhead (clean path) ==")
+        report["overhead"] = bench_overhead(
+            f"{root}/overhead", repeats, cycles
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    gates = {
+        "governed_drill_passes": report["drill"]["ok"],
+        "post_gc_state_identical": report["post_gc"]["ok"],
+        "soak_plateaus_under_quota": report["soak"]["ok"],
+        "poll_overhead_under_2pct": (
+            report["overhead"]["overhead_pct"] < 2.0
+        ),
+    }
+    gates["all_passed"] = all(gates.values())
+    report["gates"] = gates
+    print("== gates ==")
+    for key, value in gates.items():
+        print(f"  {key:34s} {value}")
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+    print(f"report -> {args.output}")
+
+    if not gates["all_passed"]:
+        print("RESOURCE GOVERNANCE GATE REGRESSION", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

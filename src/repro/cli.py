@@ -18,12 +18,19 @@ Subcommands:
 - ``status``    — show the job table and the latest metrics snapshot.
 - ``cancel``    — cancel a queued job (or request daemon shutdown).
 - ``result``    — fetch one job's result record, optionally waiting.
+- ``gc``        — run the resource governor's collector offline against
+  a service dir: retire old terminal run dirs (journal-summarized
+  first), evict/compact the caches, compact the journal.
 - ``doctor``    — validate a run directory offline (manifest, artifact
-  checksums, journals, optionally the final placement itself).
+  checksums, journals, optionally the final placement itself);
+  ``--resources`` reports a service dir's disk/memory footprint and
+  quota verdict instead.
 - ``chaos``     — run the fault-injection drill against a throwaway
   service: every injected failure must end DONE-after-retry or
   QUARANTINED, with DONE HPWLs bit-identical to the unfaulted baseline.
-  ``--fleet`` escalates to the multi-process shard-kill drill.
+  ``--fleet`` escalates to the multi-process shard-kill drill;
+  ``--governed`` runs a fleet inside a tight synthetic disk quota with
+  injected ENOSPC.
 - ``fleet``     — sharded-fleet verbs over one shared service dir:
   ``fleet serve`` boots N crash-safe shard daemons (work is claimed by
   lease; a SIGKILLed shard's jobs are stolen and resumed by peers),
@@ -227,6 +234,7 @@ def cmd_serve(args) -> int:
         inference_broker=args.inference_broker,
         inference_max_batch=args.inference_max_batch,
         inference_coalesce_us=args.inference_coalesce_us,
+        **_governor_kwargs(args),
     )
     print(f"serving {args.service_dir} "
           f"(workers={args.workers}, max_queue={args.max_queue}, "
@@ -237,6 +245,23 @@ def cmd_serve(args) -> int:
     jobs = snapshot["jobs"]
     print("served: " + ", ".join(f"{k}={v}" for k, v in jobs.items()))
     return 0
+
+
+def _governor_kwargs(args) -> dict:
+    """Resource-governance knobs shared by serve / fleet shard / gc."""
+    return dict(
+        disk_quota_bytes=args.disk_quota_bytes,
+        mem_quota_bytes=args.mem_quota_bytes,
+        high_water=args.high_water,
+        low_water=args.low_water,
+        retention_runs=args.retention_runs,
+        rejected_ttl=args.rejected_ttl,
+        warm_quota_bytes=args.warm_quota_bytes,
+        terminal_cache_quota_bytes=args.terminal_cache_quota_bytes,
+        journal_quota_bytes=args.journal_quota_bytes,
+        rundir_projection_bytes=args.rundir_projection_bytes,
+        resource_sample_interval=args.resource_sample_interval,
+    )
 
 
 def _parse_set(pairs: list[str] | None) -> tuple | None:
@@ -398,6 +423,7 @@ def cmd_fleet_shard(args) -> int:
         inference_broker=args.inference_broker,
         inference_max_batch=args.inference_max_batch,
         inference_coalesce_us=args.inference_coalesce_us,
+        **_governor_kwargs(args),
     )
     print(f"shard {shard.shard} serving {args.service_dir} "
           f"(lease_ttl={args.lease_ttl}s, drain={args.drain})")
@@ -447,6 +473,23 @@ def cmd_fleet_serve(args) -> int:
                 "--inference-max-batch", str(args.inference_max_batch),
                 "--inference-coalesce-us", str(args.inference_coalesce_us),
             ]
+        cmd += [
+            "--high-water", str(args.high_water),
+            "--low-water", str(args.low_water),
+            "--rejected-ttl", str(args.rejected_ttl),
+            "--rundir-projection-bytes", str(args.rundir_projection_bytes),
+            "--resource-sample-interval", str(args.resource_sample_interval),
+        ]
+        for flag, value in (
+            ("--disk-quota-bytes", args.disk_quota_bytes),
+            ("--mem-quota-bytes", args.mem_quota_bytes),
+            ("--retention-runs", args.retention_runs),
+            ("--warm-quota-bytes", args.warm_quota_bytes),
+            ("--terminal-cache-quota-bytes", args.terminal_cache_quota_bytes),
+            ("--journal-quota-bytes", args.journal_quota_bytes),
+        ):
+            if value is not None:
+                cmd += [flag, str(value)]
         procs.append(subprocess.Popen(cmd))
     print(f"fleet of {args.shards} shards serving {args.service_dir} "
           f"(lease_ttl={args.lease_ttl}s, drain={args.drain})")
@@ -575,10 +618,97 @@ def cmd_study_report(args) -> int:
     return 0 if report["complete"] and not report["failures"] else 1
 
 
+def cmd_gc(args) -> int:
+    """Run the resource governor's collector offline (no daemon needed).
+
+    Constructs the same :class:`~repro.service.governor.ResourceGovernor`
+    the daemon runs, against a stopped (or live-but-quiet) service dir.
+    Without ``--emergency``, only the steps whose knobs are set act —
+    e.g. ``--retention-runs 5`` retires old terminal run dirs and
+    ``--journal-quota-bytes 0`` forces a journal compaction.  With
+    ``--emergency`` everything collectible is collected.  In a fleet,
+    stop the shards first (``repro fleet drain``) before compacting the
+    shared journal — the offline collector has no peers to fence.
+    """
+    import json
+
+    from repro.service import JobStore, ServicePaths
+    from repro.service.governor import ResourceGovernor, resource_report
+    from repro.service.metrics import ServiceMetrics
+    from repro.service.warm import WarmArtifactCache
+
+    paths = ServicePaths(args.service_dir).ensure()
+    governor = ResourceGovernor(
+        paths,
+        JobStore(paths.journal).load(),
+        ServiceMetrics(),
+        WarmArtifactCache(paths.warm),
+        disk_quota_bytes=args.disk_quota_bytes,
+        mem_quota_bytes=args.mem_quota_bytes,
+        high_water=args.high_water,
+        low_water=args.low_water,
+        retention_runs=args.retention_runs,
+        rejected_ttl=args.rejected_ttl,
+        warm_quota_bytes=args.warm_quota_bytes,
+        terminal_cache_quota_bytes=args.terminal_cache_quota_bytes,
+        journal_quota_bytes=args.journal_quota_bytes,
+        rundir_projection_bytes=args.rundir_projection_bytes,
+        sample_interval=args.resource_sample_interval,
+    )
+    summary = governor.gc(emergency=args.emergency, dry_run=args.dry_run)
+    report = resource_report(paths, disk_quota_bytes=args.disk_quota_bytes)
+    if args.json:
+        print(json.dumps({"gc": summary, "resources": report},
+                         indent=2, sort_keys=True))
+        return 0
+    mode = ("DRY RUN" if args.dry_run
+            else "emergency" if args.emergency else "policy")
+    print(f"gc ({mode}) over {args.service_dir}:")
+    print(f"  rejected swept: {summary['rejected_deleted']}")
+    print(f"  run dirs retired: {summary['run_dirs_deleted']} "
+          f"({summary['run_dir_bytes_freed']} bytes)")
+    print(f"  warm entries evicted: {summary['warm_evicted']}")
+    print(f"  terminal cache: {summary['terminal_cache']}")
+    print(f"  journal: {summary['journal']}")
+    print(f"footprint now: {report['total_bytes']} bytes "
+          f"({report['run_dirs']} run dirs, "
+          f"{report['rejected_pending']} rejected pending)")
+    return 0
+
+
+def _print_resource_report(report: dict) -> None:
+    print(f"resources: {report['root']}")
+    for name, size in report["breakdown"].items():
+        print(f"  {name:16s} {size:>12d} bytes")
+    print(f"  {'total':16s} {report['total_bytes']:>12d} bytes "
+          f"({report['run_dirs']} run dirs, "
+          f"{report['rejected_pending']} rejected pending)")
+    print(f"  {'fs free':16s} {report['disk_free_bytes']:>12d} bytes")
+    print(f"  {'process rss':16s} {report['rss_bytes']:>12d} bytes")
+    if report.get("disk_quota_bytes"):
+        verdict = "OVER QUOTA" if report["over_quota"] else "within quota"
+        print(f"  quota {report['disk_quota_bytes']} bytes: "
+              f"{report['quota_used_frac'] * 100:.1f}% used ({verdict})")
+
+
 def cmd_doctor(args) -> int:
     """Validate a run directory offline; non-zero exit on any failure."""
     from repro.verify.doctor import doctor_run_dir
 
+    if args.resources:
+        from repro.service import ServicePaths
+        from repro.service.governor import resource_report
+
+        if not args.service_dir:
+            raise UsageError("doctor --resources needs --service-dir")
+        report = resource_report(
+            ServicePaths(args.service_dir),
+            disk_quota_bytes=args.disk_quota_bytes,
+        )
+        _print_resource_report(report)
+        return 1 if report.get("over_quota") else 0
+    if not args.run_dir:
+        raise UsageError("doctor needs a run directory (or --resources)")
     design = None
     if args.circuit or args.aux:
         _, design = _load_design(args)
@@ -597,12 +727,25 @@ def cmd_chaos(args) -> int:
 
     from repro.service.chaos import (
         format_fleet_report,
+        format_governed_report,
         format_report,
         run_chaos_drill,
         run_fleet_drill,
+        run_governed_drill,
     )
 
-    if args.fleet:
+    if args.governed:
+        def drill(root):
+            return run_governed_drill(
+                root,
+                n_shards=args.shards,
+                n_jobs=args.jobs,
+                lease_ttl=args.lease_ttl,
+                max_seconds=args.max_seconds,
+            )
+
+        formatter = format_governed_report
+    elif args.fleet:
         def drill(root):
             return run_fleet_drill(
                 root,
@@ -730,6 +873,63 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--service-dir", required=True, dest="service_dir",
                        help="service directory (inbox/, runs/, jobs.jsonl, ...)")
 
+    def governor_flags(p: argparse.ArgumentParser) -> None:
+        """Resource-governance knobs (execution policy: how much history
+        the service keeps, never what any job computes — all excluded
+        from config fingerprints).  Every quota defaults to None = that
+        governance step stays inert."""
+        p.add_argument("--disk-quota-bytes", type=int, default=None,
+                       dest="disk_quota_bytes",
+                       help="byte budget for the whole service dir; "
+                            "crossing high-water triggers GC and sheds "
+                            "new admissions with a structured "
+                            "RESOURCE_PRESSURE rejection")
+        p.add_argument("--mem-quota-bytes", type=int, default=None,
+                       dest="mem_quota_bytes",
+                       help="RSS ceiling; crossing it sheds admission "
+                            "until usage drops")
+        p.add_argument("--high-water", type=float, default=0.9,
+                       dest="high_water",
+                       help="fraction of the quota (or filesystem) at "
+                            "which shedding engages and GC fires")
+        p.add_argument("--low-water", type=float, default=0.75,
+                       dest="low_water",
+                       help="fraction below which shedding releases "
+                            "(hysteresis; must be < high-water)")
+        p.add_argument("--retention-runs", type=int, default=None,
+                       dest="retention_runs",
+                       help="terminal run dirs to keep (newest first; "
+                            "QUARANTINED dirs are always kept); older "
+                            "ones are summarized into the journal and "
+                            "deleted")
+        p.add_argument("--rejected-ttl", type=float, default=3600.0,
+                       dest="rejected_ttl",
+                       help="seconds before quarantined malformed "
+                            "submissions in inbox/.rejected/ are swept")
+        p.add_argument("--warm-quota-bytes", type=int, default=None,
+                       dest="warm_quota_bytes",
+                       help="warm-artifact cache byte budget (LRU "
+                            "eviction down to fit)")
+        p.add_argument("--terminal-cache-quota-bytes", type=int,
+                       default=None, dest="terminal_cache_quota_bytes",
+                       help="compact terminal_cache.jsonl once it "
+                            "exceeds this many bytes")
+        p.add_argument("--journal-quota-bytes", type=int, default=None,
+                       dest="journal_quota_bytes",
+                       help="compact jobs.jsonl once it exceeds this "
+                            "many bytes (single daemon / offline only; "
+                            "live fleets compact via 'repro gc' with "
+                            "the shards stopped)")
+        p.add_argument("--rundir-projection-bytes", type=int,
+                       default=4 << 20, dest="rundir_projection_bytes",
+                       help="projected size of one run dir; dispatch "
+                            "pauses (jobs stay queued) while quota "
+                            "headroom is below this")
+        p.add_argument("--resource-sample-interval", type=float,
+                       default=1.0, dest="resource_sample_interval",
+                       help="seconds between disk/RSS samples on the "
+                            "poll loop")
+
     p_serve = sub.add_parser("serve", help="run the placement service daemon")
     service_dir(p_serve)
     p_serve.add_argument("--workers", type=int, default=1,
@@ -764,6 +964,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the independent result verification "
                               "normally run on every completed job")
     inference_flags(p_serve)
+    governor_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_sub = sub.add_parser("submit", help="queue one placement job")
@@ -847,6 +1048,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-seconds", type=float, default=None,
                        dest="max_seconds")
         inference_flags(p)
+        governor_flags(p)
 
     p_fshard = fleet_sub.add_parser(
         "shard", help="run one shard daemon in the foreground"
@@ -939,8 +1141,37 @@ def build_parser() -> argparse.ArgumentParser:
                              "rendered summary")
     p_srep.set_defaults(func=cmd_study_report)
 
+    p_gc = sub.add_parser(
+        "gc",
+        help="collect a service directory offline: retire old run dirs, "
+             "evict/compact caches, compact the journal",
+    )
+    service_dir(p_gc)
+    governor_flags(p_gc)
+    p_gc.add_argument("--emergency", action="store_true",
+                      help="collect everything collectible now "
+                           "(retention 0, both compactions), regardless "
+                           "of quotas")
+    p_gc.add_argument("--dry-run", action="store_true", dest="dry_run",
+                      help="report what would be collected without "
+                           "touching anything")
+    p_gc.add_argument("--json", action="store_true",
+                      help="machine-readable summary + usage breakdown")
+    p_gc.set_defaults(func=cmd_gc)
+
     p_doc = sub.add_parser("doctor", help="validate a run directory offline")
-    p_doc.add_argument("run_dir", help="run directory to validate")
+    p_doc.add_argument("run_dir", nargs="?", default=None,
+                       help="run directory to validate (omit with "
+                            "--resources)")
+    p_doc.add_argument("--resources", action="store_true",
+                       help="report a service directory's disk/memory "
+                            "footprint instead (needs --service-dir; "
+                            "exits 1 when over --disk-quota-bytes)")
+    p_doc.add_argument("--service-dir", default=None, dest="service_dir",
+                       help="service directory for --resources")
+    p_doc.add_argument("--disk-quota-bytes", type=int, default=None,
+                       dest="disk_quota_bytes",
+                       help="quota to judge --resources usage against")
     p_doc.add_argument("--circuit", default=None,
                        help="rebuild this suite circuit to additionally "
                             "verify the final placement itself")
@@ -972,6 +1203,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--fleet", action="store_true",
                          help="run the multi-process shard-kill drill "
                               "instead of the single-daemon scenarios")
+    p_chaos.add_argument("--governed", action="store_true",
+                         help="run the resource-pressure drill: a fleet "
+                              "inside a tight synthetic disk quota with "
+                              "injected ENOSPC — gates on GC keeping "
+                              "every answer bit-identical and zero "
+                              "daemon deaths")
     p_chaos.add_argument("--shards", type=int, default=3,
                          help="fleet drill: shard daemon processes")
     p_chaos.add_argument("--jobs", type=int, default=6,
@@ -994,7 +1231,8 @@ def main(argv: list[str] | None = None) -> int:
     :mod:`repro.runtime.errors`): 10 generic, 11 calibration, 12 training
     divergence, 13 solver infeasibility, 14 stage timeout, 15 injected
     fault, 16 stage stall, 17 artifact corruption, 18 verification
-    failure, 64 usage.
+    failure, 19 resource exhaustion (disk full even after emergency GC),
+    64 usage.
     """
     args = build_parser().parse_args(argv)
     try:

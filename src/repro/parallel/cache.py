@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import uuid
 
 from repro.utils.events import append_jsonl, read_jsonl
 
@@ -174,3 +176,77 @@ class TerminalCache:
             # (with identical values — evaluation is pure); later records
             # simply overwrite earlier ones.
             self._entries[key] = wirelength
+
+    def compact(self) -> dict:
+        """Atomically rewrite the JSONL keeping only winning, valid records.
+
+        Reads tolerate duplicates and corruption forever, but the file
+        itself only ever grows — this is the governor's shrink path.  The
+        rewrite keeps, for **every** fingerprint present (not just this
+        instance's), the last-writer-wins record per assignment whose
+        content sha verifies; corrupt and superseded records are dropped
+        and legacy records without a sha are rewritten with one.  The new
+        file lands via tmp + ``os.replace``, so concurrent readers see
+        either the old or the new version, never a half-rewrite.  In a
+        fleet the caller must hold the GC lease: a peer's append racing
+        the rename can be lost (it re-appends on its next miss — a cache
+        entry is a pure accelerator), but two concurrent compactions
+        could drop each other's survivors.
+
+        Returns ``{"kept", "dropped_corrupt", "dropped_superseded",
+        "before_bytes", "after_bytes"}``.
+        """
+        empty = {
+            "kept": 0, "dropped_corrupt": 0, "dropped_superseded": 0,
+            "before_bytes": 0, "after_bytes": 0,
+        }
+        if self.path is None or not os.path.exists(self.path):
+            return empty
+        before_bytes = os.path.getsize(self.path)
+        raw = read_jsonl(self.path)
+        winners: dict[tuple, dict] = {}
+        dropped_corrupt = 0
+        for record in raw:
+            fingerprint = record.get("fingerprint")
+            try:
+                key = tuple(int(a) for a in record["assignment"])
+                wirelength = float(record["wirelength"])
+            except (KeyError, TypeError, ValueError):
+                dropped_corrupt += 1
+                continue
+            if not isinstance(fingerprint, str):
+                dropped_corrupt += 1
+                continue
+            sha = self._record_sha(fingerprint, key, wirelength)
+            if record.get("sha") is not None and record["sha"] != sha:
+                dropped_corrupt += 1
+                continue
+            winners[(fingerprint, key)] = {
+                "fingerprint": fingerprint,
+                "assignment": list(key),
+                "wirelength": wirelength,
+                "sha": sha,
+            }
+        lines = [
+            json.dumps(winners[k], sort_keys=True)
+            for k in sorted(winners)
+        ]
+        from repro.runtime.resources import guarded_write
+
+        def _rewrite() -> None:
+            tmp = f"{self.path}.{os.getpid()}.{uuid.uuid4().hex[:6]}.tmp"
+            with open(tmp, "w") as f:
+                f.write("".join(line + "\n" for line in lines))
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, self.path)
+
+        guarded_write(f"compact:{os.path.basename(self.path)}", _rewrite)
+        self.corrupt_entries = 0  # the rewritten file holds none
+        return {
+            "kept": len(winners),
+            "dropped_corrupt": dropped_corrupt,
+            "dropped_superseded": len(raw) - dropped_corrupt - len(winners),
+            "before_bytes": before_bytes,
+            "after_bytes": os.path.getsize(self.path),
+        }

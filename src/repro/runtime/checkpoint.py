@@ -32,6 +32,7 @@ import time
 import numpy as np
 
 from repro.runtime.errors import UsageError
+from repro.runtime.resources import guarded_write
 
 MANIFEST = "manifest.json"
 EVENTS = "events.jsonl"
@@ -41,21 +42,30 @@ STAGES = ("prototype", "preprocess", "calibration", "rl_training", "mcts", "fina
 
 
 def _atomic_write_text(path: str, text: str) -> None:
-    tmp = path + ".tmp"
-    with open(tmp, "w") as f:
-        f.write(text)
-        f.flush()
-        os.fsync(f.fileno())
-    os.replace(tmp, path)
+    # ENOSPC-guarded: a full disk degrades (emergency GC + one retry)
+    # instead of killing the writer; the tmp file never aliases the
+    # target, so a failed attempt leaves the previous version intact.
+    def _write() -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "w") as f:
+            f.write(text)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+
+    guarded_write(f"checkpoint:{os.path.basename(path)}", _write)
 
 
 def _atomic_write_pickle(path: str, obj: object) -> None:
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as f:
-        pickle.dump(obj, f, protocol=pickle.HIGHEST_PROTOCOL)
-        f.flush()
-        os.fsync(f.fileno())
-    os.replace(tmp, path)
+    def _write() -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            pickle.dump(obj, f, protocol=pickle.HIGHEST_PROTOCOL)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+
+    guarded_write(f"checkpoint:{os.path.basename(path)}", _write)
 
 
 def config_fingerprint(config) -> str:
@@ -256,9 +266,13 @@ class RunDir:
         names = np.array([node.name for node in nl])
         xs = np.array([node.x for node in nl], dtype=float)
         ys = np.array([node.y for node in nl], dtype=float)
-        tmp = self.file(name + ".tmp.npz")
-        np.savez(tmp, names=names, x=xs, y=ys)
-        os.replace(tmp, self.file(name + ".npz"))
+
+        def _write() -> None:
+            tmp = self.file(name + ".tmp.npz")
+            np.savez(tmp, names=names, x=xs, y=ys)
+            os.replace(tmp, self.file(name + ".npz"))
+
+        guarded_write(f"checkpoint:{name}.npz", _write)
 
     def load_positions(self, name: str, design) -> None:
         """Restore saved coordinates onto *design* (validated by node name)."""

@@ -117,3 +117,17 @@ class VerificationError(PlacementError):
     """
 
     exit_code = 18
+
+
+class ResourceExhaustedError(PlacementError):
+    """A durable write hit ENOSPC twice — once before and once after an
+    emergency garbage-collection pass
+    (:func:`repro.runtime.resources.guarded_write`).
+
+    Classified *transient* by the service supervisor: the failing
+    attempt re-enters the ordinary retry/backoff machinery (by the next
+    attempt the governor's GC, or an operator, may have freed space)
+    and the daemon itself keeps serving.
+    """
+
+    exit_code = 19

@@ -43,6 +43,14 @@ Known sites
   entry (caught by entry validation before injection → cold run)
 - ``stall.freeze``      — freeze a job's progress heartbeat (beats stop
   registering; the service watchdog then raises ``StageStallError``)
+- ``disk.enospc``       — a guarded durable write fails with ``OSError
+  ENOSPC`` (polled by :func:`repro.runtime.resources.guarded_write`
+  before each attempt: ``at=1`` fails once and lets the post-GC retry
+  succeed; ``count=None`` simulates a disk that never frees)
+- ``disk.pressure``     — the governor's next disk sample reads as
+  quota-full (admission shedding engages without filling a real disk)
+- ``mem.pressure``      — the governor's next RSS sample reads as over
+  the memory quota (same shedding path, memory-driven)
 """
 
 from __future__ import annotations

@@ -50,6 +50,14 @@ with an HPWL bit-identical to a single-daemon baseline or QUARANTINED
 with a journaled reason — never lost, duplicated, or silently
 corrupted.  Used by ``repro chaos --fleet`` and the CI ``fleet-smoke``
 job.
+
+:func:`run_governed_drill` is the resource-pressure escalation: the
+same fleet is squeezed into a synthetic disk quota sized *below* what
+an ungoverned run writes (plus injected ``disk.enospc`` faults), so it
+can only finish if the resource governor's GC, load shedding, and
+ENOSPC degradation all work — and it gates on every answer staying
+bit-identical while they do.  Used by ``repro chaos --governed`` and
+``benchmarks/bench_governor.py`` (CI ``gc-smoke``).
 """
 
 from __future__ import annotations
@@ -350,6 +358,7 @@ def _spawn_shard(
     lease_ttl: float,
     poll_interval: float,
     max_seconds: float,
+    extra_args: list[str] | None = None,
 ) -> subprocess.Popen:
     """Launch one shard daemon process (drain mode) against *fleet_dir*."""
     src = os.path.dirname(
@@ -368,6 +377,7 @@ def _spawn_shard(
         "--backoff-base", "0.05",
         "--drain",
         "--max-seconds", str(max_seconds),
+        *(extra_args or []),
     ]
     return subprocess.Popen(
         cmd, env=env,
@@ -628,6 +638,275 @@ def format_fleet_report(report: dict) -> str:
             f"hpwl={job['hpwl']!r} shard={job['shard']}"
         )
     lines.append(f"  reclaimed RUNNING orphans: {report.get('reclaims', 0)}")
+    for check in report.get("checks", []):
+        if not check["ok"]:
+            lines.append(f"  FAILED check {check['name']}: {check['detail']}")
+    lines.append(
+        f"result: {'OK' if report.get('ok') else 'FAILED'} "
+        f"({report.get('seconds', 0.0)}s total)"
+    )
+    return "\n".join(lines)
+
+
+# -- governed (tight-quota) drill ---------------------------------------------
+def run_governed_drill(
+    root: str,
+    *,
+    spec: JobSpec | None = None,
+    n_shards: int = 3,
+    n_jobs: int = 4,
+    lease_ttl: float = 1.5,
+    poll_interval: float = 0.05,
+    max_seconds: float = 150.0,
+    quota_frac: float = 0.8,
+    high_water: float = 0.85,
+    low_water: float = 0.6,
+) -> dict:
+    """Resource-pressure drill: a fleet inside a tight synthetic quota.
+
+    Phase 1 runs every job through an ungoverned single daemon — the
+    per-seed reference HPWL and, as a byproduct, the drill's sizing
+    probe: the baseline service dir's total footprint is what *n_jobs*
+    cost when nothing is ever collected.  Phase 2 re-runs the same mix
+    on an *n_shards* fleet whose disk quota is ``quota_frac`` of that
+    footprint — impossible to finish without garbage collection — with
+    ``retention_runs=1`` and two ENOSPC-faulted jobs on top: one whose
+    first guarded write fails once (in-write degradation: emergency GC +
+    retry, job DONE), and one poisoned with ENOSPC on every write
+    (attempt retries exhaust, job QUARANTINED).  The gate:
+
+    - every job terminal; every non-poison job DONE with HPWL
+      **bit-identical** to its ungoverned reference (GC and degradation
+      never change an answer);
+    - the ENOSPC-poisoned job QUARANTINED with a structured
+      ``ResourceExhaustedError`` — never a dead daemon;
+    - every shard process exits 0 (zero daemon deaths);
+    - the fleet dir's final footprint is within the quota, and GC runs
+      plus ENOSPC degradations actually happened (the drill cannot pass
+      vacuously).
+    """
+    from repro.runtime.resources import dir_usage_bytes
+    from repro.service.fleet import FleetPaths
+
+    spec = spec if spec is not None else DEFAULT_SPEC
+    os.makedirs(root, exist_ok=True)
+    seeds = [spec.seed + i for i in range(n_jobs)]
+    checks: list = []
+    report: dict = {
+        "spec": spec.to_json(),
+        "n_shards": n_shards,
+        "n_jobs": n_jobs,
+        "checks": checks,
+    }
+    started = time.perf_counter()
+
+    # -- phase 1: ungoverned reference + sizing probe -------------------------
+    baseline_dir = os.path.join(root, "baseline")
+    baseline = PlacementService(
+        baseline_dir, workers=1, poll_interval=0.02, backoff_base=0.05,
+    )
+    ref_ids = {
+        seed: submit_job(baseline_dir, replace(spec, seed=seed))
+        for seed in seeds
+    }
+    baseline.run(drain=True, max_seconds=max_seconds)
+    baseline.governor.uninstall()
+    reference = {
+        seed: baseline.store.get(job_id).hpwl
+        for seed, job_id in ref_ids.items()
+    }
+    _check(
+        checks, "baseline_all_done",
+        all(
+            baseline.store.get(j).state == DONE and reference[s] is not None
+            for s, j in ref_ids.items()
+        ),
+        f"reference={reference}",
+    )
+    report["reference"] = {str(s): h for s, h in reference.items()}
+    if not checks[-1]["ok"]:
+        report["ok"] = False
+        return report
+    baseline_bytes = dir_usage_bytes(baseline_dir)
+    quota = max(1, int(baseline_bytes * quota_frac))
+    # Dispatch projection = one run dir's cost.  Deliberately *not*
+    # baseline_bytes / n_jobs: the baseline total includes the warm
+    # cache and results, which are a fixed floor the fleet pays once —
+    # projecting them per-job would keep the dispatch gate shut even
+    # after GC restored all the headroom a run actually needs.
+    per_run = max(
+        1, dir_usage_bytes(baseline.paths.runs) // max(1, n_jobs)
+    )
+    report["baseline_bytes"] = baseline_bytes
+    report["disk_quota_bytes"] = quota
+
+    # -- phase 2: governed fleet under the quota ------------------------------
+    fleet_dir = os.path.join(root, "fleet")
+    paths = FleetPaths(fleet_dir).ensure()
+    job_ids = {
+        submit_job(fleet_dir, replace(spec, seed=seed)): seed
+        for seed in seeds
+    }
+    # One transient ENOSPC (first guarded write fails once; the guard's
+    # emergency GC + retry absorb it) — must end DONE bit-identical.
+    transient_seed = seeds[0]
+    transient_id = submit_job(
+        fleet_dir,
+        replace(spec, seed=transient_seed,
+                faults=(("disk.enospc", 1, 1),)),
+    )
+    job_ids[transient_id] = transient_seed
+    # One persistent ENOSPC (every write fails, even after GC) — the
+    # attempts fail with ResourceExhaustedError, retries exhaust, and
+    # the job is QUARANTINED while the shard lives on.
+    poison_id = submit_job(
+        fleet_dir,
+        replace(spec, seed=spec.seed + n_jobs,
+                faults=(("disk.enospc", 1, None),)),
+    )
+    total = len(job_ids) + 1
+
+    governed_args = [
+        "--disk-quota-bytes", str(quota),
+        "--retention-runs", "1",
+        "--high-water", str(high_water),
+        "--low-water", str(low_water),
+        "--rundir-projection-bytes", str(per_run),
+        "--resource-sample-interval", str(poll_interval),
+    ]
+    procs: dict[str, subprocess.Popen] = {}
+    for i in range(n_shards):
+        name = f"shard-{i}"
+        procs[name] = _spawn_shard(
+            fleet_dir, name,
+            lease_ttl=lease_ttl, poll_interval=poll_interval,
+            max_seconds=max_seconds, extra_args=governed_args,
+        )
+
+    store = JobStore(paths.journal)
+    deadline = time.monotonic() + max_seconds
+    while time.monotonic() < deadline:
+        store.load()
+        counts = store.counts()
+        if sum(counts[s] for s in TERMINAL_STATES) >= total:
+            break
+        time.sleep(5 * poll_interval)
+    for proc in procs.values():
+        try:
+            # Shards self-exit at their own --max-seconds; grant a grace
+            # window past the watcher deadline so a shard that is merely
+            # finishing its drain is not miscounted as a daemon death.
+            proc.wait(timeout=max(10.0, deadline - time.monotonic() + 10.0))
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+    # -- gates ----------------------------------------------------------------
+    store.load()
+    jobs = {job_id: store.get(job_id) for job_id in [*job_ids, poison_id]}
+    report["jobs"] = [
+        {
+            "id": j.id,
+            "seed": j.spec.seed,
+            "state": j.state,
+            "attempts": j.attempts,
+            "hpwl": j.hpwl,
+            "shard": j.shard,
+            "error": (j.error or {}).get("kind"),
+        }
+        for j in jobs.values() if j is not None
+    ]
+    _check(
+        checks, "no_job_lost",
+        all(j is not None for j in jobs.values()),
+        "every submitted id is in the journal",
+    )
+    _check(
+        checks, "all_terminal",
+        all(j is not None and j.terminal for j in jobs.values()),
+        ",".join(f"{i}={j.state if j else 'MISSING'}"
+                 for i, j in jobs.items() if j is None or not j.terminal),
+    )
+    for job_id, seed in job_ids.items():
+        job = jobs[job_id]
+        if job is None:
+            continue
+        label = "transient_enospc" if job_id == transient_id else f"seed{seed}"
+        _check(
+            checks, f"{label}_done_identical",
+            job.state == DONE and job.hpwl == reference[seed],
+            f"state={job.state} hpwl={job.hpwl!r} "
+            f"vs baseline {reference[seed]!r}",
+        )
+    poison = jobs[poison_id]
+    _check(
+        checks, "enospc_poison_quarantined",
+        poison is not None and poison.state == QUARANTINED
+        and (poison.error or {}).get("kind") == "ResourceExhaustedError",
+        f"state={poison.state if poison else 'MISSING'} "
+        f"error={(poison.error or {}).get('kind') if poison else None}",
+    )
+    exit_codes = {name: proc.returncode for name, proc in procs.items()}
+    report["shard_exit_codes"] = exit_codes
+    _check(
+        checks, "zero_shard_deaths",
+        all(code == 0 for code in exit_codes.values()),
+        f"exit codes: {exit_codes}",
+    )
+    final_bytes = dir_usage_bytes(fleet_dir)
+    report["final_bytes"] = final_bytes
+    _check(
+        checks, "within_quota",
+        final_bytes <= quota,
+        f"{final_bytes} <= {quota} "
+        f"(ungoverned baseline was {baseline_bytes})",
+    )
+    fleet_counters = {}
+    if os.path.exists(paths.fleet_metrics):
+        import json as _json
+
+        with open(paths.fleet_metrics) as f:
+            fleet_counters = _json.load(f).get("counters", {})
+    report["gc_runs"] = fleet_counters.get("gc_runs", 0)
+    report["emergency_gc_runs"] = fleet_counters.get("emergency_gc_runs", 0)
+    report["resource_degradations"] = fleet_counters.get(
+        "resource_degradations", 0
+    )
+    _check(
+        checks, "gc_actually_ran",
+        report["gc_runs"] >= 1,
+        f"gc_runs={report['gc_runs']}",
+    )
+    _check(
+        checks, "enospc_degradation_observed",
+        report["resource_degradations"] >= 1,
+        f"resource_degradations={report['resource_degradations']}",
+    )
+    report["seconds"] = round(time.perf_counter() - started, 3)
+    report["ok"] = all(c["ok"] for c in checks)
+    return report
+
+
+def format_governed_report(report: dict) -> str:
+    """Human-readable governed-drill summary (``repro chaos --governed``)."""
+    lines = [
+        f"governed drill: shards={report['n_shards']} "
+        f"jobs={report['n_jobs']}+2 enospc  "
+        f"quota={report.get('disk_quota_bytes')}B "
+        f"(ungoverned baseline {report.get('baseline_bytes')}B)",
+    ]
+    for job in report.get("jobs", []):
+        lines.append(
+            f"  {job['id']}: {job['state']} a{job['attempts']} "
+            f"hpwl={job['hpwl']!r}"
+            + (f" error={job['error']}" if job.get("error") else "")
+        )
+    lines.append(
+        f"  final footprint: {report.get('final_bytes')}B  "
+        f"gc_runs={report.get('gc_runs')} "
+        f"emergency={report.get('emergency_gc_runs')} "
+        f"degradations={report.get('resource_degradations')}"
+    )
     for check in report.get("checks", []):
         if not check["ok"]:
             lines.append(f"  FAILED check {check['name']}: {check['detail']}")

@@ -62,6 +62,7 @@ import time
 import uuid
 from dataclasses import dataclass
 
+from repro.runtime.errors import ResourceExhaustedError
 from repro.service.jobs import (
     QUEUED,
     RUNNING,
@@ -370,6 +371,7 @@ class FleetShard(PlacementService):
 
     # -- poll cycle ------------------------------------------------------------
     def poll(self) -> None:
+        self.governor.poll()  # sample pressure, publish gauges, auto-GC
         self.store.refresh()  # fold in peers' journal appends
         self._renew_leases()
         self._release_terminal_leases()
@@ -522,16 +524,22 @@ class FleetShard(PlacementService):
             "pending_retries", self.supervisor.pending_retries()
         )
         self.metrics.set_gauge("leases_held", len(self.leases.owned_ids()))
-        snapshot = self.metrics.write(
-            self.paths.shard_metrics(self.shard),
-            shard=self.shard,
-            queue_depth=counts[QUEUED],
-            jobs=counts,
-            warm_fingerprints=self.warm.per_key(),
-        )
+        try:
+            snapshot = self.metrics.write(
+                self.paths.shard_metrics(self.shard),
+                shard=self.shard,
+                queue_depth=counts[QUEUED],
+                jobs=counts,
+                warm_fingerprints=self.warm.per_key(),
+            )
+        except ResourceExhaustedError:
+            # Observability write on a dry disk: shed it, keep serving
+            # (mirrors PlacementService.write_metrics).
+            self.metrics.inc("metrics_writes_shed")
+            return self.metrics.snapshot()
         try:
             write_fleet_metrics(self.paths, counts=counts)
-        except OSError:
+        except (OSError, ResourceExhaustedError):
             pass  # aggregation is best-effort; per-shard files are canonical
         return snapshot
 

@@ -337,13 +337,23 @@ class ServicePaths:
 
 
 def write_json_atomic(path: str, payload: dict) -> None:
-    """tmp-file + ``os.replace`` write, the run-manifest convention."""
-    tmp = f"{path}.{os.getpid()}.{uuid.uuid4().hex[:6]}.tmp"
-    with open(tmp, "w") as f:
-        json.dump(payload, f, indent=2, sort_keys=True)
-        f.flush()
-        os.fsync(f.fileno())
-    os.replace(tmp, path)
+    """tmp-file + ``os.replace`` write, the run-manifest convention.
+
+    ENOSPC-guarded (:func:`repro.runtime.resources.guarded_write`): a
+    full disk degrades — emergency GC, one retry — before failing the
+    attempt with a retryable ``ResourceExhaustedError``.
+    """
+    from repro.runtime.resources import guarded_write
+
+    def _write() -> None:
+        tmp = f"{path}.{os.getpid()}.{uuid.uuid4().hex[:6]}.tmp"
+        with open(tmp, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+
+    guarded_write(f"json:{os.path.basename(path)}", _write)
 
 
 class JobStore:
@@ -407,6 +417,14 @@ class JobStore:
         except FileNotFoundError:
             return
         with f:
+            f.seek(0, os.SEEK_END)
+            if f.tell() < self._offset:
+                # The journal shrank under us: a peer (or an offline
+                # ``repro gc``) compacted it into a snapshot + tail.
+                # Replay from the top — the first-submit-wins /
+                # first-terminal-wins rules make re-application of
+                # already-known records a counted no-op.
+                self._offset = 0
             f.seek(self._offset)
             for line in f:
                 if not line.endswith(b"\n"):
@@ -454,6 +472,47 @@ class JobStore:
                 self.stale_records += 1
                 return
             self._apply(job, record)
+        elif kind == "snapshot":
+            # A compaction fold: whole jobs (usually terminal) written as
+            # one line in place of their submit+state history.  Replay
+            # rules match the incremental ones: an unknown job is taken
+            # whole; a known non-terminal job may be sealed by a terminal
+            # snapshot entry; a known terminal job is never re-decided.
+            for payload in record.get("jobs", ()):
+                if not isinstance(payload, dict):
+                    continue
+                if payload.get("state") not in STATES:
+                    continue
+                try:
+                    job = Job(
+                        id=payload["id"],
+                        spec=JobSpec.from_json(payload.get("spec", {})),
+                        priority=int(payload.get("priority", 0)),
+                        seq=int(payload.get("seq", 0)),
+                        state=payload["state"],
+                        submitted_ts=float(payload.get("ts", 0.0)),
+                        finished_ts=payload.get("finished_ts"),
+                        attempts=int(payload.get("attempts", 0)),
+                        error=payload.get("error"),
+                        warm_hit=bool(payload.get("warm_hit", False)),
+                        hpwl=payload.get("hpwl"),
+                        seconds=payload.get("seconds"),
+                        shard=payload.get("shard"),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue
+                existing = self._jobs.get(job.id)
+                if existing is None:
+                    self._jobs[job.id] = job
+                elif not existing.terminal and job.terminal:
+                    self._jobs[job.id] = job
+                else:
+                    self.stale_records += 1
+                self._seq = max(self._seq, job.seq)
+            try:
+                self._seq = max(self._seq, int(record.get("seq", 0)))
+            except (TypeError, ValueError):
+                pass
 
     @staticmethod
     def _apply(job: Job, record: dict) -> None:
@@ -534,6 +593,133 @@ class JobStore:
             self._apply(job, record)
             self._append(record)
             return job
+
+    # -- compaction ------------------------------------------------------------
+    @staticmethod
+    def _snapshot_job(job: Job) -> dict:
+        return {
+            "id": job.id,
+            "priority": job.priority,
+            "seq": job.seq,
+            "state": job.state,
+            "ts": job.submitted_ts,
+            "finished_ts": job.finished_ts,
+            "attempts": job.attempts,
+            "error": job.error,
+            "warm_hit": job.warm_hit,
+            "hpwl": job.hpwl,
+            "seconds": job.seconds,
+            "shard": job.shard,
+            "spec": job.spec.to_json(),
+        }
+
+    def compact(self) -> dict:
+        """Fold terminal replay state into one snapshot line + a live tail.
+
+        A month of jobs replays as one ``snapshot`` record (terminal jobs,
+        whose state is sticky and can never change again) followed by
+        regenerated submit/state lines for the still-live jobs — instead
+        of a million-line history.  The rewrite lands via tmp +
+        ``os.replace`` and the reload path keeps its torn-tail tolerance
+        unchanged.  Concurrent *readers* detect the shrink (see
+        :meth:`_tail`) and replay from the top, which the replay rules
+        make idempotent; concurrent **writers** must be excluded by the
+        caller (the governor compacts under the fleet GC lease with no
+        live shard leases, or offline via ``repro gc``) — an append racing
+        the rename could otherwise be lost.
+
+        Returns ``{"before_bytes", "after_bytes", "jobs_folded",
+        "jobs_live"}``.
+        """
+        with self._lock:
+            self._tail()  # fold any records appended since the last poll
+            jobs = sorted(self._jobs.values(), key=lambda j: j.seq)
+            terminal = [j for j in jobs if j.terminal]
+            live = [j for j in jobs if not j.terminal]
+            lines = [
+                json.dumps(
+                    {
+                        **self.tag,
+                        "record": "snapshot",
+                        "ts": time.time(),
+                        "seq": self._seq,
+                        "jobs": [self._snapshot_job(j) for j in terminal],
+                    },
+                    sort_keys=True,
+                )
+            ]
+            for job in live:
+                lines.append(json.dumps(
+                    {
+                        **self.tag,
+                        "record": "submit",
+                        "id": job.id,
+                        "ts": job.submitted_ts,
+                        "seq": job.seq,
+                        "priority": job.priority,
+                        "state": QUEUED,
+                        "spec": job.spec.to_json(),
+                    },
+                    sort_keys=True,
+                ))
+                if job.state != QUEUED or job.attempts or job.error:
+                    record = {
+                        **self.tag,
+                        "record": "state",
+                        "id": job.id,
+                        "state": job.state,
+                        "ts": job.submitted_ts,
+                        "attempt": job.attempts,
+                    }
+                    if job.error is not None:
+                        record["error"] = job.error
+                    if job.warm_hit:
+                        record["warm_hit"] = True
+                    if job.shard is not None:
+                        record["shard"] = job.shard
+                    lines.append(json.dumps(record, sort_keys=True))
+            before_bytes = 0
+            if os.path.exists(self.path):
+                before_bytes = os.path.getsize(self.path)
+            from repro.runtime.resources import guarded_write
+
+            def _rewrite() -> None:
+                tmp = f"{self.path}.{os.getpid()}.{uuid.uuid4().hex[:6]}.tmp"
+                with open(tmp, "w") as f:
+                    f.write("".join(line + "\n" for line in lines))
+                    f.flush()
+                    os.fsync(f.fileno())
+                os.replace(tmp, self.path)
+
+            guarded_write("compact:jobs.jsonl", _rewrite)
+            self._offset = os.path.getsize(self.path)
+            return {
+                "before_bytes": before_bytes,
+                "after_bytes": self._offset,
+                "jobs_folded": len(terminal),
+                "jobs_live": len(live),
+            }
+
+    def note_gc(self, job: Job, **info) -> None:
+        """Journal a GC summary for *job* before its run dir is deleted.
+
+        The record kind (``gc``) is ignored by replay — the job's
+        terminal state is already journaled — but it preserves a durable
+        trace (id, final state, hpwl, reclaimed bytes) of what the
+        retention policy removed and when.
+        """
+        with self._lock:
+            self._append(
+                {
+                    "record": "gc",
+                    "id": job.id,
+                    "ts": time.time(),
+                    "state": job.state,
+                    "hpwl": job.hpwl,
+                    "attempts": job.attempts,
+                    **info,
+                }
+            )
 
     # -- queries ---------------------------------------------------------------
     def get(self, job_id: str) -> Job | None:

@@ -85,6 +85,12 @@ class ServiceMetrics:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def gauge(self, name: str, default: float = 0) -> float:
+        """Last value set for gauge *name* (the governor's ``resource_*``
+        family and ``rejected_pending`` read back through this)."""
+        with self._lock:
+            return self._gauges.get(name, default)
+
     def snapshot(self) -> dict:
         with self._lock:
             return {

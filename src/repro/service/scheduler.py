@@ -91,6 +91,13 @@ class Scheduler:
     def __init__(self, execute, should_run, workers: int = 1) -> None:
         self.execute = execute
         self.should_run = should_run
+        #: optional callable polled before each dispatch: while it
+        #: returns False the dequeued job is requeued (not dropped — the
+        #: ``should_run`` check is for jobs that must *never* run, this
+        #: gate is for jobs that must run *later*).  The resource
+        #: governor pauses dispatch through this when disk headroom
+        #: cannot fit a projected run dir; running jobs are untouched.
+        self.dispatch_gate = None
         self.workers = max(1, int(workers))
         self._queue: queue.PriorityQueue = queue.PriorityQueue()
         self._threads: list[threading.Thread] = []
@@ -178,9 +185,19 @@ class Scheduler:
     def _worker(self) -> None:
         while not self._stop.is_set():
             try:
-                _, _, job_id = self._queue.get(timeout=0.05)
+                item = self._queue.get(timeout=0.05)
             except queue.Empty:
                 continue
+            gate = self.dispatch_gate
+            if gate is not None and not gate():
+                # Dispatch paused (resource pressure): the job goes back
+                # to the queue intact — it stays enqueued/deduped and
+                # runs once the governor reopens the gate.
+                self._queue.put(item)
+                self._queue.task_done()
+                self._stop.wait(0.05)
+                continue
+            _, _, job_id = item
             with self._lock:
                 self._inflight += 1
                 self._next_ticket += 1

@@ -45,7 +45,8 @@ import time
 from dataclasses import replace
 
 from repro.runtime.budget import StageBudget
-from repro.runtime.errors import PlacementError
+from repro.runtime.errors import PlacementError, ResourceExhaustedError
+from repro.service.governor import ResourceGovernor
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -140,6 +141,17 @@ class PlacementService:
         inference_broker: bool = False,
         inference_max_batch: int = 64,
         inference_coalesce_us: int = 2000,
+        disk_quota_bytes: int | None = None,
+        mem_quota_bytes: int | None = None,
+        high_water: float = 0.9,
+        low_water: float = 0.75,
+        retention_runs: int | None = None,
+        rejected_ttl: float = 3600.0,
+        warm_quota_bytes: int | None = None,
+        terminal_cache_quota_bytes: int | None = None,
+        journal_quota_bytes: int | None = None,
+        rundir_projection_bytes: int = 4 << 20,
+        resource_sample_interval: float = 1.0,
     ) -> None:
         self.paths = (paths or ServicePaths(service_dir)).ensure()
         self.store = JobStore(self.paths.journal).load()
@@ -178,6 +190,31 @@ class PlacementService:
             max_retries=max_retries,
             backoff_base=backoff_base,
         )
+        # Resource governance: quotas default to None (inert monitoring),
+        # so a service without explicit limits behaves exactly as before.
+        # A fleet shard constructs its LeaseManager before calling up, so
+        # the governor compacts shared files under the fleet GC lease.
+        self.governor = ResourceGovernor(
+            self.paths,
+            self.store,
+            self.metrics,
+            self.warm,
+            disk_quota_bytes=disk_quota_bytes,
+            mem_quota_bytes=mem_quota_bytes,
+            high_water=high_water,
+            low_water=low_water,
+            retention_runs=retention_runs,
+            rejected_ttl=rejected_ttl,
+            warm_quota_bytes=warm_quota_bytes,
+            terminal_cache_quota_bytes=terminal_cache_quota_bytes,
+            journal_quota_bytes=journal_quota_bytes,
+            rundir_projection_bytes=rundir_projection_bytes,
+            sample_interval=resource_sample_interval,
+            leases=getattr(self, "leases", None),
+        ).install()
+        # Pressure pauses *dispatch* (queued jobs requeue), never
+        # running jobs; admission shedding is handled at the journal.
+        self.scheduler.dispatch_gate = self.governor.dispatch_ok
         self._recover()
 
     # -- recovery --------------------------------------------------------------
@@ -200,6 +237,7 @@ class PlacementService:
     def poll(self) -> None:
         """One daemon cycle: admit inbox, apply control, supervise,
         dispatch."""
+        self.governor.poll()
         admitted = self._poll_inbox()
         self._poll_control()
         self.supervisor.check_stalls()
@@ -257,6 +295,26 @@ class PlacementService:
         FAILED with a structured backpressure error when the queue is
         full.  Shared by the single-daemon inbox poll and the fleet
         shard's claim-gated admission."""
+        pressure = self.governor.admission_blocked()
+        if pressure is not None:
+            # Load shedding: above the high-water mark new work is
+            # refused with a structured, client-visible reason instead of
+            # being admitted onto a disk that cannot hold its run dir.
+            # Hysteresis in the governor resumes admission below the
+            # low-water mark.
+            error = {
+                "kind": "ResourcePressure",
+                "reason": "RESOURCE_PRESSURE",
+                "message": f"admission shed: {pressure}",
+            }
+            job = self.store.add(
+                spec, job_id=job_id, priority=priority, state=FAILED,
+                error=error, submitted_ts=submitted_ts,
+            )
+            self._write_result(job)
+            self.metrics.inc("jobs_rejected")
+            self.metrics.inc("jobs_rejected_pressure")
+            return job
         if self.store.queue_depth() >= self.max_queue:
             error = {
                 "kind": "Backpressure",
@@ -360,9 +418,21 @@ class PlacementService:
         return True
 
     def _execute(self, job_id: str) -> None:
-        """Run one job attempt end to end; never raises (scheduler
-        contract).  Failures are routed through the supervisor, which
-        decides retry / quarantine / fail."""
+        """Run one job attempt; never raises (scheduler contract).
+
+        The attempt body routes every failure it understands through the
+        supervisor; this wrapper is the last line of the contract — an
+        exception escaping the bookkeeping itself (e.g. the disk filling
+        up while *recording* a result) is counted, and the daemon lives.
+        """
+        try:
+            self._execute_attempt(job_id)
+        except Exception:  # noqa: BLE001 — workers must survive anything
+            self.metrics.inc("executor_errors")
+
+    def _execute_attempt(self, job_id: str) -> None:
+        """One attempt end to end.  Failures are routed through the
+        supervisor, which decides retry / quarantine / fail."""
         job = self.store.get(job_id)
         if not self._still_owner(job.id):
             self.metrics.inc("stale_lease_drops")
@@ -459,7 +529,21 @@ class PlacementService:
             return
         seconds = time.perf_counter() - started
         self.supervisor.clear_cold(job.id)
-        self.warm.store(warm_key, run_dir)
+        try:
+            # Publishing the warm entry is itself a durable write: a full
+            # disk here (after the guarded write's own emergency GC +
+            # retry) fails the *attempt* — retryable, supervisor-routed —
+            # not the worker thread or the daemon.
+            self.warm.store(warm_key, run_dir)
+        except ResourceExhaustedError as exc:
+            self._resolve_attempt_failure(job, attempt, started, {
+                "kind": type(exc).__name__,
+                "message": exc.message,
+                "stage": exc.stage,
+                "exit_code": exc.exit_code,
+                "details": {k: repr(v) for k, v in exc.details.items()},
+            }, warm_hit=warm_hit)
+            return
         best = min(result.hpwl, result.search.best_terminal_wirelength)
         for stage, stage_seconds in result.stage_seconds.items():
             if stage_seconds > 0.0:
@@ -591,12 +675,19 @@ class PlacementService:
             "pending_retries", self.supervisor.pending_retries()
         )
         self._fold_broker_metrics()
-        return self.metrics.write(
-            self.paths.metrics,
-            queue_depth=counts[QUEUED],
-            jobs=counts,
-            warm_fingerprints=self.warm.per_key(),
-        )
+        try:
+            return self.metrics.write(
+                self.paths.metrics,
+                queue_depth=counts[QUEUED],
+                jobs=counts,
+                warm_fingerprints=self.warm.per_key(),
+            )
+        except ResourceExhaustedError:
+            # The metrics snapshot is observability, not state: on a
+            # disk too full even after emergency GC, shed the write and
+            # keep serving — the next cycle retries.
+            self.metrics.inc("metrics_writes_shed")
+            return self.metrics.snapshot()
 
     # -- daemon loop -----------------------------------------------------------
     def run(
@@ -621,7 +712,15 @@ class PlacementService:
         self.scheduler.start()
         try:
             while True:
-                self.poll()
+                try:
+                    self.poll()
+                except ResourceExhaustedError:
+                    # A poll cycle's durable write ran the disk dry even
+                    # after emergency GC.  The daemon stays up: shedding
+                    # is already engaged (the governor sampled en route),
+                    # and the next cycle retries once GC or the operator
+                    # frees space.
+                    self.metrics.inc("poll_cycles_shed")
                 if drain and self._drained():
                     break
                 if self.stop_requested():

@@ -59,7 +59,14 @@ from repro.service.jobs import (
 #: MemoryError, a plain bug) is treated as transient too: the retry
 #: either heals it or escalates it to quarantine with evidence.
 TRANSIENT_KINDS = frozenset(
-    {"FaultInjected", "StageStallError", "ArtifactCorruptError"}
+    {
+        "FaultInjected",
+        "StageStallError",
+        "ArtifactCorruptError",
+        # ENOSPC after an emergency GC pass: by the retry the governor
+        # (or an operator) may have freed space — never a daemon-killer
+        "ResourceExhaustedError",
+    }
 )
 #: structured kinds that are deterministic properties of the job — a
 #: retry would fail identically, so they go straight to FAILED
@@ -71,6 +78,9 @@ PERMANENT_KINDS = frozenset(
         "SolverInfeasibleError",
         "StageTimeoutError",
         "Backpressure",
+        # admission shed above the resource high-water mark: the client
+        # resubmits once pressure clears; the journaled job stays FAILED
+        "ResourcePressure",
         "VerificationError",
     }
 )

@@ -31,7 +31,9 @@ import uuid
 
 from repro.runtime import faults
 from repro.runtime.checkpoint import pretraining_fingerprint
+from repro.runtime.errors import ResourceExhaustedError
 from repro.runtime.integrity import CHECKSUMS_KEY, corrupt_file, sha256_file
+from repro.runtime.resources import dir_usage_bytes, guarded_write
 
 #: the stage artifacts that constitute "pre-training is done"
 ARTIFACTS = ("calibration.json", "network.npz", "training.json")
@@ -86,6 +88,7 @@ class WarmArtifactCache:
         self.misses = 0
         self.stores = 0
         self.corruptions = 0
+        self.evictions = 0
         # per-fingerprint counters, surfaced in metrics.json so a study
         # report can prove the one-cold-pretrain-per-fingerprint property
         self._by_key: dict[str, dict[str, int]] = {}
@@ -96,9 +99,11 @@ class WarmArtifactCache:
 
     def _count(self, key: str, event: str) -> None:
         entry = self._by_key.setdefault(
-            key, {"hits": 0, "misses": 0, "stores": 0, "corruptions": 0}
+            key,
+            {"hits": 0, "misses": 0, "stores": 0, "corruptions": 0,
+             "evictions": 0},
         )
-        entry[event] += 1
+        entry[event] = entry.get(event, 0) + 1
 
     def per_key(self) -> dict[str, dict[str, int]]:
         """Snapshot of per-fingerprint hit/miss/store/corruption counts."""
@@ -129,7 +134,8 @@ class WarmArtifactCache:
             return False
         tmp = os.path.join(self.root, f".{key}.{uuid.uuid4().hex[:6]}.tmp")
         os.makedirs(tmp, exist_ok=True)
-        try:
+
+        def _copy() -> None:
             checksums = {}
             for src, name in zip(sources, ARTIFACTS):
                 dst = os.path.join(tmp, name)
@@ -138,9 +144,18 @@ class WarmArtifactCache:
             with open(os.path.join(tmp, CHECKSUM_FILE), "w") as f:
                 json.dump(checksums, f, indent=2, sort_keys=True)
             os.replace(tmp, self._entry_dir(key))
+
+        try:
+            # ENOSPC-guarded: a full disk degrades (emergency GC + one
+            # retry) and otherwise raises ResourceExhaustedError, which
+            # the service resolves as a retryable attempt failure.
+            guarded_write(f"warm:{key}", _copy)
         except OSError:
             shutil.rmtree(tmp, ignore_errors=True)
             return self.has(key)  # lost a benign race to a sibling worker
+        except ResourceExhaustedError:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
         if faults.should_fire("warm.corrupt"):
             corrupt_file(os.path.join(self._entry_dir(key), "network.npz"))
         self.stores += 1
@@ -210,6 +225,10 @@ class WarmArtifactCache:
             return False
         checksums = self.checksums(key) or {}
         entry = self._entry_dir(key)
+        try:
+            os.utime(entry)  # LRU recency: a hit keeps the entry warm
+        except OSError:
+            pass
         for name in ARTIFACTS:
             shutil.copy2(os.path.join(entry, name), ctx.dir.file(name))
         for stage in WARM_STAGES:
@@ -227,3 +246,45 @@ class WarmArtifactCache:
             name for name in os.listdir(self.root)
             if not name.startswith(".") and self.has(name)
         )
+
+    # -- size governance -------------------------------------------------------
+    def entry_bytes(self, key: str) -> int:
+        return dir_usage_bytes(self._entry_dir(key))
+
+    def total_bytes(self) -> int:
+        """Bytes under the cache root (stale tmp dirs included — they are
+        reclaimable and the eviction pass removes them first)."""
+        return dir_usage_bytes(self.root)
+
+    def evict_lru(self, max_bytes: int) -> list[str]:
+        """Evict least-recently-used entries until the cache fits
+        *max_bytes*; returns the evicted keys.
+
+        Recency is the entry directory's mtime: ``os.replace`` stamps it
+        at store time and :meth:`inject` re-touches it on every hit, so
+        eviction order tracks *use*, not just age.  Orphaned ``.tmp``
+        dirs (a crashed store) are swept unconditionally.
+        """
+        for name in os.listdir(self.root):
+            if name.startswith(".") and name.endswith(".tmp"):
+                shutil.rmtree(os.path.join(self.root, name),
+                              ignore_errors=True)
+        entries = []
+        for key in self.keys():
+            try:
+                mtime = os.path.getmtime(self._entry_dir(key))
+            except OSError:
+                continue
+            entries.append((mtime, key, self.entry_bytes(key)))
+        entries.sort()
+        total = sum(size for _, _, size in entries)
+        evicted: list[str] = []
+        for _, key, size in entries:
+            if total <= max_bytes:
+                break
+            self.discard(key)
+            self._count(key, "evictions")
+            total -= size
+            evicted.append(key)
+        self.evictions += len(evicted)
+        return evicted

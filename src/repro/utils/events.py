@@ -29,17 +29,31 @@ def append_jsonl(path: str, record: dict, fsync: bool = False) -> None:
     guarantee (the stdlib may split one line across flushes).  A partial
     write (ENOSPC, signal) leaves at worst a torn tail line, which
     :func:`read_jsonl` already skips.
+
+    Appends are routed through the ENOSPC guard
+    (:func:`repro.runtime.resources.guarded_write`): a full disk emits a
+    degradation, triggers an emergency GC pass, and retries once before
+    failing the *attempt* with a retryable
+    :class:`~repro.runtime.errors.ResourceExhaustedError`.  A partial
+    append cut short by ENOSPC leaves a torn tail line, which every
+    reader already skips — the retried append then lands whole.
     """
+    from repro.runtime.resources import guarded_write
+
     data = (json.dumps(record, sort_keys=True) + "\n").encode()
-    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
-    try:
-        written = os.write(fd, data)
-        while written < len(data):  # pathological; finish the tail
-            written += os.write(fd, data[written:])
-        if fsync:
-            os.fsync(fd)
-    finally:
-        os.close(fd)
+
+    def _append() -> None:
+        fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            written = os.write(fd, data)
+            while written < len(data):  # pathological; finish the tail
+                written += os.write(fd, data[written:])
+            if fsync:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    guarded_write(f"append:{os.path.basename(path)}", _append)
 
 
 def read_jsonl(path: str) -> list[dict]:

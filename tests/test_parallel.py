@@ -304,6 +304,39 @@ class TestTerminalCache:
         assert len(reloaded) == 1
         assert reloaded.get([1]) == 10.0
 
+    def test_compact_drops_damage_and_resets_corrupt_count(self, tmp_path):
+        path = str(tmp_path / "terminal_cache.jsonl")
+        cache = TerminalCache("fp", path=path)
+        cache.put([1, 2], 100.0)
+        cache.put([3, 4], 200.0)
+        # a foreign fingerprint that must survive even though this
+        # instance ignores it
+        TerminalCache("fp-other", path=path).put([9], 90.0)
+        lines = open(path).read().splitlines()
+        damaged = json.loads(lines[0])
+        damaged["wirelength"] = 999.0  # sha no longer matches
+        with open(path, "w") as f:
+            f.write(json.dumps(damaged) + "\n")
+            for line in lines[1:]:
+                f.write(line + "\n")
+            f.write(lines[1] + "\n")  # peer re-append: superseded dup
+            f.write('{"fingerprint": "fp", "assignment": [8], "wi')  # torn
+
+        reloaded = TerminalCache("fp", path=path)
+        assert reloaded.corrupt_entries == 1
+        summary = reloaded.compact()
+        assert summary["kept"] == 2  # [3,4] and foreign [9]; [1,2] gone
+        assert summary["dropped_corrupt"] == 1  # bit rot (torn never parses)
+        assert summary["dropped_superseded"] == 1
+        assert summary["after_bytes"] < summary["before_bytes"]
+        assert reloaded.corrupt_entries == 0
+
+        clean = TerminalCache("fp", path=path)
+        assert clean.corrupt_entries == 0
+        assert clean.get([1, 2]) is None  # poisoned value stays gone
+        assert clean.get([3, 4]) == 200.0
+        assert TerminalCache("fp-other", path=path).get([9]) == 90.0
+
     def test_fingerprint_tracks_environment(self, coarse_small):
         env_a = make_env(coarse_small)
         env_b = make_env(coarse_small)

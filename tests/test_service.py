@@ -128,6 +128,53 @@ class TestJobStore:
         assert replayed.get(job.id).state == RUNNING
         assert replayed.queue_depth() == 0
 
+    def test_restart_after_compact_replays_identically(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        store = JobStore(path)
+        done = store.add(JobSpec(circuit="ibm01"), priority=1)
+        store.transition(done.id, RUNNING, attempt=1)
+        store.transition(done.id, DONE, hpwl=42.5, warm_hit=True, seconds=1.25)
+        poison = store.add(JobSpec(circuit="ibm02"))
+        store.transition(poison.id, RUNNING, attempt=1)
+        store.transition(poison.id, QUEUED)
+        store.transition(poison.id, RUNNING, attempt=2)
+        store.transition(
+            poison.id, QUARANTINED, error={"kind": "PoisonError"}
+        )
+        live = store.add(JobSpec(circuit="ibm03"), priority=3)
+
+        def ledger(s):
+            return [
+                (j.id, j.state, j.attempts, j.hpwl, j.warm_hit, j.priority,
+                 (j.error or {}).get("kind"))
+                for j in sorted(s.jobs(), key=lambda j: j.seq)
+            ]
+
+        before = ledger(store)
+        summary = store.compact()
+        assert summary["jobs_folded"] == 2 and summary["jobs_live"] == 1
+        assert summary["after_bytes"] < summary["before_bytes"]
+
+        restarted = JobStore(path).load()
+        assert ledger(restarted) == before
+        assert restarted.counts() == store.counts()
+        assert [j.id for j in restarted.in_state(QUEUED)] == [live.id]
+
+        # the compacted journal is a normal journal: the live job keeps
+        # transitioning and a restart replays the continuation too
+        restarted.transition(live.id, RUNNING, attempt=1)
+        restarted.transition(live.id, DONE, hpwl=7.0)
+        final = JobStore(path).load()
+        assert final.get(live.id).state == DONE
+        assert final.get(done.id).hpwl == 42.5
+        assert final.get(poison.id).state == QUARANTINED
+
+        # torn tail after compaction is still forgotten, nothing else
+        with open(path, "a") as f:
+            f.write('{"record": "state", "id": "%s", "sta' % live.id)
+        torn = JobStore(path).load()
+        assert ledger(torn) == ledger(final)
+
     def test_priority_then_fifo_order(self, tmp_path):
         store = JobStore(str(tmp_path / "jobs.jsonl"))
         low = store.add(JobSpec(circuit="ibm01"), priority=0)
